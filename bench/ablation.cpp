@@ -1,0 +1,145 @@
+// Ablation bench — quantifies the design choices DESIGN.md calls out:
+//
+//   1. reshaping (Fig. 6b) on vs off: reshaping trades spatial granularity
+//      for a temporally consistent, analyzable dataset;
+//   2. leftover policy: merge-into-nearest (no user loss) vs suppress;
+//   3. suppression (Sec. 7.1) off vs the paper's 15 km / 6 h setting;
+//   4. input-order sensitivity of the greedy pass (dataset shuffled by
+//      seed): GLOVE's heap order is content-driven, so accuracy should be
+//      stable across input permutations.
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+
+#include "common/bench_common.hpp"
+#include "glove/core/accuracy.hpp"
+#include "glove/core/glove.hpp"
+#include "glove/core/scalability.hpp"
+#include "glove/stats/table.hpp"
+#include "glove/util/rng.hpp"
+
+namespace {
+
+using namespace glove;
+
+struct Outcome {
+  double pos_mean_km;
+  double time_mean_min;
+  std::uint64_t deleted;
+  std::uint64_t groups;
+  double seconds;
+};
+
+Outcome run(const cdr::FingerprintDataset& data,
+            const core::GloveConfig& config) {
+  const core::GloveResult result = core::anonymize(data, config);
+  const auto summary =
+      core::summarize_accuracy(core::measure_accuracy(result.anonymized));
+  return Outcome{summary.mean_position_m / 1'000.0, summary.mean_time_min,
+                 result.stats.deleted_samples, result.stats.output_groups,
+                 result.stats.init_seconds + result.stats.merge_seconds};
+}
+
+void add_row(stats::TextTable& table, const std::string& name,
+             const Outcome& o) {
+  table.row({name, stats::fmt(o.pos_mean_km, 2) + "km",
+             stats::fmt(o.time_mean_min, 1) + "min",
+             std::to_string(o.deleted), std::to_string(o.groups),
+             stats::fmt(o.seconds, 2) + "s"});
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::resolve_scale(/*default_users=*/180);
+  const cdr::FingerprintDataset civ = bench::make_civ(scale);
+  bench::print_banner("Ablations (GLOVE design choices)", civ);
+
+  stats::TextTable table{"Ablation — GLOVE variants (civ-like, k=2)"};
+  table.header({"variant", "pos mean", "time mean", "deleted", "groups",
+                "runtime"});
+
+  core::GloveConfig base;
+  base.k = 2;
+  add_row(table, "baseline (reshape on)", run(civ, base));
+
+  core::GloveConfig no_reshape = base;
+  no_reshape.reshape = false;
+  add_row(table, "reshape off", run(civ, no_reshape));
+
+  core::GloveConfig suppress_leftover = base;
+  suppress_leftover.leftover_policy = core::LeftoverPolicy::kSuppress;
+  add_row(table, "leftover: suppress", run(civ, suppress_leftover));
+
+  core::GloveConfig with_suppression = base;
+  with_suppression.suppression =
+      core::SuppressionThresholds{15'000.0, 360.0};
+  add_row(table, "suppression 15km/6h", run(civ, with_suppression));
+
+  // Input-order sensitivity: shuffle the dataset and re-run.
+  util::Xoshiro256 rng{scale.seed * 7 + 5};
+  std::vector<cdr::Fingerprint> shuffled{civ.fingerprints().begin(),
+                                         civ.fingerprints().end()};
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1],
+              shuffled[util::uniform_index(rng, i)]);
+  }
+  const cdr::FingerprintDataset permuted{std::move(shuffled), "civ-shuffled"};
+  add_row(table, "input order shuffled", run(permuted, base));
+
+  // Chunked (W4M-LC-style scaling): smaller chunks trade accuracy for a
+  // quadratic-cost reduction.
+  for (const std::size_t chunk : {90u, 45u}) {
+    core::ChunkedConfig chunked;
+    chunked.glove = base;
+    chunked.chunk_size = chunk;
+    const core::GloveResult result = core::anonymize_chunked(civ, chunked);
+    const auto summary =
+        core::summarize_accuracy(core::measure_accuracy(result.anonymized));
+    add_row(table,
+            "chunked (" + std::to_string(chunk) + "/chunk)",
+            Outcome{summary.mean_position_m / 1'000.0,
+                    summary.mean_time_min, result.stats.deleted_samples,
+                    result.stats.output_groups,
+                    result.stats.init_seconds + result.stats.merge_seconds});
+  }
+
+  table.print(std::cout);
+
+  // Pruned k-gap: exact results, fewer pair evaluations.
+  {
+    stats::TextTable pruning{"Ablation — k-gap bounding-box pruning"};
+    pruning.header({"variant", "pair evals skipped", "median gap",
+                    "runtime"});
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto brute = core::k_gap_values(civ, 2);
+    const auto t1 = std::chrono::steady_clock::now();
+    std::uint64_t skipped = 0;
+    const auto fast = core::k_gaps_pruned(civ, 2, {}, &skipped);
+    const auto t2 = std::chrono::steady_clock::now();
+    const double total_pairs =
+        static_cast<double>(civ.size()) * (civ.size() - 1);
+    std::vector<double> fast_gaps;
+    for (const auto& e : fast) fast_gaps.push_back(e.gap);
+    pruning.row({"brute force", "0",
+                 stats::fmt(stats::quantile(brute, 0.5), 3),
+                 stats::fmt(std::chrono::duration<double>(t1 - t0).count(),
+                            2) +
+                     "s"});
+    pruning.row({"bbox-pruned",
+                 stats::fmt_pct(static_cast<double>(skipped) / total_pairs),
+                 stats::fmt(stats::quantile(fast_gaps, 0.5), 3),
+                 stats::fmt(std::chrono::duration<double>(t2 - t1).count(),
+                            2) +
+                     "s"});
+    pruning.print(std::cout);
+  }
+  std::cout << "\n  Expectations: reshape-off keeps finer mean granularity "
+               "(no overlap unions) but leaves temporally overlapping, "
+               "hard-to-analyze samples; suppression cuts the mean errors "
+               "sharply at a bounded deletion cost; shuffling the input "
+               "changes results only marginally (the greedy order is "
+               "content-driven).\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "common/bench_common.hpp"
+
+#include <iostream>
+#include <unordered_map>
+
+#include "glove/analysis/descriptors.hpp"
+#include "glove/stats/table.hpp"
+#include "glove/util/flags.hpp"
+#include "glove/util/thread_pool.hpp"
+
+namespace glove::bench {
+
+Scale resolve_scale(std::size_t default_users, double default_days) {
+  Scale scale;
+  scale.users = static_cast<std::size_t>(
+      util::env_int("GLOVE_USERS", static_cast<long long>(default_users)));
+  scale.days = util::env_double("GLOVE_DAYS", default_days);
+  scale.seed =
+      static_cast<std::uint64_t>(util::env_int("GLOVE_SEED", 1));
+  return scale;
+}
+
+namespace {
+
+cdr::FingerprintDataset make_dataset(synth::SynthConfig config,
+                                     const Scale& scale) {
+  config.days = scale.days;
+  cdr::FingerprintDataset data = synth::generate_dataset(config);
+  // Sec. 3 screening: keep users with at least one sample per day.
+  cdr::FingerprintDataset screened =
+      cdr::filter_min_activity(data, 1.0, scale.days);
+  screened.set_name(config.name);
+  return screened;
+}
+
+}  // namespace
+
+cdr::FingerprintDataset make_civ(const Scale& scale) {
+  return make_dataset(synth::civ_like(scale.users, scale.seed), scale);
+}
+
+cdr::FingerprintDataset make_sen(const Scale& scale) {
+  return make_dataset(synth::sen_like(scale.users, scale.seed + 1), scale);
+}
+
+void print_banner(const std::string& experiment,
+                  const cdr::FingerprintDataset& data) {
+  const analysis::DatasetDescriptor d = analysis::describe(data);
+  std::cout << "\n### " << experiment << " — dataset '" << data.name()
+            << "': " << d.fingerprints << " users, " << d.samples
+            << " samples (" << stats::fmt(d.mean_fingerprint_length, 1)
+            << " per fingerprint, "
+            << stats::fmt(d.samples_per_user_per_day, 2)
+            << "/user/day over " << stats::fmt(d.timespan_days, 1)
+            << " days; median r_gyr "
+            << stats::fmt(d.median_radius_of_gyration_m / 1'000.0, 2)
+            << " km), threads=" << util::ThreadPool::shared().size() << '\n';
+}
+
+std::vector<std::string> cdf_row(const stats::EmpiricalCdf& cdf,
+                                 const std::vector<double>& grid) {
+  std::vector<std::string> cells;
+  cells.reserve(grid.size());
+  for (const double x : grid) {
+    cells.push_back(stats::fmt(cdf.at(x), 3));
+  }
+  return cells;
+}
+
+std::vector<double> kgap_grid() {
+  return {0.0,  0.02, 0.05, 0.09, 0.13, 0.17,
+          0.22, 0.30, 0.40, 0.60, 0.80, 1.00};
+}
+
+std::vector<double> position_grid_m() {
+  // Fig. 7 x-axis: 200 m .. 20 km (log scale), plus the 100 m original.
+  return {100.0,   200.0,   500.0,    1'000.0,  2'000.0,
+          5'000.0, 10'000.0, 20'000.0, 50'000.0};
+}
+
+std::vector<double> time_grid_min() {
+  // Fig. 7 x-axis: 1 min .. 1 day.
+  return {1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 240.0, 480.0, 1'440.0};
+}
+
+geo::PlanarPoint densest_center(const cdr::FingerprintDataset& data) {
+  constexpr double kTileM = 10'000.0;
+  const geo::Grid grid{kTileM};
+  std::unordered_map<geo::GridCell, std::size_t> counts;
+  for (const cdr::Fingerprint& fp : data.fingerprints()) {
+    for (const cdr::Sample& s : fp.samples()) {
+      ++counts[grid.cell_of(
+          {s.sigma.x + s.sigma.dx / 2, s.sigma.y + s.sigma.dy / 2})];
+    }
+  }
+  geo::GridCell best{};
+  std::size_t best_count = 0;
+  for (const auto& [cell, count] : counts) {
+    if (count > best_count) {
+      best_count = count;
+      best = cell;
+    }
+  }
+  return grid.cell_center(best);
+}
+
+cdr::FingerprintDataset city_subset(const cdr::FingerprintDataset& data,
+                                    const std::string& name,
+                                    double radius_m) {
+  const geo::PlanarPoint center = densest_center(data);
+  cdr::FingerprintDataset city =
+      cdr::filter_geofence(data, center.x_m, center.y_m, radius_m, 0.8);
+  city.set_name(name);
+  return city;
+}
+
+std::vector<std::string> grid_labels(const std::vector<double>& grid,
+                                     const std::string& unit) {
+  std::vector<std::string> labels;
+  labels.reserve(grid.size());
+  for (const double g : grid) {
+    if (unit == "m" && g >= 1'000.0) {
+      labels.push_back(stats::fmt(g / 1'000.0, 1) + "km");
+    } else if (unit == "min" && g >= 60.0) {
+      labels.push_back(stats::fmt(g / 60.0, 1) + "h");
+    } else {
+      labels.push_back(stats::fmt(g, 2) + unit);
+    }
+  }
+  return labels;
+}
+
+}  // namespace glove::bench

@@ -1,0 +1,71 @@
+// Shared scaffolding for the paper-reproduction bench harnesses: scaled
+// dataset construction (env-overridable), CDF sampling onto the paper's
+// plot axes, and consistent run banners.
+//
+// Scaling knobs (environment variables):
+//   GLOVE_USERS    population per dataset        (default per bench)
+//   GLOVE_DAYS     trace timespan in days        (default per bench)
+//   GLOVE_SEED     synthetic generator seed      (default 1)
+//   GLOVE_THREADS  worker threads                (default: hw concurrency)
+
+#ifndef GLOVE_BENCH_COMMON_HPP
+#define GLOVE_BENCH_COMMON_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "glove/cdr/dataset.hpp"
+#include "glove/stats/stats.hpp"
+#include "glove/synth/generator.hpp"
+
+namespace glove::bench {
+
+/// Scale parameters resolved from the environment.
+struct Scale {
+  std::size_t users;
+  double days;
+  std::uint64_t seed;
+};
+
+/// Reads GLOVE_USERS / GLOVE_DAYS / GLOVE_SEED with bench-specific defaults.
+[[nodiscard]] Scale resolve_scale(std::size_t default_users,
+                                  double default_days = 14.0);
+
+/// Builds the civ-like dataset at the requested scale (screened as Sec. 3).
+[[nodiscard]] cdr::FingerprintDataset make_civ(const Scale& scale);
+
+/// Builds the sen-like dataset at the requested scale.
+[[nodiscard]] cdr::FingerprintDataset make_sen(const Scale& scale);
+
+/// Prints the standard run banner (dataset descriptors, scale, threads).
+void print_banner(const std::string& experiment,
+                  const cdr::FingerprintDataset& data);
+
+/// Samples an empirical CDF at grid points and renders one table row per
+/// grid value: "P[X <= x]".
+[[nodiscard]] std::vector<std::string> cdf_row(
+    const stats::EmpiricalCdf& cdf, const std::vector<double>& grid);
+
+/// Paper plot grids.
+[[nodiscard]] std::vector<double> kgap_grid();        // Fig. 3/4 x-axis
+[[nodiscard]] std::vector<double> position_grid_m();  // Fig. 7/8 x-axis
+[[nodiscard]] std::vector<double> time_grid_min();    // Fig. 7/8 x-axis
+
+/// Formats a grid label vector ("0.05", "0.1", ... / "200m", "1km", ...).
+[[nodiscard]] std::vector<std::string> grid_labels(
+    const std::vector<double>& grid, const std::string& unit);
+
+/// Centre of the densest 10 km tile of the dataset (by sample count) — the
+/// synthetic stand-in for the Abidjan/Dakar geofence anchors of Tab. 2.
+[[nodiscard]] geo::PlanarPoint densest_center(
+    const cdr::FingerprintDataset& data);
+
+/// Citywide subset around the densest centre (Tab. 2 abidjan/dakar rows).
+[[nodiscard]] cdr::FingerprintDataset city_subset(
+    const cdr::FingerprintDataset& data, const std::string& name,
+    double radius_m = 25'000.0);
+
+}  // namespace glove::bench
+
+#endif  // GLOVE_BENCH_COMMON_HPP

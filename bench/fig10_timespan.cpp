@@ -1,0 +1,56 @@
+// Fig. 10 reproduction — accuracy vs dataset timespan (GLOVE, k = 2).
+//
+// The 14-day datasets are cut to 1/2/5/7/14-day windows, each anonymized
+// independently.  Paper shape: shorter datasets anonymize more accurately
+// (1-day roughly twice as precise as 2-week), with a sub-linear loss as
+// the span grows (weekly periodicity saturates fingerprint diversity).
+
+#include <iostream>
+
+#include "common/bench_common.hpp"
+#include "glove/core/accuracy.hpp"
+#include "glove/core/glove.hpp"
+#include "glove/stats/table.hpp"
+
+namespace {
+
+using namespace glove;
+
+void run_dataset(const cdr::FingerprintDataset& data, double max_days) {
+  stats::TextTable table{"Fig. 10 — accuracy vs timespan (" + data.name() +
+                         ", k=2)"};
+  table.header({"days", "users", "pos mean", "pos median", "time mean",
+                "time median"});
+  for (const double days : {1.0, 2.0, 5.0, 7.0, 14.0}) {
+    if (days > max_days + 1e-9) continue;
+    const cdr::FingerprintDataset window =
+        cdr::cut_time_window(data, 0.0, days * 1'440.0);
+    if (window.size() < 4) continue;
+    core::GloveConfig config;
+    config.k = 2;
+    const core::GloveResult result = core::anonymize(window, config);
+    const auto summary =
+        core::summarize_accuracy(core::measure_accuracy(result.anonymized));
+    table.row({stats::fmt(days, 0), std::to_string(window.size()),
+               stats::fmt(summary.mean_position_m / 1'000.0, 2) + "km",
+               stats::fmt(summary.median_position_m / 1'000.0, 2) + "km",
+               stats::fmt(summary.mean_time_min, 1) + "min",
+               stats::fmt(summary.median_time_min, 1) + "min"});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::resolve_scale(/*default_users=*/220);
+  const cdr::FingerprintDataset civ = bench::make_civ(scale);
+  const cdr::FingerprintDataset sen = bench::make_sen(scale);
+  bench::print_banner("Fig. 10 (accuracy vs timespan)", civ);
+  run_dataset(civ, scale.days);
+  bench::print_banner("Fig. 10 (accuracy vs timespan)", sen);
+  run_dataset(sen, scale.days);
+  std::cout << "\n  Paper shape: accuracy roughly halves from 1-day to "
+               "14-day spans, with diminishing degradation.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Supplementary table — data-utility after anonymization (the Sec. 2.4
+// claims, measured): home detection, spatial population distribution and
+// hourly activity profile, compared across the original data, GLOVE
+// (with and without suppression) and W4M-LC.
+
+#include <iostream>
+
+#include "common/bench_common.hpp"
+#include "glove/analysis/utility.hpp"
+#include "glove/baseline/w4m.hpp"
+#include "glove/core/glove.hpp"
+#include "glove/stats/table.hpp"
+
+namespace {
+
+using namespace glove;
+
+void add_row(stats::TextTable& table, const std::string& name,
+             const cdr::FingerprintDataset& original,
+             const cdr::FingerprintDataset& published) {
+  const analysis::HomeUtilityReport homes =
+      analysis::compare_homes(original, published);
+  const double density = analysis::density_distance(
+      analysis::population_density(original, 10'000.0),
+      analysis::population_density(published, 10'000.0));
+  const double profile = analysis::profile_distance(
+      analysis::hourly_profile(original),
+      analysis::hourly_profile(published));
+  table.row({name, stats::fmt_pct(homes.same_tile_fraction),
+             stats::fmt(homes.median_displacement_m / 1'000.0, 2) + "km",
+             stats::fmt(density, 3), stats::fmt(profile, 3)});
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::resolve_scale(/*default_users=*/200);
+  const cdr::FingerprintDataset civ = bench::make_civ(scale);
+  bench::print_banner("Utility after anonymization (Sec. 2.4 claims)", civ);
+
+  stats::TextTable table{
+      "Utility of published data vs original (civ-like, k=2)"};
+  table.header({"published", "homes same tile", "home shift (median)",
+                "density TV dist", "hourly TV dist"});
+
+  add_row(table, "original", civ, civ);
+
+  core::GloveConfig plain;
+  plain.k = 2;
+  add_row(table, "GLOVE", civ, core::anonymize(civ, plain).anonymized);
+
+  core::GloveConfig suppressing = plain;
+  suppressing.suppression = core::SuppressionThresholds{15'000.0, 360.0};
+  add_row(table, "GLOVE +suppression", civ,
+          core::anonymize(civ, suppressing).anonymized);
+
+  baseline::W4MConfig w4m;
+  w4m.k = 2;
+  add_row(table, "W4M-LC", civ, baseline::anonymize_w4m(civ, w4m).anonymized);
+
+  table.print(std::cout);
+  std::cout << "\n  Reading: k-anonymized data must keep aggregate "
+               "distributions close (small TV distances) and routine "
+               "behaviours (homes) mostly intact — the analyses the paper "
+               "says k-anonymity suits.  W4M's perturbation moves users "
+               "and fabricates samples, degrading all three.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// compare_baselines: GLOVE vs W4M-LC vs uniform generalization on one
+// citywide scenario — the Sec. 7.2 comparison as a runnable example.
+//
+//   ./build/examples/compare_baselines [--users=150] [--k=2]
+
+#include <iostream>
+
+#include "glove/baseline/w4m.hpp"
+#include "glove/core/accuracy.hpp"
+#include "glove/core/generalize.hpp"
+#include "glove/core/glove.hpp"
+#include "glove/core/kgap.hpp"
+#include "glove/stats/table.hpp"
+#include "glove/synth/generator.hpp"
+#include "glove/util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace glove;
+  util::Flags flags{"compare_baselines: GLOVE vs W4M-LC vs generalization"};
+  flags.define("users", "150", "synthetic population size");
+  flags.define("days", "7", "trace timespan in days");
+  flags.define("k", "2", "anonymity level");
+  flags.define("seed", "31", "generator seed");
+  try {
+    flags.parse(argc - 1, argv + 1);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage();
+    return 0;
+  }
+
+  synth::SynthConfig config = synth::sen_like(
+      static_cast<std::size_t>(flags.get_int("users")),
+      static_cast<std::uint64_t>(flags.get_int("seed")));
+  config.days = flags.get_double("days");
+  const cdr::FingerprintDataset data = synth::generate_dataset(config);
+  const auto k = static_cast<std::uint32_t>(flags.get_int("k"));
+  std::cout << "dataset: " << data.size() << " users, "
+            << data.total_samples() << " samples; target k=" << k << "\n";
+
+  stats::TextTable table{"GLOVE vs W4M-LC vs uniform generalization"};
+  table.header({"approach", "k-anonymous?", "created", "deleted",
+                "pos accuracy (median)", "time accuracy (median)",
+                "truthful (P2)?"});
+
+  // --- Uniform generalization at a severe 5 km / 2 h level (Fig. 4).
+  {
+    const auto coarse = core::generalize_dataset(data, {5'000.0, 120.0});
+    const auto gaps = core::k_gap_values(coarse, k);
+    std::size_t anonymous = 0;
+    for (const double g : gaps) {
+      if (g == 0.0) ++anonymous;
+    }
+    const auto summary =
+        core::summarize_accuracy(core::measure_accuracy(coarse));
+    table.row({"uniform 5km/2h",
+               stats::fmt_pct(static_cast<double>(anonymous) /
+                              static_cast<double>(gaps.size())) +
+                   " of users",
+               "0", "0",
+               stats::fmt(summary.median_position_m / 1'000.0, 2) + "km",
+               stats::fmt(summary.median_time_min, 1) + "min", "yes"});
+  }
+
+  // --- W4M-LC (delta = 2 km, 10% trash).
+  {
+    baseline::W4MConfig w4m_config;
+    w4m_config.k = k;
+    const baseline::W4MResult w4m = baseline::anonymize_w4m(data, w4m_config);
+    table.row({"W4M-LC", "(k," + stats::fmt(w4m_config.delta_m, 0) +
+                             "m)-anonymity",
+               std::to_string(w4m.stats.created_samples),
+               std::to_string(w4m.stats.deleted_samples),
+               stats::fmt(w4m.stats.mean_position_error_m / 1'000.0, 2) +
+                   "km (mean err)",
+               stats::fmt(w4m.stats.mean_time_error_min, 1) + "min (mean err)",
+               "NO (fabricates samples)"});
+  }
+
+  // --- GLOVE.
+  {
+    core::GloveConfig glove_config;
+    glove_config.k = k;
+    const core::GloveResult glove = core::anonymize(data, glove_config);
+    const bool ok = core::is_k_anonymous(glove.anonymized, k);
+    const std::uint64_t uncovered =
+        core::count_uncovered_samples(data, glove.anonymized);
+    const auto summary =
+        core::summarize_accuracy(core::measure_accuracy(glove.anonymized));
+    table.row({"GLOVE", ok ? "100% of users" : "FAILED", "0",
+               std::to_string(glove.stats.deleted_samples),
+               stats::fmt(summary.median_position_m / 1'000.0, 2) + "km",
+               stats::fmt(summary.median_time_min, 1) + "min",
+               uncovered == 0 ? "yes" : "NO"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nreading: uniform generalization destroys granularity and "
+               "still fails k-anonymity;\nW4M-LC reaches its (k,delta) "
+               "criterion only by fabricating samples and displacing\nusers "
+               "in space and time; GLOVE anonymizes everyone, truthfully, "
+               "at modest cost.\n";
+  return 0;
+}

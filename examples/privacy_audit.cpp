@@ -1,0 +1,91 @@
+// privacy_audit: measure — don't assume — the privacy of a dataset before
+// and after anonymization, with the record-linkage attacks the paper
+// defends against (Sec. 2.3), plus a utility check on what anonymization
+// preserved.  This is the due-diligence step a data-protection officer
+// would run before approving a release.
+//
+//   ./build/examples/privacy_audit [--users=120] [--k=2]
+
+#include <iostream>
+
+#include "glove/analysis/utility.hpp"
+#include "glove/attack/linkage.hpp"
+#include "glove/core/glove.hpp"
+#include "glove/stats/table.hpp"
+#include "glove/synth/generator.hpp"
+#include "glove/util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace glove;
+  util::Flags flags{"privacy_audit: attack-based privacy measurement"};
+  flags.define("users", "120", "synthetic population size");
+  flags.define("days", "7", "trace timespan in days");
+  flags.define("k", "2", "anonymity level");
+  flags.define("seed", "8", "generator seed");
+  try {
+    flags.parse(argc - 1, argv + 1);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage();
+    return 0;
+  }
+
+  synth::SynthConfig config = synth::civ_like(
+      static_cast<std::size_t>(flags.get_int("users")),
+      static_cast<std::uint64_t>(flags.get_int("seed")));
+  config.days = flags.get_double("days");
+  const cdr::FingerprintDataset data = synth::generate_dataset(config);
+  const auto k = static_cast<std::uint32_t>(flags.get_int("k"));
+
+  core::GloveConfig glove_config;
+  glove_config.k = k;
+  const core::GloveResult glove = core::anonymize(data, glove_config);
+
+  stats::TextTable table{"Privacy audit: attacks before/after GLOVE (k=" +
+                         std::to_string(k) + ")"};
+  table.header({"attack", "unique (before)", "unique (after)",
+                "min anonymity set (after)"});
+
+  const auto audit = [&](const std::string& name, const auto& attack_model) {
+    const attack::AttackReport before = attack_model.run(data, data);
+    const attack::AttackReport after = attack_model.run(data, glove.anonymized);
+    // Smallest candidate set after anonymization (k-anonymity floor).
+    double min_set = 1e18;
+    bool any_below = false;
+    for (std::size_t i = 2; i <= 5; ++i) {
+      if (after.below_k[i - 2] > 0 && i <= k) any_below = true;
+    }
+    min_set = after.mean_candidates;  // reported alongside the check
+    table.row({name, stats::fmt_pct(before.uniqueness()),
+               stats::fmt_pct(after.uniqueness()),
+               (any_below ? std::string{"VIOLATION"}
+                          : ">= " + std::to_string(k)) +
+                   " (mean " + stats::fmt(min_set, 1) + ")"});
+    return !any_below;
+  };
+
+  bool ok = true;
+  ok &= audit("top-3 locations", attack::TopLocationsAttack{.top_n = 3});
+  ok &= audit("4 random points", attack::PointsAttack{.points = 4});
+  ok &= audit("10 random points", attack::PointsAttack{.points = 10});
+  table.print(std::cout);
+
+  const analysis::HomeUtilityReport homes =
+      analysis::compare_homes(data, glove.anonymized);
+  const double density = analysis::density_distance(
+      analysis::population_density(data, 10'000.0),
+      analysis::population_density(glove.anonymized, 10'000.0));
+  std::cout << "\nutility preserved: homes unchanged for "
+            << stats::fmt_pct(homes.same_tile_fraction)
+            << " of users (median shift "
+            << stats::fmt(homes.median_displacement_m / 1'000.0, 2)
+            << " km); population-distribution TV distance "
+            << stats::fmt(density, 3) << " (0 = identical)\n"
+            << (ok ? "AUDIT PASSED: no record-linkage attack beats k-"
+                     "anonymity.\n"
+                   : "AUDIT FAILED: see violations above.\n");
+  return ok ? 0 : 1;
+}

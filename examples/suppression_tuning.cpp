@@ -1,0 +1,85 @@
+// suppression_tuning: explore the Sec. 7.1 accuracy/completeness trade-off
+// to pick suppression thresholds for a concrete dataset — the knob a data
+// owner turns before publishing.
+//
+//   ./build/examples/suppression_tuning [--users=120] [--k=2]
+
+#include <iostream>
+#include <limits>
+
+#include "glove/core/accuracy.hpp"
+#include "glove/core/glove.hpp"
+#include "glove/stats/table.hpp"
+#include "glove/synth/generator.hpp"
+#include "glove/util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace glove;
+  util::Flags flags{"suppression_tuning: sweep GLOVE suppression thresholds"};
+  flags.define("users", "120", "synthetic population size");
+  flags.define("days", "7", "trace timespan in days");
+  flags.define("k", "2", "anonymity level");
+  flags.define("seed", "17", "generator seed");
+  try {
+    flags.parse(argc - 1, argv + 1);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage();
+    return 0;
+  }
+
+  synth::SynthConfig config = synth::civ_like(
+      static_cast<std::size_t>(flags.get_int("users")),
+      static_cast<std::uint64_t>(flags.get_int("seed")));
+  config.days = flags.get_double("days");
+  const cdr::FingerprintDataset data = synth::generate_dataset(config);
+  const auto k = static_cast<std::uint32_t>(flags.get_int("k"));
+
+  stats::TextTable table{"Suppression threshold sweep (k=" +
+                         std::to_string(k) + ", " + data.name() + ")"};
+  table.header({"spatial", "temporal", "discarded", "pos mean", "pos median",
+                "time mean", "time median"});
+
+  struct Setting {
+    std::string space_label;
+    std::string time_label;
+    double space_m;
+    double time_min;
+  };
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::vector<Setting> settings{
+      {"off", "off", kInf, kInf},     {"40km", "8h", 40'000.0, 480.0},
+      {"20km", "6h", 20'000.0, 360.0}, {"15km", "6h", 15'000.0, 360.0},
+      {"10km", "4h", 10'000.0, 240.0}, {"5km", "2h", 5'000.0, 120.0},
+      {"2km", "1h", 2'000.0, 60.0},
+  };
+
+  for (const Setting& setting : settings) {
+    core::GloveConfig glove_config;
+    glove_config.k = k;
+    if (setting.space_m != kInf || setting.time_min != kInf) {
+      glove_config.suppression =
+          core::SuppressionThresholds{setting.space_m, setting.time_min};
+    }
+    const core::GloveResult result = core::anonymize(data, glove_config);
+    const auto summary =
+        core::summarize_accuracy(core::measure_accuracy(result.anonymized));
+    const double discarded =
+        static_cast<double>(result.stats.deleted_samples) /
+        static_cast<double>(result.stats.input_samples);
+    table.row({setting.space_label, setting.time_label,
+               stats::fmt_pct(discarded),
+               stats::fmt(summary.mean_position_m / 1'000.0, 2) + "km",
+               stats::fmt(summary.median_position_m / 1'000.0, 2) + "km",
+               stats::fmt(summary.mean_time_min, 1) + "min",
+               stats::fmt(summary.median_time_min, 1) + "min"});
+  }
+  table.print(std::cout);
+  std::cout << "\nguidance (Sec. 7.1): pick the mildest thresholds whose "
+               "mean accuracy meets your\nanalysis needs — the first few "
+               "percent of suppressed outliers buy most of the gain.\n";
+  return 0;
+}

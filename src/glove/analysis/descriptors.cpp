@@ -1,0 +1,59 @@
+#include "glove/analysis/descriptors.hpp"
+
+#include <cmath>
+
+#include "glove/stats/stats.hpp"
+
+namespace glove::analysis {
+
+double radius_of_gyration_m(const cdr::Fingerprint& fp) {
+  if (fp.empty()) return 0.0;
+  double cx = 0.0;
+  double cy = 0.0;
+  for (const cdr::Sample& s : fp.samples()) {
+    cx += s.sigma.x + s.sigma.dx / 2;
+    cy += s.sigma.y + s.sigma.dy / 2;
+  }
+  const auto n = static_cast<double>(fp.size());
+  cx /= n;
+  cy /= n;
+  double ss = 0.0;
+  for (const cdr::Sample& s : fp.samples()) {
+    const double dx = s.sigma.x + s.sigma.dx / 2 - cx;
+    const double dy = s.sigma.y + s.sigma.dy / 2 - cy;
+    ss += dx * dx + dy * dy;
+  }
+  return std::sqrt(ss / n);
+}
+
+DatasetDescriptor describe(const cdr::FingerprintDataset& data) {
+  DatasetDescriptor d;
+  d.fingerprints = data.size();
+  d.users = data.total_users();
+  d.samples = data.total_samples();
+  d.mean_fingerprint_length = data.mean_fingerprint_length();
+  if (data.empty()) return d;
+
+  std::vector<double> lengths;
+  std::vector<double> rgyr;
+  lengths.reserve(data.size());
+  rgyr.reserve(data.size());
+  for (const cdr::Fingerprint& fp : data.fingerprints()) {
+    lengths.push_back(static_cast<double>(fp.size()));
+    rgyr.push_back(radius_of_gyration_m(fp));
+  }
+  d.median_fingerprint_length = stats::quantile(lengths, 0.5);
+  d.median_radius_of_gyration_m = stats::quantile(rgyr, 0.5);
+  d.mean_radius_of_gyration_m = stats::summarize(rgyr).mean;
+
+  const auto span = data.time_span();
+  d.timespan_days = (span.end_min - span.begin_min) / 1440.0;
+  if (d.timespan_days > 0.0 && d.users > 0) {
+    d.samples_per_user_per_day = static_cast<double>(d.samples) /
+                                 static_cast<double>(d.users) /
+                                 d.timespan_days;
+  }
+  return d;
+}
+
+}  // namespace glove::analysis

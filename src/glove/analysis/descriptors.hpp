@@ -1,0 +1,37 @@
+// Dataset descriptors: the per-dataset summary quantities quoted in Sec. 3
+// and Sec. 7.3 (population, fingerprint lengths, radius of gyration),
+// used to validate that the synthetic substrates match the real traces'
+// statistical profile and to annotate experiment output.
+
+#ifndef GLOVE_ANALYSIS_DESCRIPTORS_HPP
+#define GLOVE_ANALYSIS_DESCRIPTORS_HPP
+
+#include <cstdint>
+
+#include "glove/cdr/dataset.hpp"
+
+namespace glove::analysis {
+
+/// Radius of gyration of a fingerprint (metres): RMS distance of sample
+/// rectangle centres from their centroid.  The paper reports medians of
+/// 1.8-2 km on the D4D data (Sec. 7.3).
+[[nodiscard]] double radius_of_gyration_m(const cdr::Fingerprint& fp);
+
+/// Aggregate dataset description.
+struct DatasetDescriptor {
+  std::size_t fingerprints = 0;
+  std::uint64_t users = 0;
+  std::uint64_t samples = 0;
+  double mean_fingerprint_length = 0.0;
+  double median_fingerprint_length = 0.0;
+  double samples_per_user_per_day = 0.0;
+  double timespan_days = 0.0;
+  double median_radius_of_gyration_m = 0.0;
+  double mean_radius_of_gyration_m = 0.0;
+};
+
+[[nodiscard]] DatasetDescriptor describe(const cdr::FingerprintDataset& data);
+
+}  // namespace glove::analysis
+
+#endif  // GLOVE_ANALYSIS_DESCRIPTORS_HPP

@@ -1,0 +1,74 @@
+#include "glove/analysis/entropy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "glove/geo/geo.hpp"
+
+namespace glove::analysis {
+
+namespace {
+
+std::unordered_map<geo::GridCell, std::size_t> tile_counts(
+    const cdr::Fingerprint& fp, double tile_m) {
+  const geo::Grid grid{tile_m};
+  std::unordered_map<geo::GridCell, std::size_t> counts;
+  for (const cdr::Sample& s : fp.samples()) {
+    ++counts[grid.cell_of(
+        {s.sigma.x + s.sigma.dx / 2, s.sigma.y + s.sigma.dy / 2})];
+  }
+  return counts;
+}
+
+}  // namespace
+
+double random_entropy_bits(const cdr::Fingerprint& fp, double tile_m) {
+  const auto counts = tile_counts(fp, tile_m);
+  if (counts.empty()) return 0.0;
+  return std::log2(static_cast<double>(counts.size()));
+}
+
+double location_entropy_bits(const cdr::Fingerprint& fp, double tile_m) {
+  const auto counts = tile_counts(fp, tile_m);
+  if (counts.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& [cell, count] : counts) {
+    total += static_cast<double>(count);
+  }
+  double entropy = 0.0;
+  for (const auto& [cell, count] : counts) {
+    const double p = static_cast<double>(count) / total;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+std::vector<double> visit_frequencies(const cdr::Fingerprint& fp,
+                                      double tile_m) {
+  const auto counts = tile_counts(fp, tile_m);
+  double total = 0.0;
+  for (const auto& [cell, count] : counts) {
+    total += static_cast<double>(count);
+  }
+  std::vector<double> frequencies;
+  frequencies.reserve(counts.size());
+  for (const auto& [cell, count] : counts) {
+    frequencies.push_back(static_cast<double>(count) / total);
+  }
+  std::sort(frequencies.begin(), frequencies.end(), std::greater<>{});
+  return frequencies;
+}
+
+std::vector<double> inter_event_times_min(const cdr::Fingerprint& fp) {
+  std::vector<double> gaps;
+  if (fp.size() < 2) return gaps;
+  gaps.reserve(fp.size() - 1);
+  const auto samples = fp.samples();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    gaps.push_back(samples[i].tau.t - samples[i - 1].tau.t);
+  }
+  return gaps;
+}
+
+}  // namespace glove::analysis

@@ -1,0 +1,41 @@
+// Mobility-regularity metrics from the human-mobility literature (Song et
+// al., Science 2010), used to validate that the synthetic CDR substrate
+// behaves like the real traces the paper studied: visitation frequencies
+// are Zipf-like, entropies sit well below the random baseline, and
+// inter-event times are bursty.
+
+#ifndef GLOVE_ANALYSIS_ENTROPY_HPP
+#define GLOVE_ANALYSIS_ENTROPY_HPP
+
+#include <vector>
+
+#include "glove/cdr/fingerprint.hpp"
+
+namespace glove::analysis {
+
+/// Random entropy: log2 of the number of distinct locations (tiles of
+/// `tile_m`) the user visited — the entropy of a user who visits each of
+/// its locations equally often.
+[[nodiscard]] double random_entropy_bits(const cdr::Fingerprint& fp,
+                                         double tile_m = 1'000.0);
+
+/// Temporal-uncorrelated entropy: Shannon entropy of the user's location
+/// visitation frequencies.  Always <= random entropy; the gap measures the
+/// preferential-return regularity real CDR exhibits.
+[[nodiscard]] double location_entropy_bits(const cdr::Fingerprint& fp,
+                                           double tile_m = 1'000.0);
+
+/// Sorted (descending) visitation frequencies of the user's tiles; the
+/// first entry is the home share (typically dominant in CDR).
+[[nodiscard]] std::vector<double> visit_frequencies(const cdr::Fingerprint& fp,
+                                                    double tile_m = 1'000.0);
+
+/// Inter-event times (minutes) between consecutive samples of the
+/// fingerprint.  Real CDR is bursty: the distribution is heavy-tailed
+/// relative to an exponential with the same mean.
+[[nodiscard]] std::vector<double> inter_event_times_min(
+    const cdr::Fingerprint& fp);
+
+}  // namespace glove::analysis
+
+#endif  // GLOVE_ANALYSIS_ENTROPY_HPP

@@ -1,0 +1,202 @@
+#include "glove/analysis/utility.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "glove/stats/stats.hpp"
+
+namespace glove::analysis {
+
+namespace {
+
+constexpr double kMinutesPerDay = 1440.0;
+constexpr double kNightStart = 22.0 * 60.0;
+constexpr double kNightEnd = 6.0 * 60.0;
+
+/// Overlap (minutes) between [t, t+dt) and the nightly 22:00-06:00 window,
+/// accumulated over the days the interval spans.
+double night_overlap_min(double t, double dt) {
+  double overlap = 0.0;
+  double remaining = dt;
+  double cursor = t;
+  // Cap the scan at 14 days of interval length; longer samples are treated
+  // as covering all nights uniformly.
+  if (dt >= 14.0 * kMinutesPerDay) return dt * (8.0 / 24.0);
+  while (remaining > 0.0) {
+    const double day_start =
+        std::floor(cursor / kMinutesPerDay) * kMinutesPerDay;
+    const double in_day = cursor - day_start;
+    const double until_day_end = kMinutesPerDay - in_day;
+    const double chunk = std::min(remaining, until_day_end);
+    // Night portions of this day: [0, 06:00) and [22:00, 24:00).
+    const double lo = in_day;
+    const double hi = in_day + chunk;
+    overlap += std::max(0.0, std::min(hi, kNightEnd) - lo);
+    overlap += std::max(0.0, hi - std::max(lo, kNightStart));
+    cursor += chunk;
+    remaining -= chunk;
+  }
+  return overlap;
+}
+
+/// Iterates the tiles covered by a sample's rectangle (capped), invoking
+/// `fn(cell, share)` with shares summing to 1.
+template <typename Fn>
+void spread_over_tiles(const cdr::Sample& s, const geo::Grid& grid,
+                       const Fn& fn) {
+  const geo::GridCell lo = grid.cell_of({s.sigma.x, s.sigma.y});
+  // Use the rectangle's interior end so an extent flush with a tile edge
+  // does not bleed into the next tile.
+  const double eps = grid.cell_size_m() * 1e-9;
+  const geo::GridCell hi = grid.cell_of(
+      {std::max(s.sigma.x, s.sigma.x_end() - eps),
+       std::max(s.sigma.y, s.sigma.y_end() - eps)});
+  const std::int64_t nx = static_cast<std::int64_t>(hi.ix) - lo.ix + 1;
+  const std::int64_t ny = static_cast<std::int64_t>(hi.iy) - lo.iy + 1;
+  constexpr std::int64_t kMaxTiles = 64;  // cap for enormous samples
+  if (nx * ny > kMaxTiles) {
+    // Too coarse to attribute: drop onto the centre tile.
+    fn(grid.cell_of({s.sigma.x + s.sigma.dx / 2, s.sigma.y + s.sigma.dy / 2}),
+       1.0);
+    return;
+  }
+  const double share = 1.0 / static_cast<double>(nx * ny);
+  for (std::int32_t ix = lo.ix; ix <= hi.ix; ++ix) {
+    for (std::int32_t iy = lo.iy; iy <= hi.iy; ++iy) {
+      fn(geo::GridCell{ix, iy}, share);
+    }
+  }
+}
+
+}  // namespace
+
+std::unordered_map<cdr::UserId, geo::PlanarPoint> HomeDetection::detect(
+    const cdr::FingerprintDataset& data) const {
+  const geo::Grid grid{tile_m};
+  std::unordered_map<cdr::UserId, geo::PlanarPoint> homes;
+  for (const cdr::Fingerprint& fp : data.fingerprints()) {
+    std::unordered_map<geo::GridCell, double> weight;
+    for (const cdr::Sample& s : fp.samples()) {
+      const double night = night_overlap_min(s.tau.t, std::max(s.tau.dt, 1.0));
+      if (night <= 0.0) continue;
+      // Weight by the *fraction* of the sample that is nightly, so heavily
+      // time-generalized samples do not dominate.
+      const double w = night / std::max(s.tau.dt, 1.0);
+      spread_over_tiles(s, grid, [&](geo::GridCell cell, double share) {
+        weight[cell] += w * share;
+      });
+    }
+    if (weight.empty()) continue;
+    geo::GridCell best{};
+    double best_weight = -1.0;
+    for (const auto& [cell, w] : weight) {
+      if (w > best_weight ||
+          (w == best_weight && (cell.ix < best.ix ||
+                                (cell.ix == best.ix && cell.iy < best.iy)))) {
+        best_weight = w;
+        best = cell;
+      }
+    }
+    const geo::PlanarPoint center = grid.cell_center(best);
+    for (const cdr::UserId user : fp.members()) homes[user] = center;
+  }
+  return homes;
+}
+
+HomeUtilityReport compare_homes(const cdr::FingerprintDataset& original,
+                                const cdr::FingerprintDataset& published,
+                                double tile_m) {
+  const HomeDetection detector{tile_m};
+  const auto truth = detector.detect(original);
+  const auto estimate = detector.detect(published);
+
+  HomeUtilityReport report;
+  std::vector<double> displacements;
+  std::size_t same = 0;
+  for (const auto& [user, true_home] : truth) {
+    const auto it = estimate.find(user);
+    if (it == estimate.end()) continue;
+    const double d = geo::planar_distance_m(true_home, it->second);
+    displacements.push_back(d);
+    if (d < tile_m / 2.0) ++same;
+  }
+  report.users_compared = displacements.size();
+  if (!displacements.empty()) {
+    report.same_tile_fraction =
+        static_cast<double>(same) / static_cast<double>(displacements.size());
+    report.median_displacement_m = stats::quantile(displacements, 0.5);
+    report.mean_displacement_m = stats::summarize(displacements).mean;
+  }
+  return report;
+}
+
+std::unordered_map<geo::GridCell, double> population_density(
+    const cdr::FingerprintDataset& data, double tile_m) {
+  const geo::Grid grid{tile_m};
+  std::unordered_map<geo::GridCell, double> density;
+  double total = 0.0;
+  for (const cdr::Fingerprint& fp : data.fingerprints()) {
+    const auto users = static_cast<double>(fp.group_size());
+    for (const cdr::Sample& s : fp.samples()) {
+      spread_over_tiles(s, grid, [&](geo::GridCell cell, double share) {
+        density[cell] += users * share;
+      });
+      total += users;
+    }
+  }
+  if (total > 0.0) {
+    for (auto& [cell, mass] : density) mass /= total;
+  }
+  return density;
+}
+
+double density_distance(const std::unordered_map<geo::GridCell, double>& a,
+                        const std::unordered_map<geo::GridCell, double>& b) {
+  double distance = 0.0;
+  for (const auto& [cell, mass] : a) {
+    const auto it = b.find(cell);
+    distance += std::abs(mass - (it == b.end() ? 0.0 : it->second));
+  }
+  for (const auto& [cell, mass] : b) {
+    if (!a.contains(cell)) distance += mass;
+  }
+  return distance / 2.0;  // total variation
+}
+
+std::array<double, 24> hourly_profile(const cdr::FingerprintDataset& data) {
+  std::array<double, 24> profile{};
+  double total = 0.0;
+  for (const cdr::Fingerprint& fp : data.fingerprints()) {
+    const auto users = static_cast<double>(fp.group_size());
+    for (const cdr::Sample& s : fp.samples()) {
+      const double dt = std::max(s.tau.dt, 1.0);
+      // Spread the sample's unit mass over the hours its interval covers.
+      double cursor = s.tau.t;
+      double remaining = dt;
+      while (remaining > 0.0) {
+        const double hour_start = std::floor(cursor / 60.0) * 60.0;
+        const double chunk = std::min(remaining, hour_start + 60.0 - cursor);
+        const auto hour = static_cast<std::size_t>(
+            std::fmod(std::floor(cursor / 60.0), 24.0));
+        profile[hour] += users * chunk / dt;
+        cursor += chunk;
+        remaining -= chunk;
+      }
+      total += users;
+    }
+  }
+  if (total > 0.0) {
+    for (double& share : profile) share /= total;
+  }
+  return profile;
+}
+
+double profile_distance(const std::array<double, 24>& a,
+                        const std::array<double, 24>& b) {
+  double distance = 0.0;
+  for (std::size_t h = 0; h < 24; ++h) distance += std::abs(a[h] - b[h]);
+  return distance / 2.0;
+}
+
+}  // namespace glove::analysis

@@ -1,0 +1,75 @@
+// Data-utility metrics: does the anonymized dataset still support the
+// analyses the paper argues k-anonymized data is good for (Sec. 2.4) —
+// routine-behaviour studies (home detection) and aggregate statistics
+// (population distributions)?
+//
+// Each metric compares a published (possibly anonymized) dataset against
+// the original ground truth.
+
+#ifndef GLOVE_ANALYSIS_UTILITY_HPP
+#define GLOVE_ANALYSIS_UTILITY_HPP
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "glove/cdr/dataset.hpp"
+#include "glove/geo/geo.hpp"
+
+namespace glove::analysis {
+
+/// Home-detection: estimates each user's home as the modal night-time
+/// (22:00-06:00) tile of its published record, at granularity `tile_m`.
+/// Samples wider than a tile spread fractional weight over the tiles they
+/// cover (capped for efficiency); time-generalized samples count by their
+/// night-hour overlap.
+struct HomeDetection {
+  double tile_m = 1'000.0;
+
+  /// Per-user estimated home tile centre; users with no usable samples are
+  /// skipped (absent from the map).
+  [[nodiscard]] std::unordered_map<cdr::UserId, geo::PlanarPoint> detect(
+      const cdr::FingerprintDataset& data) const;
+};
+
+/// Home-preservation report: how far the homes detected on the published
+/// data are from those detected on the original data.
+struct HomeUtilityReport {
+  std::size_t users_compared = 0;
+  /// Fraction of users whose detected home tile is unchanged.
+  double same_tile_fraction = 0.0;
+  /// Median/mean displacement of the detected home (metres).
+  double median_displacement_m = 0.0;
+  double mean_displacement_m = 0.0;
+};
+
+[[nodiscard]] HomeUtilityReport compare_homes(
+    const cdr::FingerprintDataset& original,
+    const cdr::FingerprintDataset& published, double tile_m = 1'000.0);
+
+/// Spatial population distribution: per-tile share of user-weighted
+/// samples.  Wide samples spread uniformly over the tiles they cover.
+[[nodiscard]] std::unordered_map<geo::GridCell, double> population_density(
+    const cdr::FingerprintDataset& data, double tile_m);
+
+/// Total-variation-style distance between two spatial distributions:
+/// 0 = identical, 1 = disjoint.  The paper's aggregate-statistics utility
+/// criterion: small values mean land-use / population studies survive
+/// anonymization.
+[[nodiscard]] double density_distance(
+    const std::unordered_map<geo::GridCell, double>& a,
+    const std::unordered_map<geo::GridCell, double>& b);
+
+/// Hourly activity profile (24 shares summing to 1) of a dataset,
+/// spreading time-generalized samples over the hours they cover.
+[[nodiscard]] std::array<double, 24> hourly_profile(
+    const cdr::FingerprintDataset& data);
+
+/// Total-variation distance between two hourly profiles.
+[[nodiscard]] double profile_distance(const std::array<double, 24>& a,
+                                      const std::array<double, 24>& b);
+
+}  // namespace glove::analysis
+
+#endif  // GLOVE_ANALYSIS_UTILITY_HPP

@@ -1,0 +1,156 @@
+#include "glove/attack/linkage.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "glove/geo/geo.hpp"
+#include "glove/util/parallel.hpp"
+#include "glove/util/rng.hpp"
+
+namespace glove::attack {
+
+namespace {
+
+/// Shared attack loop: derives per-user knowledge via `knowledge_fn`,
+/// counts consistent records (user-weighted) in `published`.
+template <typename KnowledgeFn>
+AttackReport run_attack(const cdr::FingerprintDataset& ground_truth,
+                        const cdr::FingerprintDataset& published,
+                        const KnowledgeFn& knowledge_fn) {
+  AttackReport report;
+  const std::size_t n = ground_truth.size();
+  std::vector<double> candidates(n, 0.0);
+
+  util::parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t u = begin; u < end; ++u) {
+          const std::vector<Observation> knowledge =
+              knowledge_fn(ground_truth[u], u);
+          double candidate_users = 0.0;
+          for (const cdr::Fingerprint& record : published.fingerprints()) {
+            if (record_matches(record, knowledge)) {
+              candidate_users += static_cast<double>(record.group_size());
+            }
+          }
+          candidates[u] = candidate_users;
+        }
+      },
+      /*min_chunk=*/1);
+
+  report.attacked = n;
+  double total = 0.0;
+  for (const double c : candidates) {
+    total += c;
+    if (c <= 1.0) ++report.unique;
+    for (std::size_t k = 2; k <= 5; ++k) {
+      if (c < static_cast<double>(k)) ++report.below_k[k - 2];
+    }
+  }
+  report.mean_candidates = n == 0 ? 0.0 : total / static_cast<double>(n);
+  return report;
+}
+
+}  // namespace
+
+bool sample_matches(const cdr::Sample& sample,
+                    const Observation& obs) noexcept {
+  const bool space =
+      sample.sigma.x < obs.x + obs.size_m && obs.x < sample.sigma.x_end() &&
+      sample.sigma.y < obs.y + obs.size_m && obs.y < sample.sigma.y_end();
+  if (!space) return false;
+  if (!obs.time_known) return true;
+  return sample.tau.t < obs.t + obs.dt && obs.t < sample.tau.t_end();
+}
+
+bool record_matches(const cdr::Fingerprint& record,
+                    const std::vector<Observation>& knowledge) {
+  return std::all_of(
+      knowledge.begin(), knowledge.end(), [&](const Observation& obs) {
+        return std::any_of(record.samples().begin(), record.samples().end(),
+                           [&](const cdr::Sample& s) {
+                             return sample_matches(s, obs);
+                           });
+      });
+}
+
+std::vector<Observation> TopLocationsAttack::knowledge_for(
+    const cdr::Fingerprint& user) const {
+  const geo::Grid grid{tile_m};
+  std::unordered_map<geo::GridCell, std::size_t> counts;
+  for (const cdr::Sample& s : user.samples()) {
+    ++counts[grid.cell_of(
+        {s.sigma.x + s.sigma.dx / 2, s.sigma.y + s.sigma.dy / 2})];
+  }
+  std::vector<std::pair<std::size_t, geo::GridCell>> ranked;
+  ranked.reserve(counts.size());
+  for (const auto& [cell, count] : counts) ranked.emplace_back(count, cell);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              if (a.second.ix != b.second.ix) return a.second.ix < b.second.ix;
+              return a.second.iy < b.second.iy;
+            });
+  std::vector<Observation> knowledge;
+  const std::size_t n = std::min(top_n, ranked.size());
+  knowledge.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geo::PlanarPoint sw = grid.cell_origin(ranked[i].second);
+    Observation obs;
+    obs.x = sw.x_m;
+    obs.y = sw.y_m;
+    obs.size_m = tile_m;
+    obs.time_known = false;
+    knowledge.push_back(obs);
+  }
+  return knowledge;
+}
+
+AttackReport TopLocationsAttack::run(
+    const cdr::FingerprintDataset& ground_truth,
+    const cdr::FingerprintDataset& published) const {
+  return run_attack(ground_truth, published,
+                    [this](const cdr::Fingerprint& user, std::size_t) {
+                      return knowledge_for(user);
+                    });
+}
+
+std::vector<Observation> PointsAttack::knowledge_for(
+    const cdr::Fingerprint& user, std::uint64_t user_seed) const {
+  util::Xoshiro256 rng{seed ^ (user_seed * 0x9e3779b97f4a7c15ULL + 1)};
+  std::vector<Observation> knowledge;
+  if (user.empty()) return knowledge;
+  const std::size_t n = std::min(points, user.size());
+  // Sample n distinct indices (partial Fisher-Yates over an index vector).
+  std::vector<std::size_t> indices(user.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j =
+        i + util::uniform_index(rng, indices.size() - i);
+    std::swap(indices[i], indices[j]);
+  }
+  knowledge.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const cdr::Sample& s = user.samples()[indices[i]];
+    Observation obs;
+    obs.size_m = tile_m;
+    obs.x = std::floor((s.sigma.x + s.sigma.dx / 2) / tile_m) * tile_m;
+    obs.y = std::floor((s.sigma.y + s.sigma.dy / 2) / tile_m) * tile_m;
+    obs.dt = slot_min;
+    obs.t = std::floor(s.tau.t / slot_min) * slot_min;
+    obs.time_known = true;
+    knowledge.push_back(obs);
+  }
+  return knowledge;
+}
+
+AttackReport PointsAttack::run(const cdr::FingerprintDataset& ground_truth,
+                               const cdr::FingerprintDataset& published) const {
+  return run_attack(ground_truth, published,
+                    [this](const cdr::Fingerprint& user, std::size_t u) {
+                      return knowledge_for(user, u);
+                    });
+}
+
+}  // namespace glove::attack

@@ -1,0 +1,44 @@
+#include "glove/cdr/fingerprint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace glove::cdr {
+
+Fingerprint::Fingerprint(UserId user, std::vector<Sample> samples)
+    : members_{user}, samples_{std::move(samples)} {
+  sort_samples();
+}
+
+Fingerprint::Fingerprint(std::vector<UserId> members,
+                         std::vector<Sample> samples)
+    : members_{std::move(members)}, samples_{std::move(samples)} {
+  if (members_.empty()) {
+    throw std::invalid_argument{"fingerprint needs at least one member"};
+  }
+  sort_samples();
+}
+
+UserId Fingerprint::representative() const {
+  if (members_.empty()) {
+    throw std::logic_error{"fingerprint has no members"};
+  }
+  return *std::min_element(members_.begin(), members_.end());
+}
+
+std::uint64_t Fingerprint::total_contributors() const noexcept {
+  std::uint64_t total = 0;
+  for (const Sample& s : samples_) total += s.contributors;
+  return total;
+}
+
+void Fingerprint::sort_samples() {
+  std::sort(samples_.begin(), samples_.end(), by_time);
+}
+
+void Fingerprint::absorb_members(const Fingerprint& other) {
+  members_.insert(members_.end(), other.members_.begin(),
+                  other.members_.end());
+}
+
+}  // namespace glove::cdr

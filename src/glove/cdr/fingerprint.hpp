@@ -1,0 +1,74 @@
+// The mobile fingerprint: the complete set of spatiotemporal samples a
+// subscriber leaves during the recording period (Sec. 2.1), plus the
+// bookkeeping GLOVE needs when fingerprints are merged (group size n_a,
+// member user ids).
+
+#ifndef GLOVE_CDR_FINGERPRINT_HPP
+#define GLOVE_CDR_FINGERPRINT_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "glove/cdr/sample.hpp"
+
+namespace glove::cdr {
+
+using UserId = std::uint32_t;
+
+/// A (possibly generalized) mobile fingerprint.
+///
+/// Invariants: samples are sorted by interval start time; `members()` lists
+/// every user whose original fingerprint has been merged into this one and
+/// `group_size() == members().size() >= 1`.
+class Fingerprint {
+ public:
+  Fingerprint() = default;
+
+  /// Fingerprint of a single user.  `samples` need not be pre-sorted.
+  Fingerprint(UserId user, std::vector<Sample> samples);
+
+  /// Fingerprint for an explicit member group (used by merge operations).
+  Fingerprint(std::vector<UserId> members, std::vector<Sample> samples);
+
+  [[nodiscard]] std::span<const Sample> samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Number of subscribers hidden in this fingerprint (n_a in eq. 4/7;
+  /// the `.k` counter of Alg. 1).
+  [[nodiscard]] std::uint32_t group_size() const noexcept {
+    return static_cast<std::uint32_t>(members_.size());
+  }
+
+  [[nodiscard]] std::span<const UserId> members() const noexcept {
+    return members_;
+  }
+
+  /// Representative id: the smallest member id (stable across merges).
+  [[nodiscard]] UserId representative() const;
+
+  /// Sum of `contributors` across samples: how many original samples this
+  /// fingerprint still represents.
+  [[nodiscard]] std::uint64_t total_contributors() const noexcept;
+
+  /// Mutable access used by anonymization algorithms; callers must keep the
+  /// time-sorted invariant (use `sort_samples()` after bulk edits).
+  [[nodiscard]] std::vector<Sample>& mutable_samples() noexcept {
+    return samples_;
+  }
+  void sort_samples();
+
+  /// Appends the member ids of `other` (merge bookkeeping).
+  void absorb_members(const Fingerprint& other);
+
+ private:
+  std::vector<UserId> members_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace glove::cdr
+
+#endif  // GLOVE_CDR_FINGERPRINT_HPP

@@ -1,0 +1,177 @@
+#include "glove/cdr/io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "glove/util/csv.hpp"
+
+namespace glove::cdr {
+
+namespace {
+
+std::string format_double(double v) {
+  std::ostringstream out;
+  out.precision(10);
+  out << v;
+  return out.str();
+}
+
+std::string join_members(std::span<const UserId> members) {
+  std::string out;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (i != 0) out += '+';
+    out += std::to_string(members[i]);
+  }
+  return out;
+}
+
+std::vector<UserId> parse_members(std::string_view field,
+                                  std::size_t line_no) {
+  std::vector<UserId> members;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= field.size(); ++i) {
+    if (i == field.size() || field[i] == '+') {
+      const std::string_view part = field.substr(start, i - start);
+      const long long id = util::parse_int(
+          part, "members field at line " + std::to_string(line_no));
+      if (id < 0) {
+        throw std::invalid_argument{"negative user id at line " +
+                                    std::to_string(line_no)};
+      }
+      members.push_back(static_cast<UserId>(id));
+      start = i + 1;
+    }
+  }
+  if (members.empty()) {
+    throw std::invalid_argument{"empty members field at line " +
+                                std::to_string(line_no)};
+  }
+  return members;
+}
+
+}  // namespace
+
+void write_cdr_csv(std::ostream& out, const std::vector<CdrEvent>& events) {
+  util::CsvWriter writer{out};
+  writer.comment("glove CDR trace: user_id,time_min,lat_deg,lon_deg");
+  for (const CdrEvent& ev : events) {
+    writer.row({std::to_string(ev.user), format_double(ev.time_min),
+                format_double(ev.antenna.lat_deg),
+                format_double(ev.antenna.lon_deg)});
+  }
+}
+
+std::vector<CdrEvent> read_cdr_csv(std::istream& in) {
+  util::CsvReader reader{in};
+  std::vector<CdrEvent> events;
+  std::vector<std::string_view> fields;
+  while (reader.next(fields)) {
+    const std::string context =
+        "CDR row at line " + std::to_string(reader.line_number());
+    if (fields.size() != 4) {
+      throw std::invalid_argument{context + ": expected 4 fields, got " +
+                                  std::to_string(fields.size())};
+    }
+    CdrEvent ev;
+    const long long user = util::parse_int(fields[0], context);
+    if (user < 0) {
+      throw std::invalid_argument{context + ": negative user id"};
+    }
+    ev.user = static_cast<UserId>(user);
+    ev.time_min = util::parse_double(fields[1], context);
+    ev.antenna.lat_deg = util::parse_double(fields[2], context);
+    ev.antenna.lon_deg = util::parse_double(fields[3], context);
+    events.push_back(ev);
+  }
+  return events;
+}
+
+void write_dataset_csv(std::ostream& out, const FingerprintDataset& data) {
+  util::CsvWriter writer{out};
+  writer.comment("glove fingerprint dataset: " +
+                 (data.name().empty() ? std::string{"unnamed"} : data.name()));
+  writer.comment("members,x,dx,y,dy,t,dt,contributors");
+  for (const Fingerprint& fp : data.fingerprints()) {
+    const std::string members = join_members(fp.members());
+    for (const Sample& s : fp.samples()) {
+      writer.row({members, format_double(s.sigma.x), format_double(s.sigma.dx),
+                  format_double(s.sigma.y), format_double(s.sigma.dy),
+                  format_double(s.tau.t), format_double(s.tau.dt),
+                  std::to_string(s.contributors)});
+    }
+  }
+}
+
+FingerprintDataset read_dataset_csv(std::istream& in) {
+  util::CsvReader reader{in};
+  std::vector<std::string_view> fields;
+  // Preserve first-seen order of groups.
+  std::map<std::string, std::size_t> group_index;
+  std::vector<std::vector<UserId>> group_members;
+  std::vector<std::vector<Sample>> group_samples;
+  while (reader.next(fields)) {
+    const std::string context =
+        "dataset row at line " + std::to_string(reader.line_number());
+    if (fields.size() != 8) {
+      throw std::invalid_argument{context + ": expected 8 fields, got " +
+                                  std::to_string(fields.size())};
+    }
+    const std::string key{fields[0]};
+    auto [it, inserted] = group_index.try_emplace(key, group_members.size());
+    if (inserted) {
+      group_members.push_back(parse_members(fields[0], reader.line_number()));
+      group_samples.emplace_back();
+    }
+    Sample s;
+    s.sigma.x = util::parse_double(fields[1], context);
+    s.sigma.dx = util::parse_double(fields[2], context);
+    s.sigma.y = util::parse_double(fields[3], context);
+    s.sigma.dy = util::parse_double(fields[4], context);
+    s.tau.t = util::parse_double(fields[5], context);
+    s.tau.dt = util::parse_double(fields[6], context);
+    const long long contributors = util::parse_int(fields[7], context);
+    if (contributors <= 0) {
+      throw std::invalid_argument{context + ": contributors must be >= 1"};
+    }
+    s.contributors = static_cast<std::uint32_t>(contributors);
+    group_samples[it->second].push_back(s);
+  }
+  std::vector<Fingerprint> fingerprints;
+  fingerprints.reserve(group_members.size());
+  for (std::size_t i = 0; i < group_members.size(); ++i) {
+    fingerprints.emplace_back(std::move(group_members[i]),
+                              std::move(group_samples[i]));
+  }
+  return FingerprintDataset{std::move(fingerprints)};
+}
+
+void write_cdr_file(const std::string& path,
+                    const std::vector<CdrEvent>& events) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"cannot open for writing: " + path};
+  write_cdr_csv(out, events);
+}
+
+std::vector<CdrEvent> read_cdr_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"cannot open for reading: " + path};
+  return read_cdr_csv(in);
+}
+
+void write_dataset_file(const std::string& path,
+                        const FingerprintDataset& data) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"cannot open for writing: " + path};
+  write_dataset_csv(out, data);
+}
+
+FingerprintDataset read_dataset_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"cannot open for reading: " + path};
+  return read_dataset_csv(in);
+}
+
+}  // namespace glove::cdr

@@ -1,0 +1,47 @@
+// CSV I/O for CDR traces and fingerprint datasets.
+//
+// Two formats:
+//   * raw CDR trace:      user_id, time_min, lat_deg, lon_deg
+//   * fingerprint dataset: user ids ('+'-joined for merged groups), followed
+//     by one row per sample: group_id, x, dx, y, dy, t, dt, contributors
+// Both are plain comma-separated numeric files with '#' comments, mirroring
+// the flat traces distributed by the D4D challenge.
+
+#ifndef GLOVE_CDR_IO_HPP
+#define GLOVE_CDR_IO_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "glove/cdr/builder.hpp"
+#include "glove/cdr/dataset.hpp"
+
+namespace glove::cdr {
+
+/// Writes raw CDR events as CSV rows "user,time_min,lat,lon".
+void write_cdr_csv(std::ostream& out, const std::vector<CdrEvent>& events);
+
+/// Reads raw CDR events; throws std::invalid_argument on malformed rows.
+[[nodiscard]] std::vector<CdrEvent> read_cdr_csv(std::istream& in);
+
+/// Writes a fingerprint dataset (possibly anonymized).  Each sample row is
+/// "members,x,dx,y,dy,t,dt,contributors" where members is a '+'-joined list
+/// of user ids sharing the (generalized) fingerprint.
+void write_dataset_csv(std::ostream& out, const FingerprintDataset& data);
+
+/// Reads a fingerprint dataset written by `write_dataset_csv`.
+[[nodiscard]] FingerprintDataset read_dataset_csv(std::istream& in);
+
+/// File-path convenience wrappers; throw std::runtime_error when the file
+/// cannot be opened.
+void write_cdr_file(const std::string& path,
+                    const std::vector<CdrEvent>& events);
+[[nodiscard]] std::vector<CdrEvent> read_cdr_file(const std::string& path);
+void write_dataset_file(const std::string& path,
+                        const FingerprintDataset& data);
+[[nodiscard]] FingerprintDataset read_dataset_file(const std::string& path);
+
+}  // namespace glove::cdr
+
+#endif  // GLOVE_CDR_IO_HPP

@@ -1,0 +1,107 @@
+#include "glove/core/accuracy.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace glove::core {
+
+namespace {
+
+/// Weighted mean of `values` with matching `weights`.
+double weighted_mean(const std::vector<double>& values,
+                     const std::vector<double>& weights) {
+  double total = 0.0;
+  double weight = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    total += values[i] * weights[i];
+    weight += weights[i];
+  }
+  return weight > 0.0 ? total / weight : 0.0;
+}
+
+}  // namespace
+
+AccuracyObservations measure_accuracy(const cdr::FingerprintDataset& data) {
+  AccuracyObservations obs;
+  const std::size_t samples = data.total_samples();
+  obs.position_m.reserve(samples);
+  obs.time_min.reserve(samples);
+  obs.weight.reserve(samples);
+  for (const cdr::Fingerprint& fp : data.fingerprints()) {
+    const auto weight = static_cast<double>(fp.group_size());
+    for (const cdr::Sample& s : fp.samples()) {
+      obs.position_m.push_back(s.sigma.accuracy_m());
+      obs.time_min.push_back(s.tau.accuracy_min());
+      obs.weight.push_back(weight);
+    }
+  }
+  return obs;
+}
+
+AccuracySummary summarize_accuracy(const AccuracyObservations& obs) {
+  AccuracySummary summary;
+  if (obs.empty()) return summary;
+  const stats::EmpiricalCdf pos{obs.position_m, obs.weight};
+  const stats::EmpiricalCdf time{obs.time_min, obs.weight};
+  summary.mean_position_m = weighted_mean(obs.position_m, obs.weight);
+  summary.median_position_m = pos.inverse(0.5);
+  summary.q25_position_m = pos.inverse(0.25);
+  summary.q75_position_m = pos.inverse(0.75);
+  summary.mean_time_min = weighted_mean(obs.time_min, obs.weight);
+  summary.median_time_min = time.inverse(0.5);
+  summary.q25_time_min = time.inverse(0.25);
+  summary.q75_time_min = time.inverse(0.75);
+  return summary;
+}
+
+stats::EmpiricalCdf position_accuracy_cdf(const AccuracyObservations& obs) {
+  return stats::EmpiricalCdf{obs.position_m, obs.weight};
+}
+
+stats::EmpiricalCdf time_accuracy_cdf(const AccuracyObservations& obs) {
+  return stats::EmpiricalCdf{obs.time_min, obs.weight};
+}
+
+std::uint64_t count_uncovered_samples(
+    const cdr::FingerprintDataset& original,
+    const cdr::FingerprintDataset& anonymized) {
+  // Map each user to its published (group) fingerprint.
+  std::unordered_map<cdr::UserId, const cdr::Fingerprint*> published;
+  published.reserve(anonymized.total_users());
+  for (const cdr::Fingerprint& fp : anonymized.fingerprints()) {
+    for (const cdr::UserId user : fp.members()) published[user] = &fp;
+  }
+
+  const auto covers = [](const cdr::Sample& outer, const cdr::Sample& inner) {
+    // Containment with a small tolerance for floating-point unions.
+    constexpr double eps = 1e-6;
+    return outer.sigma.x <= inner.sigma.x + eps &&
+           outer.sigma.x_end() + eps >= inner.sigma.x_end() &&
+           outer.sigma.y <= inner.sigma.y + eps &&
+           outer.sigma.y_end() + eps >= inner.sigma.y_end() &&
+           outer.tau.t <= inner.tau.t + eps &&
+           outer.tau.t_end() + eps >= inner.tau.t_end();
+  };
+
+  std::uint64_t uncovered = 0;
+  for (const cdr::Fingerprint& fp : original.fingerprints()) {
+    for (const cdr::UserId user : fp.members()) {
+      const auto it = published.find(user);
+      if (it == published.end()) {
+        uncovered += fp.size();
+        continue;
+      }
+      const cdr::Fingerprint& group = *it->second;
+      for (const cdr::Sample& s : fp.samples()) {
+        const bool found = std::any_of(
+            group.samples().begin(), group.samples().end(),
+            [&](const cdr::Sample& g) { return covers(g, s); });
+        if (!found) ++uncovered;
+      }
+    }
+  }
+  return uncovered;
+}
+
+}  // namespace glove::core

@@ -1,0 +1,70 @@
+// Accuracy accounting for anonymized datasets (Sec. 7): per-sample position
+// and time accuracy, weighted by how many user records publish each sample,
+// plus the summary rows reported in Tab. 2 and Figs. 7-11.
+
+#ifndef GLOVE_CORE_ACCURACY_HPP
+#define GLOVE_CORE_ACCURACY_HPP
+
+#include <vector>
+
+#include "glove/cdr/dataset.hpp"
+#include "glove/stats/stats.hpp"
+
+namespace glove::core {
+
+/// Per-sample accuracy observations over a published dataset.
+///
+/// Each published sample appears once per user record that carries it, so
+/// `weight[i]` equals the group size of the fingerprint owning sample i.
+/// Position accuracy is the side of the sample's bounding rectangle
+/// (max(dx, dy), metres; 100 m = unchanged).  Time accuracy is the interval
+/// length dt (minutes; 1 min = unchanged).
+struct AccuracyObservations {
+  std::vector<double> position_m;
+  std::vector<double> time_min;
+  std::vector<double> weight;
+
+  [[nodiscard]] bool empty() const noexcept { return position_m.empty(); }
+};
+
+/// Extracts accuracy observations from a (typically anonymized) dataset.
+[[nodiscard]] AccuracyObservations measure_accuracy(
+    const cdr::FingerprintDataset& data);
+
+/// Weighted accuracy summary: the Tab. 2 "mean position/time error" rows
+/// plus the median and quartiles plotted in Figs. 9-11.
+struct AccuracySummary {
+  double mean_position_m = 0.0;
+  double median_position_m = 0.0;
+  double q25_position_m = 0.0;
+  double q75_position_m = 0.0;
+  double mean_time_min = 0.0;
+  double median_time_min = 0.0;
+  double q25_time_min = 0.0;
+  double q75_time_min = 0.0;
+};
+
+[[nodiscard]] AccuracySummary summarize_accuracy(
+    const AccuracyObservations& obs);
+
+/// Weighted empirical CDF of position accuracy (Fig. 7 left, Fig. 8 left).
+[[nodiscard]] stats::EmpiricalCdf position_accuracy_cdf(
+    const AccuracyObservations& obs);
+
+/// Weighted empirical CDF of time accuracy (Fig. 7 right, Fig. 8 right).
+[[nodiscard]] stats::EmpiricalCdf time_accuracy_cdf(
+    const AccuracyObservations& obs);
+
+/// Checks record-level truthfulness (PPDP principle P2, Sec. 2.2): every
+/// original sample of every user must be spatially and temporally contained
+/// in some published sample of that user's group, unless it was suppressed.
+/// `max_unaccounted` tolerates suppressed samples; pass the run's deleted
+/// count.  Returns the number of original samples with no covering
+/// published sample.
+[[nodiscard]] std::uint64_t count_uncovered_samples(
+    const cdr::FingerprintDataset& original,
+    const cdr::FingerprintDataset& anonymized);
+
+}  // namespace glove::core
+
+#endif  // GLOVE_CORE_ACCURACY_HPP

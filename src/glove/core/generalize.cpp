@@ -1,0 +1,71 @@
+#include "glove/core/generalize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace glove::core {
+
+namespace {
+
+/// Widens the 1-D interval [start, start+len) to the enclosing tile of
+/// size `step`.  Intervals already wider than one tile are widened to the
+/// full run of tiles they touch.
+void snap_interval(double& start, double& len, double step) {
+  const double lo = std::floor(start / step) * step;
+  const double hi = std::ceil((start + len) / step) * step;
+  start = lo;
+  len = std::max(hi - lo, step);
+}
+
+}  // namespace
+
+cdr::Sample generalize_sample(const cdr::Sample& s,
+                              const GeneralizationLevel& level) {
+  if (!(level.spatial_m > 0.0) || !(level.temporal_min > 0.0)) {
+    throw std::invalid_argument{"generalization level must be positive"};
+  }
+  cdr::Sample out = s;
+  snap_interval(out.sigma.x, out.sigma.dx, level.spatial_m);
+  snap_interval(out.sigma.y, out.sigma.dy, level.spatial_m);
+  snap_interval(out.tau.t, out.tau.dt, level.temporal_min);
+  return out;
+}
+
+cdr::FingerprintDataset generalize_dataset(
+    const cdr::FingerprintDataset& data, const GeneralizationLevel& level) {
+  std::vector<cdr::Fingerprint> out;
+  out.reserve(data.size());
+  for (const cdr::Fingerprint& fp : data.fingerprints()) {
+    std::vector<cdr::Sample> samples;
+    samples.reserve(fp.size());
+    for (const cdr::Sample& s : fp.samples()) {
+      samples.push_back(generalize_sample(s, level));
+    }
+    // Collapse duplicates (identical sigma and tau) created by coarsening.
+    std::sort(samples.begin(), samples.end(),
+              [](const cdr::Sample& a, const cdr::Sample& b) {
+                if (a.tau.t != b.tau.t) return a.tau.t < b.tau.t;
+                if (a.tau.dt != b.tau.dt) return a.tau.dt < b.tau.dt;
+                if (a.sigma.x != b.sigma.x) return a.sigma.x < b.sigma.x;
+                return a.sigma.y < b.sigma.y;
+              });
+    std::vector<cdr::Sample> unique;
+    unique.reserve(samples.size());
+    for (const cdr::Sample& s : samples) {
+      if (!unique.empty() && unique.back().sigma == s.sigma &&
+          unique.back().tau == s.tau) {
+        unique.back().contributors += s.contributors;
+        continue;
+      }
+      unique.push_back(s);
+    }
+    out.emplace_back(
+        std::vector<cdr::UserId>{fp.members().begin(), fp.members().end()},
+        std::move(unique));
+  }
+  return cdr::FingerprintDataset{std::move(out),
+                                 data.name() + "-generalized"};
+}
+
+}  // namespace glove::core

@@ -1,0 +1,33 @@
+// Legacy uniform spatiotemporal generalization (Sec. 1, Sec. 5.2): reduce
+// the granularity of *every* sample to a fixed spatial tile and temporal
+// slot.  This is the baseline whose failure (Fig. 4) motivates GLOVE.
+
+#ifndef GLOVE_CORE_GENERALIZE_HPP
+#define GLOVE_CORE_GENERALIZE_HPP
+
+#include "glove/cdr/dataset.hpp"
+
+namespace glove::core {
+
+/// A uniform generalization level, e.g. {2'500 m, 60 min} is the paper's
+/// "2.5-60" curve in Fig. 4.
+struct GeneralizationLevel {
+  double spatial_m = 100.0;
+  double temporal_min = 1.0;
+};
+
+/// Snaps a sample onto the coarser grid: position is widened to the
+/// enclosing `spatial_m` tile, time to the enclosing `temporal_min` slot.
+[[nodiscard]] cdr::Sample generalize_sample(const cdr::Sample& s,
+                                            const GeneralizationLevel& level);
+
+/// Applies the level to every sample of every fingerprint.  Samples of one
+/// fingerprint that become identical under the coarser granularity collapse
+/// into one (a fingerprint is a *set* of samples; duplicates carry no
+/// information and their contributors are accumulated).
+[[nodiscard]] cdr::FingerprintDataset generalize_dataset(
+    const cdr::FingerprintDataset& data, const GeneralizationLevel& level);
+
+}  // namespace glove::core
+
+#endif  // GLOVE_CORE_GENERALIZE_HPP

@@ -1,0 +1,250 @@
+#include "glove/core/glove.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "glove/util/parallel.hpp"
+
+namespace glove::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Min-heap entry: candidate merge of nodes `a` and `b`.  Entries are lazy:
+/// a node consumed by a merge invalidates all its pending entries, detected
+/// on pop via the `alive` flags.
+struct PairEntry {
+  double stretch;
+  std::uint32_t a;
+  std::uint32_t b;
+
+  friend bool operator>(const PairEntry& lhs, const PairEntry& rhs) {
+    if (lhs.stretch != rhs.stretch) return lhs.stretch > rhs.stretch;
+    if (lhs.a != rhs.a) return lhs.a > rhs.a;  // deterministic tie-break
+    return lhs.b > rhs.b;
+  }
+};
+
+}  // namespace
+
+GloveResult anonymize(const cdr::FingerprintDataset& data,
+                      const GloveConfig& config) {
+  if (config.k < 2) {
+    throw std::invalid_argument{"GLOVE requires k >= 2"};
+  }
+  if (data.size() < config.k) {
+    throw std::invalid_argument{
+        "dataset smaller than the target anonymity level k"};
+  }
+
+  GloveResult result;
+  GloveStats& stats = result.stats;
+  stats.input_users = data.total_users();
+  stats.input_samples = data.total_samples();
+
+  MergeOptions merge_options;
+  merge_options.limits = config.limits;
+  merge_options.reshape = config.reshape;
+  merge_options.suppression = config.suppression;
+
+  // Node store: input fingerprints first, merged fingerprints appended.
+  std::vector<cdr::Fingerprint> nodes{data.fingerprints().begin(),
+                                      data.fingerprints().end()};
+  nodes.reserve(nodes.size() * 2);
+  std::vector<bool> alive(nodes.size(), true);
+  // Nodes whose group already reaches k: finalized, out of the greedy set.
+  std::vector<std::uint32_t> finalized;
+
+  const auto is_open = [&](std::uint32_t id) {
+    return alive[id] && nodes[id].group_size() < config.k;
+  };
+
+  // Inputs can already satisfy k (e.g. re-anonymizing a published dataset).
+  for (std::uint32_t id = 0; id < nodes.size(); ++id) {
+    if (nodes[id].group_size() >= config.k) finalized.push_back(id);
+  }
+
+  // --- Initialization: stretch effort for all open pairs (Alg. 1 l. 1-2).
+  const auto init_start = Clock::now();
+  std::vector<std::uint32_t> open;
+  for (std::uint32_t id = 0; id < nodes.size(); ++id) {
+    if (is_open(id)) open.push_back(id);
+  }
+  std::vector<PairEntry> heap;
+  if (open.size() >= 2) {
+    const std::size_t pairs = open.size() * (open.size() - 1) / 2;
+    heap.resize(pairs);
+    // Row-major enumeration of the strict upper triangle, parallel by pair
+    // index: pair p -> (i, j) with i < j.
+    util::parallel_for(pairs, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t p = begin; p < end; ++p) {
+        // Invert p = i*(2n-i-1)/2 + (j-i-1): estimate row i analytically,
+        // then fix rounding so that offsets(i) <= p < offsets(i+1).
+        const double n = static_cast<double>(open.size());
+        const double estimate =
+            n - 0.5 -
+            std::sqrt(std::max(0.0, (n - 0.5) * (n - 0.5) -
+                                        2.0 * static_cast<double>(p)));
+        std::size_t i = static_cast<std::size_t>(std::max(0.0, estimate));
+        if (i > open.size() - 2) i = open.size() - 2;
+        auto offset = [&](std::size_t row) {
+          return row * (2 * open.size() - row - 1) / 2;
+        };
+        while (offset(i + 1) <= p) ++i;
+        while (i > 0 && offset(i) > p) --i;
+        const std::size_t j = p - offset(i) + i + 1;
+        const std::uint32_t a = open[i];
+        const std::uint32_t b = open[j];
+        heap[p] = PairEntry{
+            fingerprint_stretch(nodes[a], nodes[b], config.limits), a, b};
+      }
+    });
+    stats.stretch_evaluations += pairs;
+  }
+  std::make_heap(heap.begin(), heap.end(), std::greater<>{});
+  stats.init_seconds = seconds_since(init_start);
+
+  // --- Greedy loop (Alg. 1 l. 4-15).
+  const auto merge_start = Clock::now();
+  std::size_t open_count = open.size();
+  std::vector<PairEntry> fresh;  // scratch for new pairs of a merged node
+  while (open_count >= 2) {
+    // Pop the minimum-stretch pair of still-open nodes.
+    PairEntry top{};
+    bool found = false;
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+      top = heap.back();
+      heap.pop_back();
+      if (is_open(top.a) && is_open(top.b)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::logic_error{"GLOVE heap exhausted with open nodes left"};
+    }
+
+    // Merge and install the new node.
+    alive[top.a] = false;
+    alive[top.b] = false;
+    open_count -= 2;
+    MergeStats merge_stats;
+    cdr::Fingerprint merged = merge_fingerprints(nodes[top.a], nodes[top.b],
+                                                 merge_options, &merge_stats);
+    stats.deleted_samples += merge_stats.suppressed_original_samples;
+    ++stats.merges;
+    const auto m_id = static_cast<std::uint32_t>(nodes.size());
+    nodes.push_back(std::move(merged));
+    alive.push_back(true);
+
+    if (nodes[m_id].group_size() >= config.k) {
+      finalized.push_back(m_id);
+      continue;
+    }
+    ++open_count;
+
+    // Alg. 1 l. 10-13: stretch from the new node to every open node.
+    std::vector<std::uint32_t> targets;
+    targets.reserve(open_count);
+    for (std::uint32_t id = 0; id < m_id; ++id) {
+      if (is_open(id)) targets.push_back(id);
+    }
+    fresh.resize(targets.size());
+    util::parallel_for(
+        targets.size(),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t t = begin; t < end; ++t) {
+            fresh[t] = PairEntry{fingerprint_stretch(nodes[m_id],
+                                                     nodes[targets[t]],
+                                                     config.limits),
+                                 m_id, targets[t]};
+          }
+        },
+        /*min_chunk=*/16);
+    stats.stretch_evaluations += targets.size();
+    for (const PairEntry& e : fresh) {
+      heap.push_back(e);
+      std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+    }
+  }
+
+  // --- Leftover handling (unspecified in Alg. 1; see DESIGN.md).
+  if (open_count == 1) {
+    std::uint32_t leftover = 0;
+    for (std::uint32_t id = 0; id < nodes.size(); ++id) {
+      if (is_open(id)) leftover = id;
+    }
+    switch (config.leftover_policy) {
+      case LeftoverPolicy::kMergeIntoNearest: {
+        if (finalized.empty()) {
+          // Cannot happen for data.size() >= k >= 2: the loop only exits
+          // with one open node after at least one group reached k.
+          throw std::logic_error{"no finalized group to absorb leftover"};
+        }
+        std::uint32_t best_id = finalized.front();
+        double best = std::numeric_limits<double>::infinity();
+        for (const std::uint32_t id : finalized) {
+          const double d =
+              fingerprint_stretch(nodes[leftover], nodes[id], config.limits);
+          ++stats.stretch_evaluations;
+          if (d < best) {
+            best = d;
+            best_id = id;
+          }
+        }
+        MergeStats merge_stats;
+        cdr::Fingerprint merged = merge_fingerprints(
+            nodes[leftover], nodes[best_id], merge_options, &merge_stats);
+        stats.deleted_samples += merge_stats.suppressed_original_samples;
+        ++stats.merges;
+        alive[leftover] = false;
+        alive[best_id] = false;
+        nodes.push_back(std::move(merged));
+        alive.push_back(true);
+        std::replace(finalized.begin(), finalized.end(), best_id,
+                     static_cast<std::uint32_t>(nodes.size() - 1));
+        break;
+      }
+      case LeftoverPolicy::kSuppress: {
+        alive[leftover] = false;
+        stats.discarded_fingerprints += nodes[leftover].group_size();
+        stats.deleted_samples += nodes[leftover].total_contributors();
+        break;
+      }
+    }
+  }
+  stats.merge_seconds = seconds_since(merge_start);
+
+  // --- Collect output.
+  std::vector<cdr::Fingerprint> output;
+  output.reserve(finalized.size());
+  for (const std::uint32_t id : finalized) {
+    if (alive[id]) output.push_back(nodes[id]);
+  }
+  stats.output_groups = output.size();
+  cdr::FingerprintDataset anonymized{std::move(output),
+                                     data.name() + "-k" +
+                                         std::to_string(config.k)};
+  stats.output_samples = anonymized.total_samples();
+  result.anonymized = std::move(anonymized);
+  return result;
+}
+
+bool is_k_anonymous(const cdr::FingerprintDataset& data, std::uint32_t k) {
+  for (const cdr::Fingerprint& fp : data.fingerprints()) {
+    if (fp.group_size() < k) return false;
+  }
+  return true;
+}
+
+}  // namespace glove::core

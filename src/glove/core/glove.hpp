@@ -1,0 +1,81 @@
+// GLOVE (Alg. 1): greedy k-anonymization of a fingerprint dataset through
+// specialized generalization.  Repeatedly merges the two not-yet-anonymized
+// fingerprints at minimum stretch effort until every published fingerprint
+// hides at least k subscribers.
+
+#ifndef GLOVE_CORE_GLOVE_HPP
+#define GLOVE_CORE_GLOVE_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "glove/cdr/dataset.hpp"
+#include "glove/core/merge.hpp"
+#include "glove/core/stretch.hpp"
+
+namespace glove::core {
+
+/// What to do with a final fingerprint whose group is still smaller than k
+/// when no other un-anonymized fingerprint is left to pair it with (the
+/// paper's Alg. 1 leaves this case unspecified; see DESIGN.md).
+enum class LeftoverPolicy {
+  /// Merge the leftover group into the nearest already-anonymized
+  /// fingerprint; no user is lost (default).
+  kMergeIntoNearest,
+  /// Drop the leftover group from the output (counted as discarded).
+  kSuppress,
+};
+
+/// GLOVE configuration.
+struct GloveConfig {
+  /// Target anonymity level; every output fingerprint hides >= k users.
+  std::uint32_t k = 2;
+  StretchLimits limits;
+  /// Per-merge suppression thresholds (Sec. 7.1); disabled when empty.
+  std::optional<SuppressionThresholds> suppression;
+  /// Resolve temporal overlaps after each merge (Fig. 6b).
+  bool reshape = true;
+  LeftoverPolicy leftover_policy = LeftoverPolicy::kMergeIntoNearest;
+};
+
+/// Run counters for the paper's cost accounting (Tab. 2 rows and Sec. 6.3).
+struct GloveStats {
+  std::uint64_t input_users = 0;
+  std::uint64_t input_samples = 0;
+  std::uint64_t output_groups = 0;
+  std::uint64_t output_samples = 0;  ///< published (merged) samples
+  std::uint64_t merges = 0;
+  /// Original samples dropped by suppression ("Deleted samples" of Tab. 2).
+  std::uint64_t deleted_samples = 0;
+  /// Users dropped (non-zero only under LeftoverPolicy::kSuppress).
+  std::uint64_t discarded_fingerprints = 0;
+  /// Fingerprint-stretch evaluations performed (throughput accounting).
+  std::uint64_t stretch_evaluations = 0;
+  double init_seconds = 0.0;   ///< initial |M|^2/2 stretch matrix
+  double merge_seconds = 0.0;  ///< greedy loop
+};
+
+/// Result of an anonymization run: the k-anonymized dataset plus counters.
+/// Each output fingerprint lists the users it hides in `members()`; every
+/// one of those users publishes that identical generalized fingerprint.
+struct GloveResult {
+  cdr::FingerprintDataset anonymized;
+  GloveStats stats;
+};
+
+/// Runs GLOVE on `data`.  Requires data.size() >= k >= 2 (a dataset smaller
+/// than the target crowd cannot be k-anonymized); throws
+/// std::invalid_argument otherwise.  Deterministic for a given input and
+/// configuration, independent of thread count.
+[[nodiscard]] GloveResult anonymize(const cdr::FingerprintDataset& data,
+                                    const GloveConfig& config);
+
+/// Checks the k-anonymity postcondition: every fingerprint in `data` hides
+/// at least k members.  (Each member publishes the group's fingerprint, so
+/// group size >= k is exactly record-level k-anonymity.)
+[[nodiscard]] bool is_k_anonymous(const cdr::FingerprintDataset& data,
+                                  std::uint32_t k);
+
+}  // namespace glove::core
+
+#endif  // GLOVE_CORE_GLOVE_HPP

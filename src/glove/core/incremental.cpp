@@ -1,0 +1,120 @@
+#include "glove/core/incremental.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "glove/util/parallel.hpp"
+
+namespace glove::core {
+
+UpdateResult anonymize_update(const cdr::FingerprintDataset& published,
+                              const cdr::FingerprintDataset& new_users,
+                              const GloveConfig& config) {
+  if (!is_k_anonymous(published, config.k)) {
+    throw std::invalid_argument{
+        "published dataset does not satisfy the configured k"};
+  }
+  for (const cdr::Fingerprint& fp : new_users.fingerprints()) {
+    if (fp.group_size() != 1) {
+      throw std::invalid_argument{"new users must be single-user records"};
+    }
+  }
+
+  UpdateResult result;
+  result.stats.new_users = new_users.size();
+
+  std::vector<cdr::Fingerprint> groups{published.fingerprints().begin(),
+                                       published.fingerprints().end()};
+
+  MergeOptions merge_options;
+  merge_options.limits = config.limits;
+  merge_options.reshape = config.reshape;
+  merge_options.suppression = config.suppression;
+
+  // Decide each newcomer's fate: nearest existing group vs nearest fellow
+  // newcomer.  Computed in parallel, applied sequentially (joins mutate
+  // groups, so they are replayed in deterministic order).
+  const std::size_t n = new_users.size();
+  struct Choice {
+    double to_group = std::numeric_limits<double>::infinity();
+    std::size_t group = 0;
+    double to_peer = std::numeric_limits<double>::infinity();
+  };
+  std::vector<Choice> choices(n);
+  util::parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Choice& choice = choices[i];
+          for (std::size_t g = 0; g < groups.size(); ++g) {
+            const double d =
+                fingerprint_stretch(new_users[i], groups[g], config.limits);
+            if (d < choice.to_group) {
+              choice.to_group = d;
+              choice.group = g;
+            }
+          }
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            const double d =
+                fingerprint_stretch(new_users[i], new_users[j],
+                                    config.limits);
+            choice.to_peer = std::min(choice.to_peer, d);
+          }
+        }
+      },
+      /*min_chunk=*/1);
+
+  std::vector<cdr::Fingerprint> peer_pool;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool join = !groups.empty() &&
+                      (choices[i].to_group <= choices[i].to_peer);
+    if (join) {
+      cdr::Fingerprint& group = groups[choices[i].group];
+      group = merge_fingerprints(group, new_users[i], merge_options);
+      ++result.stats.joined_existing_groups;
+    } else {
+      peer_pool.push_back(new_users[i]);
+    }
+  }
+
+  // Newcomers pairing among themselves: run the standard greedy pass when
+  // enough of them remain; otherwise fall back to joining groups.
+  if (peer_pool.size() >= config.k) {
+    const GloveResult pass = anonymize(
+        cdr::FingerprintDataset{std::move(peer_pool)}, config);
+    result.stats.glove = pass.stats;
+    result.stats.formed_new_groups = pass.anonymized.size();
+    for (const cdr::Fingerprint& fp : pass.anonymized.fingerprints()) {
+      groups.push_back(fp);
+    }
+  } else {
+    for (const cdr::Fingerprint& straggler : peer_pool) {
+      if (groups.empty()) {
+        throw std::invalid_argument{
+            "not enough users in total to reach the anonymity level"};
+      }
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        const double d =
+            fingerprint_stretch(straggler, groups[g], config.limits);
+        if (d < best_d) {
+          best_d = d;
+          best = g;
+        }
+      }
+      groups[best] = merge_fingerprints(groups[best], straggler,
+                                        merge_options);
+      ++result.stats.joined_existing_groups;
+    }
+  }
+
+  result.anonymized = cdr::FingerprintDataset{
+      std::move(groups), published.name() + "-updated"};
+  return result;
+}
+
+}  // namespace glove::core

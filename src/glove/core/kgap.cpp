@@ -1,0 +1,61 @@
+#include "glove/core/kgap.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "glove/util/parallel.hpp"
+
+namespace glove::core {
+
+std::vector<KGapEntry> k_gaps(const cdr::FingerprintDataset& data,
+                              std::uint32_t k, const StretchLimits& limits) {
+  if (k < 2) throw std::invalid_argument{"k-gap requires k >= 2"};
+  if (data.size() < k) {
+    throw std::invalid_argument{
+        "k-gap requires at least k fingerprints in the dataset"};
+  }
+  const std::size_t n = data.size();
+  const std::size_t neighbors = k - 1;
+  std::vector<KGapEntry> result(n);
+
+  util::parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<std::pair<double, std::size_t>> row;
+        row.reserve(n - 1);
+        for (std::size_t a = begin; a < end; ++a) {
+          row.clear();
+          for (std::size_t b = 0; b < n; ++b) {
+            if (b == a) continue;
+            row.emplace_back(fingerprint_stretch(data[a], data[b], limits),
+                             b);
+          }
+          // Select the k-1 nearest fingerprints (ties by index for
+          // determinism independent of thread count).
+          std::partial_sort(row.begin(), row.begin() + neighbors, row.end());
+          KGapEntry& entry = result[a];
+          entry.neighbors.reserve(neighbors);
+          double total = 0.0;
+          for (std::size_t i = 0; i < neighbors; ++i) {
+            total += row[i].first;
+            entry.neighbors.push_back(row[i].second);
+          }
+          entry.gap = total / static_cast<double>(neighbors);
+        }
+      },
+      /*min_chunk=*/1);
+  return result;
+}
+
+std::vector<double> k_gap_values(const cdr::FingerprintDataset& data,
+                                 std::uint32_t k,
+                                 const StretchLimits& limits) {
+  const std::vector<KGapEntry> entries = k_gaps(data, k, limits);
+  std::vector<double> values;
+  values.reserve(entries.size());
+  for (const KGapEntry& e : entries) values.push_back(e.gap);
+  return values;
+}
+
+}  // namespace glove::core

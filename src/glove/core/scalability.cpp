@@ -1,0 +1,211 @@
+#include "glove/core/scalability.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "glove/util/parallel.hpp"
+
+namespace glove::core {
+
+FingerprintBounds fingerprint_bounds(const cdr::Fingerprint& fp) {
+  FingerprintBounds bounds;
+  if (fp.empty()) return bounds;
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -x_lo;
+  double y_lo = x_lo;
+  double y_hi = -x_lo;
+  double t_lo = x_lo;
+  double t_hi = -x_lo;
+  for (const cdr::Sample& s : fp.samples()) {
+    x_lo = std::min(x_lo, s.sigma.x);
+    x_hi = std::max(x_hi, s.sigma.x_end());
+    y_lo = std::min(y_lo, s.sigma.y);
+    y_hi = std::max(y_hi, s.sigma.y_end());
+    t_lo = std::min(t_lo, s.tau.t);
+    t_hi = std::max(t_hi, s.tau.t_end());
+  }
+  bounds.box = cdr::SpatialExtent{x_lo, x_hi - x_lo, y_lo, y_hi - y_lo};
+  bounds.interval = cdr::TemporalExtent{t_lo, t_hi - t_lo};
+  return bounds;
+}
+
+namespace {
+
+/// Axis gap between two 1-D intervals (0 when they overlap).
+double axis_gap(double lo_a, double hi_a, double lo_b, double hi_b) {
+  if (hi_a < lo_b) return lo_b - hi_a;
+  if (hi_b < lo_a) return lo_a - hi_b;
+  return 0.0;
+}
+
+}  // namespace
+
+double stretch_lower_bound(const FingerprintBounds& a,
+                           const FingerprintBounds& b,
+                           const StretchLimits& limits) {
+  // Any sample of a lies inside a.box; any sample of b inside b.box.  To
+  // merge a pair, each rectangle must grow at least across the gap between
+  // the boxes (in the weighted two-direction sum of eq. 4, *both*
+  // directions must bridge the gap, so the weighted sum is >= the gap).
+  const double gap_x =
+      axis_gap(a.box.x, a.box.x_end(), b.box.x, b.box.x_end());
+  const double gap_y =
+      axis_gap(a.box.y, a.box.y_end(), b.box.y, b.box.y_end());
+  const double gap_t = axis_gap(a.interval.t, a.interval.t_end(),
+                                b.interval.t, b.interval.t_end());
+  const double phi_sigma =
+      std::min((gap_x + gap_y) / limits.phi_max_sigma_m, 1.0);
+  const double phi_tau = std::min(gap_t / limits.phi_max_tau_min, 1.0);
+  return limits.w_sigma * phi_sigma + limits.w_tau * phi_tau;
+}
+
+std::vector<KGapEntry> k_gaps_pruned(const cdr::FingerprintDataset& data,
+                                     std::uint32_t k,
+                                     const StretchLimits& limits,
+                                     std::uint64_t* pruned_pairs) {
+  if (k < 2) throw std::invalid_argument{"k-gap requires k >= 2"};
+  if (data.size() < k) {
+    throw std::invalid_argument{
+        "k-gap requires at least k fingerprints in the dataset"};
+  }
+  const std::size_t n = data.size();
+  const std::size_t neighbors = k - 1;
+
+  std::vector<FingerprintBounds> bounds(n);
+  for (std::size_t i = 0; i < n; ++i) bounds[i] = fingerprint_bounds(data[i]);
+
+  std::vector<KGapEntry> result(n);
+  std::atomic<std::uint64_t> pruned{0};
+
+  util::parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<std::pair<double, std::size_t>> order;
+        std::vector<std::pair<double, std::size_t>> best;
+        for (std::size_t a = begin; a < end; ++a) {
+          // Candidates sorted by lower bound; evaluate until the bound
+          // exceeds the current (k-1)-th best true stretch.
+          order.clear();
+          order.reserve(n - 1);
+          for (std::size_t b = 0; b < n; ++b) {
+            if (b == a) continue;
+            order.emplace_back(
+                stretch_lower_bound(bounds[a], bounds[b], limits), b);
+          }
+          std::sort(order.begin(), order.end());
+
+          best.clear();  // max-heap-ish: keep the k-1 smallest true values
+          double kth = std::numeric_limits<double>::infinity();
+          std::uint64_t local_pruned = 0;
+          for (const auto& [lb, b] : order) {
+            if (best.size() >= neighbors && lb >= kth) {
+              ++local_pruned;
+              continue;
+            }
+            const double d = fingerprint_stretch(data[a], data[b], limits);
+            best.emplace_back(d, b);
+            std::sort(best.begin(), best.end());
+            if (best.size() > neighbors) best.pop_back();
+            if (best.size() == neighbors) kth = best.back().first;
+          }
+          pruned.fetch_add(local_pruned, std::memory_order_relaxed);
+
+          KGapEntry& entry = result[a];
+          entry.neighbors.reserve(neighbors);
+          double total = 0.0;
+          for (const auto& [d, b] : best) {
+            total += d;
+            entry.neighbors.push_back(b);
+          }
+          entry.gap = total / static_cast<double>(neighbors);
+        }
+      },
+      /*min_chunk=*/1);
+  if (pruned_pairs != nullptr) *pruned_pairs = pruned.load();
+  return result;
+}
+
+GloveResult anonymize_chunked(const cdr::FingerprintDataset& data,
+                              const ChunkedConfig& config) {
+  if (config.chunk_size < config.glove.k) {
+    throw std::invalid_argument{"chunk size must be at least k"};
+  }
+  if (data.size() < config.glove.k) {
+    throw std::invalid_argument{
+        "dataset smaller than the target anonymity level k"};
+  }
+
+  // Locality sort: interleave the bits of the quantized bounding-box
+  // centre (Morton order), so chunks hold geographically close users.
+  struct Key {
+    std::uint64_t morton;
+    std::size_t index;
+  };
+  std::vector<Key> keys;
+  keys.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const FingerprintBounds b = fingerprint_bounds(data[i]);
+    const auto quantize = [](double v) {
+      // 1 km quantization, offset to keep values positive.
+      const double q = v / 1'000.0 + 1'000'000.0;
+      return static_cast<std::uint32_t>(std::max(0.0, q));
+    };
+    const std::uint32_t qx = quantize(b.box.x + b.box.dx / 2);
+    const std::uint32_t qy = quantize(b.box.y + b.box.dy / 2);
+    std::uint64_t morton = 0;
+    for (int bit = 0; bit < 32; ++bit) {
+      morton |= (static_cast<std::uint64_t>((qx >> bit) & 1U) << (2 * bit));
+      morton |=
+          (static_cast<std::uint64_t>((qy >> bit) & 1U) << (2 * bit + 1));
+    }
+    keys.push_back(Key{morton, i});
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.morton != b.morton) return a.morton < b.morton;
+    return a.index < b.index;
+  });
+
+  GloveResult total;
+  total.stats.input_users = data.total_users();
+  total.stats.input_samples = data.total_samples();
+  std::vector<cdr::Fingerprint> output;
+
+  std::size_t begin = 0;
+  while (begin < keys.size()) {
+    std::size_t end = std::min(begin + config.chunk_size, keys.size());
+    // Never leave a tail smaller than k: extend the last chunk instead.
+    if (keys.size() - end < config.glove.k && end < keys.size()) {
+      end = keys.size();
+    }
+    std::vector<cdr::Fingerprint> chunk;
+    chunk.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      chunk.push_back(data[keys[i].index]);
+    }
+    const GloveResult part = anonymize(
+        cdr::FingerprintDataset{std::move(chunk)}, config.glove);
+    for (const cdr::Fingerprint& fp : part.anonymized.fingerprints()) {
+      output.push_back(fp);
+    }
+    total.stats.merges += part.stats.merges;
+    total.stats.deleted_samples += part.stats.deleted_samples;
+    total.stats.discarded_fingerprints += part.stats.discarded_fingerprints;
+    total.stats.stretch_evaluations += part.stats.stretch_evaluations;
+    total.stats.init_seconds += part.stats.init_seconds;
+    total.stats.merge_seconds += part.stats.merge_seconds;
+    begin = end;
+  }
+
+  total.anonymized = cdr::FingerprintDataset{
+      std::move(output),
+      data.name() + "-chunked-k" + std::to_string(config.glove.k)};
+  total.stats.output_groups = total.anonymized.size();
+  total.stats.output_samples = total.anonymized.total_samples();
+  return total;
+}
+
+}  // namespace glove::core

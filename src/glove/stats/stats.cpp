@@ -1,0 +1,149 @@
+#include "glove/stats/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace glove::stats {
+
+double quantile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) {
+    throw std::invalid_argument{"quantile of empty sample"};
+  }
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument{"quantile p outside [0, 1]"};
+  }
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double quantile(std::span<const double> values, double p) {
+  std::vector<double> sorted{values.begin(), values.end()};
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, p);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted{values.begin(), values.end()};
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+           static_cast<double>(sorted.size());
+  s.median = quantile_sorted(sorted, 0.5);
+  s.q25 = quantile_sorted(sorted, 0.25);
+  s.q75 = quantile_sorted(sorted, 0.75);
+  double ss = 0.0;
+  for (const double v : sorted) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = sorted.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(sorted.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> values)
+    : EmpiricalCdf{std::move(values), {}} {}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> values,
+                           std::vector<double> weights) {
+  if (!weights.empty() && weights.size() != values.size()) {
+    throw std::invalid_argument{"CDF weights/values size mismatch"};
+  }
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  values_.reserve(values.size());
+  cumulative_weight_.reserve(values.size());
+  double running = 0.0;
+  for (const std::size_t idx : order) {
+    const double w = weights.empty() ? 1.0 : weights[idx];
+    if (!(w > 0.0)) {
+      throw std::invalid_argument{"CDF weights must be positive"};
+    }
+    running += w;
+    values_.push_back(values[idx]);
+    cumulative_weight_.push_back(running);
+  }
+  total_weight_ = running;
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (values_.empty()) return 0.0;
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  if (it == values_.begin()) return 0.0;
+  const auto idx = static_cast<std::size_t>(it - values_.begin()) - 1;
+  return cumulative_weight_[idx] / total_weight_;
+}
+
+double EmpiricalCdf::inverse(double p) const {
+  if (values_.empty()) {
+    throw std::invalid_argument{"inverse CDF of empty sample"};
+  }
+  if (p <= 0.0 || p > 1.0) {
+    throw std::invalid_argument{"inverse CDF p outside (0, 1]"};
+  }
+  const double target = p * total_weight_;
+  const auto it = std::lower_bound(cumulative_weight_.begin(),
+                                   cumulative_weight_.end(), target);
+  if (it == cumulative_weight_.end()) return values_.back();
+  return values_[static_cast<std::size_t>(it - cumulative_weight_.begin())];
+}
+
+std::vector<double> EmpiricalCdf::sample_at(
+    std::span<const double> xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const double x : xs) out.push_back(at(x));
+  return out;
+}
+
+double tail_weight_index_sorted(std::span<const double> sorted) {
+  if (sorted.size() < 2) return 0.0;
+  const double q50 = quantile_sorted(sorted, 0.50);
+  const double q75 = quantile_sorted(sorted, 0.75);
+  const double q99 = quantile_sorted(sorted, 0.99);
+  const double spread = q75 - q50;
+  if (!(spread > 0.0)) return 0.0;
+  return ((q99 - q50) / spread) / kTwiGaussianRatio;
+}
+
+double tail_weight_index(std::span<const double> values) {
+  std::vector<double> sorted{values.begin(), values.end()};
+  std::sort(sorted.begin(), sorted.end());
+  return tail_weight_index_sorted(sorted);
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  if (n == 0) return {};
+  if (n == 1) return {lo};
+  std::vector<double> out;
+  out.reserve(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(lo + step * static_cast<double>(i));
+  }
+  out.back() = hi;  // avoid accumulated rounding on the endpoint
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  if (!(lo > 0.0) || !(hi > 0.0)) {
+    throw std::invalid_argument{"logspace endpoints must be positive"};
+  }
+  std::vector<double> out = linspace(std::log(lo), std::log(hi), n);
+  for (double& v : out) v = std::exp(v);
+  if (!out.empty()) out.back() = hi;
+  return out;
+}
+
+}  // namespace glove::stats

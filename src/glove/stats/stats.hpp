@@ -1,0 +1,104 @@
+// Statistical utilities behind the paper's analysis plots: empirical
+// (optionally weighted) CDFs, quantiles, summary statistics and the Tail
+// Weight Index used in Sec. 5.3 to diagnose heavy-tailed per-sample stretch
+// distributions.
+
+#ifndef GLOVE_STATS_STATS_HPP
+#define GLOVE_STATS_STATS_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace glove::stats {
+
+/// Quantile of a sample via linear interpolation between order statistics
+/// (type-7 estimator, the numpy/R default).  `p` in [0, 1].
+/// Throws std::invalid_argument on an empty sample or p outside [0, 1].
+[[nodiscard]] double quantile(std::span<const double> values, double p);
+
+/// Quantile of an already-sorted sample (ascending); avoids re-sorting in
+/// hot loops such as per-fingerprint TWI computation.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double p);
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double q25 = 0.0;
+  double q75 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Empirical cumulative distribution function.  Supports weighted samples
+/// (e.g. one merged fingerprint published for n users counts n times).
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+
+  /// Unweighted sample.
+  explicit EmpiricalCdf(std::vector<double> values);
+
+  /// Weighted sample; `weights[i]` is the multiplicity of `values[i]`.
+  /// Weights must be positive; sizes must match.
+  EmpiricalCdf(std::vector<double> values, std::vector<double> weights);
+
+  /// P[X <= x].
+  [[nodiscard]] double at(double x) const;
+
+  /// Inverse CDF (smallest x with CDF(x) >= p), p in (0, 1].
+  [[nodiscard]] double inverse(double p) const;
+
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
+
+  /// Sorted support values (ascending) and matching cumulative weights.
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+  /// Samples the CDF at each x in `xs`, returning P[X <= x].
+  [[nodiscard]] std::vector<double> sample_at(
+      std::span<const double> xs) const;
+
+ private:
+  std::vector<double> values_;             // ascending
+  std::vector<double> cumulative_weight_;  // parallel to values_
+  double total_weight_ = 0.0;
+};
+
+/// Tail Weight Index (Hoaglin, Mosteller, Tukey, 1983): the ratio between
+/// the upper-tail quantile spread of the sample and that of a Gaussian.
+///
+///   TWI(X) = [(Q_{0.99} - Q_{0.5}) / (Q_{0.75} - Q_{0.5})] / 3.4486
+///
+/// where 3.4486 = z_{0.99} / z_{0.75} is the Gaussian reference.  A normal
+/// distribution scores 1; Exp(1) scores about 1.63; a Pareto with shape 1
+/// about 14 — matching the calibration points the paper quotes (footnote 5).
+/// Returns 0 for degenerate samples (inter-quantile spread of zero).
+[[nodiscard]] double tail_weight_index(std::span<const double> values);
+
+/// TWI on a pre-sorted (ascending) sample.
+[[nodiscard]] double tail_weight_index_sorted(std::span<const double> sorted);
+
+/// Gaussian reference ratio used by the TWI normalization.
+inline constexpr double kTwiGaussianRatio = 3.4486;
+
+/// Evenly spaced grid of `n` points over [lo, hi], inclusive of endpoints.
+/// Used by bench harnesses to sample CDFs on the paper's plot axes.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi,
+                                           std::size_t n);
+
+/// Logarithmically spaced grid of `n` points over [lo, hi] (lo, hi > 0).
+[[nodiscard]] std::vector<double> logspace(double lo, double hi,
+                                           std::size_t n);
+
+}  // namespace glove::stats
+
+#endif  // GLOVE_STATS_STATS_HPP

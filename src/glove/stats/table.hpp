@@ -1,0 +1,44 @@
+// Fixed-width text table printer used by the bench harnesses to emit the
+// paper's tables and figure series in a stable, diff-friendly format.
+
+#ifndef GLOVE_STATS_TABLE_HPP
+#define GLOVE_STATS_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace glove::stats {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TextTable {
+ public:
+  /// `title` is printed above the table, underlined.
+  explicit TextTable(std::string title);
+
+  /// Sets the header row.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row.
+  void row(std::vector<std::string> cells);
+
+  /// Renders the table to `out`.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, trimming noise.
+[[nodiscard]] std::string fmt(double value, int digits = 3);
+
+/// Formats a fraction as a percentage string, e.g. 0.127 -> "12.7%".
+[[nodiscard]] std::string fmt_pct(double fraction, int digits = 1);
+
+}  // namespace glove::stats
+
+#endif  // GLOVE_STATS_TABLE_HPP

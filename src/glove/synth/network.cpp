@@ -1,0 +1,138 @@
+#include "glove/synth/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "glove/util/rng.hpp"
+
+namespace glove::synth {
+
+namespace {
+
+/// Standard normal via Box-Muller (no std::normal_distribution: its state
+/// is implementation-defined, which would break cross-platform determinism).
+double normal(util::Xoshiro256& rng) {
+  const double u1 = std::max(util::uniform01(rng), 1e-12);
+  const double u2 = util::uniform01(rng);
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace
+
+AntennaNetwork::AntennaNetwork(const NetworkConfig& config) {
+  if (config.antennas == 0) {
+    throw std::invalid_argument{"network needs at least one antenna"};
+  }
+  if (config.cities == 0) {
+    throw std::invalid_argument{"network needs at least one city"};
+  }
+  if (config.urban_fraction < 0.0 || config.urban_fraction > 1.0) {
+    throw std::invalid_argument{"urban_fraction outside [0, 1]"};
+  }
+  util::Xoshiro256 rng{config.seed};
+
+  // --- Cities: random centres (kept away from the border), Zipf weights.
+  const double margin = config.region_size_m * 0.1;
+  cities_.reserve(config.cities);
+  double weight_total = 0.0;
+  for (std::size_t c = 0; c < config.cities; ++c) {
+    City city;
+    city.center.x_m =
+        util::uniform(rng, margin, config.region_size_m - margin);
+    city.center.y_m =
+        util::uniform(rng, margin, config.region_size_m - margin);
+    // Radius shrinks with rank: the capital sprawls, minor towns are tight.
+    city.radius_m = 12'000.0 / std::sqrt(static_cast<double>(c) + 1.0) +
+                    2'000.0;
+    city.weight =
+        1.0 / std::pow(static_cast<double>(c) + 1.0, config.city_zipf_exponent);
+    weight_total += city.weight;
+    cities_.push_back(city);
+  }
+  // Normalize weights to sum to the urban fraction; the remainder of the
+  // population anchors at rural antennas.
+  for (City& city : cities_) {
+    city.weight = city.weight / weight_total * config.urban_fraction;
+  }
+
+  // --- Antennas: urban share scattered around cities (weight-proportional),
+  // rest uniform over the region.
+  antennas_.reserve(config.antennas);
+  city_antennas_.resize(cities_.size());
+  const auto urban_antennas = static_cast<std::size_t>(
+      std::round(static_cast<double>(config.antennas) *
+                 config.urban_fraction));
+  for (std::size_t i = 0; i < urban_antennas; ++i) {
+    // Pick a city proportionally to its (already urban-scaled) weight.
+    const double u = util::uniform01(rng) * config.urban_fraction;
+    double acc = 0.0;
+    std::size_t chosen = 0;
+    for (std::size_t c = 0; c < cities_.size(); ++c) {
+      acc += cities_[c].weight;
+      if (u < acc) {
+        chosen = c;
+        break;
+      }
+      chosen = c;
+    }
+    const City& city = cities_[chosen];
+    geo::PlanarPoint p{city.center.x_m + normal(rng) * city.radius_m,
+                       city.center.y_m + normal(rng) * city.radius_m};
+    p.x_m = std::clamp(p.x_m, 0.0, config.region_size_m);
+    p.y_m = std::clamp(p.y_m, 0.0, config.region_size_m);
+    city_antennas_[chosen].push_back(antennas_.size());
+    antennas_.push_back(p);
+  }
+  while (antennas_.size() < config.antennas) {
+    antennas_.push_back(
+        geo::PlanarPoint{util::uniform(rng, 0.0, config.region_size_m),
+                         util::uniform(rng, 0.0, config.region_size_m)});
+  }
+
+  // A city without any assigned antenna falls back to its nearest antenna
+  // so sample_home never dereferences an empty list.
+  for (std::size_t c = 0; c < cities_.size(); ++c) {
+    if (city_antennas_[c].empty()) {
+      city_antennas_[c].push_back(nearest_antenna(cities_[c].center));
+    }
+  }
+}
+
+const City& AntennaNetwork::main_city() const {
+  const auto it = std::max_element(
+      cities_.begin(), cities_.end(),
+      [](const City& a, const City& b) { return a.weight < b.weight; });
+  return *it;
+}
+
+std::vector<std::size_t> AntennaNetwork::antennas_near(
+    geo::PlanarPoint p, double radius_m) const {
+  std::vector<std::pair<double, std::size_t>> hits;
+  for (std::size_t i = 0; i < antennas_.size(); ++i) {
+    const double d = geo::planar_distance_m(antennas_[i], p);
+    if (d <= radius_m) hits.emplace_back(d, i);
+  }
+  std::sort(hits.begin(), hits.end());
+  std::vector<std::size_t> out;
+  out.reserve(hits.size());
+  for (const auto& [d, i] : hits) out.push_back(i);
+  return out;
+}
+
+std::size_t AntennaNetwork::nearest_antenna(geo::PlanarPoint p) const {
+  std::size_t best = 0;
+  double best_d = geo::planar_distance_m(antennas_[0], p);
+  for (std::size_t i = 1; i < antennas_.size(); ++i) {
+    const double d = geo::planar_distance_m(antennas_[i], p);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace glove::synth

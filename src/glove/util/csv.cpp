@@ -1,0 +1,91 @@
+#include "glove/util/csv.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace glove::util {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string_view> split_csv_line(std::string_view line,
+                                             char separator) {
+  std::vector<std::string_view> fields;
+  if (line.empty()) return fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == separator) {
+      fields.push_back(trim(line.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+CsvReader::CsvReader(std::istream& in, char separator)
+    : in_{in}, separator_{separator} {}
+
+bool CsvReader::next(std::vector<std::string_view>& fields) {
+  while (std::getline(in_, buffer_)) {
+    ++line_no_;
+    const std::string_view trimmed = trim(buffer_);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    fields = split_csv_line(buffer_, separator_);
+    ++rows_;
+    return true;
+  }
+  return false;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, char separator)
+    : out_{out}, separator_{separator} {}
+
+void CsvWriter::comment(std::string_view text) {
+  out_ << "# " << text << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << separator_;
+    out_ << fields[i];
+  }
+  out_ << '\n';
+}
+
+double parse_double(std::string_view field, std::string_view context) {
+  double value{};
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw std::invalid_argument{"bad numeric field '" + std::string{field} +
+                                "' in " + std::string{context}};
+  }
+  return value;
+}
+
+long long parse_int(std::string_view field, std::string_view context) {
+  long long value{};
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw std::invalid_argument{"bad integer field '" + std::string{field} +
+                                "' in " + std::string{context}};
+  }
+  return value;
+}
+
+}  // namespace glove::util

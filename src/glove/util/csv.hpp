@@ -1,0 +1,70 @@
+// Minimal CSV reading/writing for CDR traces and anonymized datasets.
+//
+// The dialect is deliberately simple (comma separator, no embedded commas in
+// fields, '#'-prefixed comment lines), matching the flat numeric traces the
+// D4D challenge distributed and that this library emits.
+
+#ifndef GLOVE_UTIL_CSV_HPP
+#define GLOVE_UTIL_CSV_HPP
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace glove::util {
+
+/// Splits one CSV line into fields.  Leading/trailing whitespace of each
+/// field is trimmed.  Empty input yields an empty vector.
+[[nodiscard]] std::vector<std::string_view> split_csv_line(
+    std::string_view line, char separator = ',');
+
+/// Streaming CSV reader over an istream.  Skips blank lines and lines whose
+/// first non-space character is '#'.
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in, char separator = ',');
+
+  /// Reads the next data row into `fields` (views into an internal buffer
+  /// valid until the next call).  Returns false at end of input.
+  bool next(std::vector<std::string_view>& fields);
+
+  /// Number of data rows returned so far.
+  [[nodiscard]] std::size_t rows_read() const noexcept { return rows_; }
+  /// 1-based line number of the row most recently returned.
+  [[nodiscard]] std::size_t line_number() const noexcept { return line_no_; }
+
+ private:
+  std::istream& in_;
+  std::string buffer_;
+  char separator_;
+  std::size_t rows_ = 0;
+  std::size_t line_no_ = 0;
+};
+
+/// CSV writer with row-oriented API.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char separator = ',');
+
+  /// Writes a comment line ("# ...").
+  void comment(std::string_view text);
+  /// Writes one row; fields are emitted verbatim.
+  void row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+  char separator_;
+};
+
+/// Parses a double, throwing std::invalid_argument with context on failure.
+[[nodiscard]] double parse_double(std::string_view field,
+                                  std::string_view context);
+
+/// Parses a non-negative integer, throwing std::invalid_argument on failure.
+[[nodiscard]] long long parse_int(std::string_view field,
+                                  std::string_view context);
+
+}  // namespace glove::util
+
+#endif  // GLOVE_UTIL_CSV_HPP

@@ -1,0 +1,69 @@
+// Tiny command-line flag parser used by examples and bench harnesses.
+//
+// Supports "--name=value" and "--name value" syntax plus boolean switches.
+// Unknown flags raise an error with the list of registered names, so typos
+// in experiment scripts fail loudly instead of silently using defaults.
+
+#ifndef GLOVE_UTIL_FLAGS_HPP
+#define GLOVE_UTIL_FLAGS_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace glove::util {
+
+/// Declarative flag set: register flags with defaults, then parse argv.
+class Flags {
+ public:
+  /// `program_help` is printed by `usage()` above the flag list.
+  explicit Flags(std::string program_help);
+
+  Flags& define(std::string name, std::string default_value,
+                std::string help);
+
+  /// Parses argv (excluding argv[0]).  Throws std::invalid_argument on
+  /// unknown flags or missing values.  "--help" sets `help_requested()`.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const noexcept { return help_; }
+  [[nodiscard]] std::string usage() const;
+
+  [[nodiscard]] const std::string& get(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] long long get_int(std::string_view name) const;
+  [[nodiscard]] bool get_bool(std::string_view name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  struct Entry {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  const Entry& entry(std::string_view name) const;
+
+  std::string program_help_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::vector<std::string> positional_;
+  bool help_ = false;
+};
+
+/// Reads environment variable `name` as integer, returning `fallback` when
+/// unset or unparsable.  Used for GLOVE_USERS / GLOVE_DAYS / GLOVE_SEED
+/// bench-scaling overrides.
+[[nodiscard]] long long env_int(const char* name, long long fallback);
+
+/// Reads environment variable `name` as double with fallback.
+[[nodiscard]] double env_double(const char* name, double fallback);
+
+}  // namespace glove::util
+
+#endif  // GLOVE_UTIL_FLAGS_HPP

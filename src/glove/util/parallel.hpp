@@ -1,0 +1,79 @@
+// parallel_for: block-partitioned parallel loop on top of ThreadPool.
+//
+// The loop body receives index ranges, not single indices, so callers can
+// amortize per-task overhead over thousands of cheap stretch computations.
+// Exceptions thrown by the body are captured and rethrown on the caller's
+// thread (first one wins) so failures are not silently swallowed.
+
+#ifndef GLOVE_UTIL_PARALLEL_HPP
+#define GLOVE_UTIL_PARALLEL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+
+#include "glove/util/thread_pool.hpp"
+
+namespace glove::util {
+
+/// Runs `body(begin, end)` over contiguous chunks of [0, count) on `pool`
+/// and blocks until all chunks complete.  `body` must be safe to invoke
+/// concurrently on disjoint ranges.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t count, const Body& body,
+                  std::size_t min_chunk = 256) {
+  if (count == 0) return;
+  const std::size_t workers = pool.size();
+  std::size_t chunks = workers * 4;
+  if (chunks == 0) chunks = 1;
+  std::size_t chunk = (count + chunks - 1) / chunks;
+  if (chunk < min_chunk) chunk = min_chunk;
+  const std::size_t tasks = (count + chunk - 1) / chunk;
+
+  if (tasks <= 1) {
+    body(std::size_t{0}, count);
+    return;
+  }
+
+  std::atomic<std::size_t> remaining{tasks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (std::size_t t = 0; t < tasks; ++t) {
+    const std::size_t begin = t * chunk;
+    const std::size_t end = begin + chunk < count ? begin + chunk : count;
+    pool.submit([&, begin, end] {
+      try {
+        body(begin, end);
+      } catch (...) {
+        const std::lock_guard lock{error_mutex};
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::lock_guard lock{done_mutex};
+        done_cv.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock lock{done_mutex};
+  done_cv.wait(lock, [&] {
+    return remaining.load(std::memory_order_acquire) == 0;
+  });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Convenience overload on the shared pool.
+template <typename Body>
+void parallel_for(std::size_t count, const Body& body,
+                  std::size_t min_chunk = 256) {
+  parallel_for(ThreadPool::shared(), count, body, min_chunk);
+}
+
+}  // namespace glove::util
+
+#endif  // GLOVE_UTIL_PARALLEL_HPP

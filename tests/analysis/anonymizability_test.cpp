@@ -1,0 +1,132 @@
+#include "glove/analysis/anonymizability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "glove/synth/generator.hpp"
+
+namespace glove::analysis {
+namespace {
+
+cdr::Sample cell(double x, double y, double t) {
+  cdr::Sample s;
+  s.sigma = cdr::SpatialExtent{x, 100.0, y, 100.0};
+  s.tau = cdr::TemporalExtent{t, 1.0};
+  return s;
+}
+
+cdr::FingerprintDataset small_dataset() {
+  std::vector<cdr::Fingerprint> fps;
+  fps.emplace_back(0u, std::vector<cdr::Sample>{cell(0, 0, 0),
+                                                cell(100, 0, 500)});
+  fps.emplace_back(1u, std::vector<cdr::Sample>{cell(50, 0, 20),
+                                                cell(150, 0, 520)});
+  fps.emplace_back(2u, std::vector<cdr::Sample>{cell(5'000, 0, 100),
+                                                cell(5'100, 0, 700),
+                                                cell(5'200, 0, 900)});
+  return cdr::FingerprintDataset{std::move(fps)};
+}
+
+TEST(StretchProfiles, OneEntryPerLongerSamplePerNeighbor) {
+  const cdr::FingerprintDataset data = small_dataset();
+  const auto kgaps = core::k_gaps(data, 2);
+  const auto profiles = stretch_profiles(data, kgaps);
+  ASSERT_EQ(profiles.size(), 3u);
+  // Users 0 and 1 (2 samples each) pair up: tied lengths disaggregate both
+  // directions -> 4 entries.  User 2's nearest has fewer samples, so its
+  // own 3 samples set the count.
+  EXPECT_EQ(profiles[0].total.size(), 4u);
+  EXPECT_EQ(profiles[1].total.size(), 4u);
+  EXPECT_EQ(profiles[2].total.size(), 3u);
+}
+
+TEST(StretchProfiles, ComponentsSumToTotal) {
+  const cdr::FingerprintDataset data = small_dataset();
+  const auto kgaps = core::k_gaps(data, 3);
+  const auto profiles = stretch_profiles(data, kgaps);
+  for (const auto& p : profiles) {
+    ASSERT_EQ(p.total.size(), p.spatial.size());
+    ASSERT_EQ(p.total.size(), p.temporal.size());
+    for (std::size_t i = 0; i < p.total.size(); ++i) {
+      EXPECT_NEAR(p.total[i], p.spatial[i] + p.temporal[i], 1e-12);
+    }
+  }
+}
+
+TEST(StretchProfiles, MeanEqualsKGap) {
+  // The k-gap is the average of the disaggregated per-sample efforts; the
+  // disaggregation must be consistent with eq. 10/11.
+  const cdr::FingerprintDataset data = small_dataset();
+  const auto kgaps = core::k_gaps(data, 2);
+  const auto profiles = stretch_profiles(data, kgaps);
+  for (std::size_t a = 0; a < data.size(); ++a) {
+    const double mean =
+        std::accumulate(profiles[a].total.begin(), profiles[a].total.end(),
+                        0.0) /
+        static_cast<double>(profiles[a].total.size());
+    EXPECT_NEAR(mean, kgaps[a].gap, 1e-12);
+  }
+}
+
+TEST(AnalyzeTails, TemporalShareInUnitInterval) {
+  const cdr::FingerprintDataset data = small_dataset();
+  const auto kgaps = core::k_gaps(data, 2);
+  const auto analysis = analyze_tails(stretch_profiles(data, kgaps));
+  ASSERT_EQ(analysis.temporal_share.size(), data.size());
+  for (const double share : analysis.temporal_share) {
+    EXPECT_GE(share, 0.0);
+    EXPECT_LE(share, 1.0);
+  }
+}
+
+TEST(AnalyzeTails, PureTemporalDifferencesGiveShareOne) {
+  // Same locations, different times: all stretch is temporal.
+  std::vector<cdr::Fingerprint> fps;
+  fps.emplace_back(0u, std::vector<cdr::Sample>{cell(0, 0, 0)});
+  fps.emplace_back(1u, std::vector<cdr::Sample>{cell(0, 0, 200)});
+  const cdr::FingerprintDataset data{std::move(fps)};
+  const auto analysis =
+      analyze_tails(stretch_profiles(data, core::k_gaps(data, 2)));
+  ASSERT_EQ(analysis.temporal_share.size(), 2u);
+  EXPECT_DOUBLE_EQ(analysis.temporal_share[0], 1.0);
+  EXPECT_DOUBLE_EQ(analysis.temporal_share[1], 1.0);
+}
+
+TEST(AnalyzeTails, PureSpatialDifferencesGiveShareZero) {
+  std::vector<cdr::Fingerprint> fps;
+  fps.emplace_back(0u, std::vector<cdr::Sample>{cell(0, 0, 0)});
+  fps.emplace_back(1u, std::vector<cdr::Sample>{cell(3'000, 0, 0)});
+  const cdr::FingerprintDataset data{std::move(fps)};
+  const auto analysis =
+      analyze_tails(stretch_profiles(data, core::k_gaps(data, 2)));
+  EXPECT_DOUBLE_EQ(analysis.temporal_share[0], 0.0);
+}
+
+TEST(AnalyzeTails, SyntheticCdrShowsTemporalDominance) {
+  // The paper's core diagnosis (Sec. 5.3): hiding *when* is harder than
+  // hiding *where*.  The synthetic CDR must reproduce it: the median
+  // temporal share exceeds 1/2.
+  synth::SynthConfig config = synth::civ_like(80, 31);
+  config.days = 5.0;
+  const cdr::FingerprintDataset data = synth::generate_dataset(config);
+  const auto analysis =
+      analyze_tails(stretch_profiles(data, core::k_gaps(data, 2)));
+  std::vector<double> shares = analysis.temporal_share;
+  std::sort(shares.begin(), shares.end());
+  const double median_share = shares[shares.size() / 2];
+  EXPECT_GT(median_share, 0.5);
+}
+
+TEST(AnalyzeTails, SkipsEmptyProfiles) {
+  std::vector<UserStretchProfile> profiles(3);
+  profiles[1].total = {0.1, 0.2};
+  profiles[1].spatial = {0.05, 0.1};
+  profiles[1].temporal = {0.05, 0.1};
+  const auto analysis = analyze_tails(profiles);
+  EXPECT_EQ(analysis.twi_total.size(), 1u);
+  EXPECT_EQ(analysis.temporal_share.size(), 1u);
+}
+
+}  // namespace
+}  // namespace glove::analysis

@@ -1,0 +1,80 @@
+#include "glove/analysis/descriptors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace glove::analysis {
+namespace {
+
+cdr::Sample cell(double x, double y, double t) {
+  cdr::Sample s;
+  s.sigma = cdr::SpatialExtent{x, 100.0, y, 100.0};
+  s.tau = cdr::TemporalExtent{t, 1.0};
+  return s;
+}
+
+TEST(RadiusOfGyration, ZeroForStationaryUser) {
+  const cdr::Fingerprint fp{0u, {cell(500, 500, 0), cell(500, 500, 100),
+                                 cell(500, 500, 200)}};
+  EXPECT_DOUBLE_EQ(radius_of_gyration_m(fp), 0.0);
+}
+
+TEST(RadiusOfGyration, HandComputedTwoPoints) {
+  // Two points 2 km apart on the x axis: centroid in the middle, each point
+  // 1 km away -> r_g = 1000.
+  const cdr::Fingerprint fp{0u, {cell(0, 0, 0), cell(2'000, 0, 100)}};
+  EXPECT_NEAR(radius_of_gyration_m(fp), 1'000.0, 1e-9);
+}
+
+TEST(RadiusOfGyration, EmptyFingerprintIsZero) {
+  const cdr::Fingerprint fp{0u, {}};
+  EXPECT_DOUBLE_EQ(radius_of_gyration_m(fp), 0.0);
+}
+
+TEST(RadiusOfGyration, GrowsWithSpread) {
+  const cdr::Fingerprint tight{0u, {cell(0, 0, 0), cell(500, 0, 10)}};
+  const cdr::Fingerprint wide{1u, {cell(0, 0, 0), cell(50'000, 0, 10)}};
+  EXPECT_GT(radius_of_gyration_m(wide), radius_of_gyration_m(tight));
+}
+
+TEST(Describe, CountsAndLengths) {
+  std::vector<cdr::Fingerprint> fps;
+  fps.emplace_back(0u, std::vector<cdr::Sample>{cell(0, 0, 0),
+                                                cell(100, 0, 1'440)});
+  fps.emplace_back(std::vector<cdr::UserId>{1u, 2u},
+                   std::vector<cdr::Sample>{cell(0, 0, 720)});
+  const DatasetDescriptor d = describe(cdr::FingerprintDataset{fps});
+  EXPECT_EQ(d.fingerprints, 2u);
+  EXPECT_EQ(d.users, 3u);
+  EXPECT_EQ(d.samples, 3u);
+  EXPECT_DOUBLE_EQ(d.mean_fingerprint_length, 1.5);
+  EXPECT_DOUBLE_EQ(d.median_fingerprint_length, 1.5);
+}
+
+TEST(Describe, TimespanInDays) {
+  std::vector<cdr::Fingerprint> fps;
+  fps.emplace_back(0u, std::vector<cdr::Sample>{cell(0, 0, 0),
+                                                cell(0, 0, 2'879)});
+  const DatasetDescriptor d = describe(cdr::FingerprintDataset{fps});
+  EXPECT_NEAR(d.timespan_days, 2.0, 1e-3);
+}
+
+TEST(Describe, EmptyDatasetAllZero) {
+  const DatasetDescriptor d = describe({});
+  EXPECT_EQ(d.fingerprints, 0u);
+  EXPECT_DOUBLE_EQ(d.samples_per_user_per_day, 0.0);
+}
+
+TEST(Describe, SamplesPerUserPerDay) {
+  std::vector<cdr::Fingerprint> fps;
+  // 1 user, 4 samples over 2 days -> 2 samples/user/day.
+  fps.emplace_back(0u, std::vector<cdr::Sample>{
+                           cell(0, 0, 0), cell(0, 0, 720),
+                           cell(0, 0, 1'440), cell(0, 0, 2'879)});
+  const DatasetDescriptor d = describe(cdr::FingerprintDataset{fps});
+  EXPECT_NEAR(d.samples_per_user_per_day, 2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace glove::analysis

@@ -1,0 +1,143 @@
+#include "glove/analysis/utility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "glove/core/glove.hpp"
+#include "glove/synth/generator.hpp"
+
+namespace glove::analysis {
+namespace {
+
+cdr::Sample sample_at(double x, double y, double t, double dt = 1.0,
+                      double size = 100.0) {
+  cdr::Sample s;
+  s.sigma = cdr::SpatialExtent{x, size, y, size};
+  s.tau = cdr::TemporalExtent{t, dt};
+  return s;
+}
+
+cdr::FingerprintDataset night_home_dataset() {
+  // User 0: nights at (0,0), days at (5km, 0).  User 1: nights at (20km, 0).
+  std::vector<cdr::Fingerprint> fps;
+  std::vector<cdr::Sample> u0;
+  std::vector<cdr::Sample> u1;
+  for (int d = 0; d < 4; ++d) {
+    const double day = d * 1'440.0;
+    u0.push_back(sample_at(0, 0, day + 23 * 60));       // 23:00 home
+    u0.push_back(sample_at(0, 0, day + 5 * 60));        // 05:00 home
+    u0.push_back(sample_at(5'000, 0, day + 12 * 60));   // noon work
+    u1.push_back(sample_at(20'000, 0, day + 2 * 60));   // 02:00 home
+    u1.push_back(sample_at(21'000, 0, day + 14 * 60));  // 14:00 out
+  }
+  fps.emplace_back(0u, std::move(u0));
+  fps.emplace_back(1u, std::move(u1));
+  return cdr::FingerprintDataset{std::move(fps)};
+}
+
+TEST(HomeDetection, FindsModalNightTile) {
+  const HomeDetection detector{1'000.0};
+  const auto homes = detector.detect(night_home_dataset());
+  ASSERT_EQ(homes.size(), 2u);
+  EXPECT_NEAR(homes.at(0).x_m, 500.0, 1.0);  // centre of tile [0, 1000)
+  EXPECT_NEAR(homes.at(1).x_m, 20'500.0, 1.0);
+}
+
+TEST(HomeDetection, IgnoresDaytimeOnlyLocations) {
+  const HomeDetection detector{1'000.0};
+  const auto homes = detector.detect(night_home_dataset());
+  // User 0's work tile (5 km) must not win despite equal visit counts.
+  EXPECT_LT(homes.at(0).x_m, 2'000.0);
+}
+
+TEST(CompareHomes, IdenticalDataPreservesAllHomes) {
+  const cdr::FingerprintDataset data = night_home_dataset();
+  const HomeUtilityReport report = compare_homes(data, data);
+  EXPECT_EQ(report.users_compared, 2u);
+  EXPECT_DOUBLE_EQ(report.same_tile_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_displacement_m, 0.0);
+}
+
+TEST(CompareHomes, GloveKeepsHomesUsable) {
+  // The paper's utility claim (Sec. 2.4): routine-behaviour analyses like
+  // home detection survive k-anonymization.
+  synth::SynthConfig config = synth::civ_like(60, 55);
+  config.days = 4.0;
+  const cdr::FingerprintDataset data = synth::generate_dataset(config);
+  const core::GloveResult glove = core::anonymize(data, {});
+  const HomeUtilityReport report = compare_homes(data, glove.anonymized);
+  EXPECT_GT(report.users_compared, 40u);
+  // Homes move, but the median detected home stays within a few km.
+  EXPECT_LT(report.median_displacement_m, 5'000.0);
+}
+
+TEST(PopulationDensity, NormalizedAndLocalized) {
+  const auto density = population_density(night_home_dataset(), 1'000.0);
+  double total = 0.0;
+  for (const auto& [cell, mass] : density) {
+    EXPECT_GE(mass, 0.0);
+    total += mass;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PopulationDensity, WideSamplesSpreadMass) {
+  std::vector<cdr::Fingerprint> fps;
+  // One 2km-wide sample covering two 1km tiles.
+  fps.emplace_back(0u, std::vector<cdr::Sample>{
+                           sample_at(0, 0, 10, 1.0, 2'000.0)});
+  const auto density =
+      population_density(cdr::FingerprintDataset{std::move(fps)}, 1'000.0);
+  EXPECT_GE(density.size(), 4u);  // 2x2 tiles
+  for (const auto& [cell, mass] : density) {
+    EXPECT_NEAR(mass, 0.25, 1e-9);
+  }
+}
+
+TEST(DensityDistance, ZeroForIdenticalOneForDisjoint) {
+  const auto a = population_density(night_home_dataset(), 1'000.0);
+  EXPECT_NEAR(density_distance(a, a), 0.0, 1e-12);
+
+  std::vector<cdr::Fingerprint> far;
+  far.emplace_back(9u, std::vector<cdr::Sample>{
+                           sample_at(900'000, 900'000, 0)});
+  const auto b =
+      population_density(cdr::FingerprintDataset{std::move(far)}, 1'000.0);
+  EXPECT_NEAR(density_distance(a, b), 1.0, 1e-12);
+}
+
+TEST(DensityDistance, GloveKeepsAggregateDistributionClose) {
+  // Aggregate-statistics utility (Sec. 2.4): at the 10 km resolution of
+  // land-use / population studies, the anonymized spatial distribution
+  // stays close to the original (TV distance far from the disjoint 1.0).
+  synth::SynthConfig config = synth::civ_like(60, 56);
+  config.days = 4.0;
+  const cdr::FingerprintDataset data = synth::generate_dataset(config);
+  const core::GloveResult glove = core::anonymize(data, {});
+  const auto before = population_density(data, 10'000.0);
+  const auto after = population_density(glove.anonymized, 10'000.0);
+  // Loose bound at this tiny (60-user) scale; larger populations score
+  // much lower because merge partners share tiles more often.
+  EXPECT_LT(density_distance(before, after), 0.45);
+}
+
+TEST(HourlyProfile, SumsToOneAndFollowsActivity) {
+  const auto profile = hourly_profile(night_home_dataset());
+  double total = 0.0;
+  for (const double share : profile) total += share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // The hand-made dataset has events at 23:00, 05:00, 12:00, 02:00, 14:00.
+  EXPECT_GT(profile[12], 0.0);
+  EXPECT_DOUBLE_EQ(profile[8], 0.0);
+}
+
+TEST(ProfileDistance, BoundsRespected) {
+  std::array<double, 24> a{};
+  std::array<double, 24> b{};
+  a[0] = 1.0;
+  b[12] = 1.0;
+  EXPECT_DOUBLE_EQ(profile_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(profile_distance(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace glove::analysis

@@ -1,0 +1,145 @@
+#include "glove/cdr/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace glove::cdr {
+namespace {
+
+Sample sample_at(double x, double y, double t) {
+  Sample s;
+  s.sigma = SpatialExtent{x, 100.0, y, 100.0};
+  s.tau = TemporalExtent{t, 1.0};
+  return s;
+}
+
+FingerprintDataset make_dataset() {
+  std::vector<Fingerprint> fps;
+  // User 0: 4 samples over 2 days, near origin.
+  fps.emplace_back(0u, std::vector<Sample>{sample_at(0, 0, 60),
+                                           sample_at(100, 0, 720),
+                                           sample_at(0, 100, 1500),
+                                           sample_at(0, 0, 2800)});
+  // User 1: 2 samples, far away (100 km).
+  fps.emplace_back(1u, std::vector<Sample>{sample_at(100'000, 100'000, 30),
+                                           sample_at(100'000, 100'100, 2000)});
+  // User 2: 1 sample near origin.
+  fps.emplace_back(2u, std::vector<Sample>{sample_at(200, 200, 1000)});
+  return FingerprintDataset{std::move(fps), "test"};
+}
+
+TEST(FingerprintDataset, BasicAccessors) {
+  const FingerprintDataset data = make_dataset();
+  EXPECT_EQ(data.size(), 3u);
+  EXPECT_EQ(data.total_samples(), 7u);
+  EXPECT_EQ(data.total_users(), 3u);
+  EXPECT_NEAR(data.mean_fingerprint_length(), 7.0 / 3.0, 1e-12);
+  EXPECT_EQ(data.name(), "test");
+}
+
+TEST(FingerprintDataset, TimeSpanCoversAllSamples) {
+  const auto span = make_dataset().time_span();
+  EXPECT_DOUBLE_EQ(span.begin_min, 30.0);
+  EXPECT_DOUBLE_EQ(span.end_min, 2801.0);  // last start + dt
+}
+
+TEST(FingerprintDataset, EmptyDatasetTimeSpanIsZero) {
+  const FingerprintDataset empty;
+  const auto span = empty.time_span();
+  EXPECT_DOUBLE_EQ(span.begin_min, 0.0);
+  EXPECT_DOUBLE_EQ(span.end_min, 0.0);
+}
+
+TEST(FilterMinActivity, DropsLowActivityUsers) {
+  const FingerprintDataset data = make_dataset();
+  // 2-day window; require >= 1.5 samples/day -> only user 0 (4 samples).
+  const FingerprintDataset kept = filter_min_activity(data, 1.5, 2.0);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].members()[0], 0u);
+}
+
+TEST(FilterMinActivity, KeepsEveryoneWithZeroThreshold) {
+  const FingerprintDataset data = make_dataset();
+  EXPECT_EQ(filter_min_activity(data, 0.0, 2.0).size(), 3u);
+}
+
+TEST(FilterMinActivity, RejectsBadTimespan) {
+  EXPECT_THROW((void)filter_min_activity(make_dataset(), 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(CutTimeWindow, KeepsOnlySamplesInside) {
+  const FingerprintDataset cut = cut_time_window(make_dataset(), 0.0, 1440.0);
+  // User 0 keeps 2 samples (t=60, 720); user 1 keeps t=30; user 2 keeps 1000.
+  EXPECT_EQ(cut.size(), 3u);
+  EXPECT_EQ(cut.total_samples(), 4u);
+}
+
+TEST(CutTimeWindow, DropsUsersLeftEmpty) {
+  const FingerprintDataset cut =
+      cut_time_window(make_dataset(), 2500.0, 4000.0);
+  ASSERT_EQ(cut.size(), 1u);
+  EXPECT_EQ(cut[0].members()[0], 0u);
+}
+
+TEST(CutTimeWindow, RejectsEmptyWindow) {
+  EXPECT_THROW((void)cut_time_window(make_dataset(), 10.0, 10.0),
+               std::invalid_argument);
+}
+
+TEST(FilterGeofence, KeepsUsersMostlyInside) {
+  // Box of 10 km around the origin: users 0 and 2 are inside, user 1 out.
+  const FingerprintDataset city =
+      filter_geofence(make_dataset(), 0.0, 0.0, 10'000.0, 0.8);
+  EXPECT_EQ(city.size(), 2u);
+}
+
+TEST(FilterGeofence, FractionThresholdMatters) {
+  std::vector<Fingerprint> fps;
+  // Half the samples inside the box, half outside.
+  fps.emplace_back(0u, std::vector<Sample>{sample_at(0, 0, 0),
+                                           sample_at(50'000, 0, 100)});
+  const FingerprintDataset data{std::move(fps)};
+  EXPECT_EQ(filter_geofence(data, 0, 0, 1'000, 0.9).size(), 0u);
+  ASSERT_EQ(filter_geofence(data, 0, 0, 1'000, 0.5).size(), 1u);
+  // The outside sample is dropped from the kept fingerprint.
+  EXPECT_EQ(filter_geofence(data, 0, 0, 1'000, 0.5)[0].size(), 1u);
+}
+
+TEST(FilterGeofence, RejectsBadRadius) {
+  EXPECT_THROW((void)filter_geofence(make_dataset(), 0, 0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(SubsampleUsers, FullFractionKeepsAll) {
+  const FingerprintDataset data = make_dataset();
+  EXPECT_EQ(subsample_users(data, 1.0, 1).size(), 3u);
+}
+
+TEST(SubsampleUsers, IsDeterministicInSeed) {
+  const FingerprintDataset data = make_dataset();
+  const auto a = subsample_users(data, 0.5, 42);
+  const auto b = subsample_users(data, 0.5, 42);
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(SubsampleUsers, FractionRoughlyRespected) {
+  std::vector<Fingerprint> fps;
+  for (UserId u = 0; u < 2'000; ++u) {
+    fps.emplace_back(u, std::vector<Sample>{sample_at(0, 0, u)});
+  }
+  const FingerprintDataset data{std::move(fps)};
+  const auto half = subsample_users(data, 0.5, 9);
+  EXPECT_NEAR(static_cast<double>(half.size()), 1'000.0, 100.0);
+}
+
+TEST(SubsampleUsers, RejectsBadFraction) {
+  EXPECT_THROW((void)subsample_users(make_dataset(), 0.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)subsample_users(make_dataset(), 1.5, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace glove::cdr

@@ -1,0 +1,79 @@
+#include "glove/cdr/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace glove::cdr {
+namespace {
+
+Sample at_time(double t, std::uint32_t contributors = 1) {
+  Sample s;
+  s.sigma = SpatialExtent{0.0, 100.0, 0.0, 100.0};
+  s.tau = TemporalExtent{t, 1.0};
+  s.contributors = contributors;
+  return s;
+}
+
+TEST(Fingerprint, SingleUserConstruction) {
+  const Fingerprint fp{7u, {at_time(5.0), at_time(1.0)}};
+  EXPECT_EQ(fp.group_size(), 1u);
+  ASSERT_EQ(fp.members().size(), 1u);
+  EXPECT_EQ(fp.members()[0], 7u);
+  EXPECT_EQ(fp.size(), 2u);
+}
+
+TEST(Fingerprint, SamplesAreSortedOnConstruction) {
+  const Fingerprint fp{1u, {at_time(30.0), at_time(10.0), at_time(20.0)}};
+  ASSERT_EQ(fp.size(), 3u);
+  EXPECT_DOUBLE_EQ(fp.samples()[0].tau.t, 10.0);
+  EXPECT_DOUBLE_EQ(fp.samples()[1].tau.t, 20.0);
+  EXPECT_DOUBLE_EQ(fp.samples()[2].tau.t, 30.0);
+}
+
+TEST(Fingerprint, GroupConstructionKeepsAllMembers) {
+  const Fingerprint fp{{3u, 1u, 2u}, {at_time(0.0)}};
+  EXPECT_EQ(fp.group_size(), 3u);
+  EXPECT_EQ(fp.representative(), 1u);
+}
+
+TEST(Fingerprint, EmptyMemberListRejected) {
+  EXPECT_THROW((Fingerprint{std::vector<UserId>{}, {at_time(0.0)}}),
+               std::invalid_argument);
+}
+
+TEST(Fingerprint, EmptySamplesAllowed) {
+  const Fingerprint fp{5u, {}};
+  EXPECT_TRUE(fp.empty());
+  EXPECT_EQ(fp.size(), 0u);
+}
+
+TEST(Fingerprint, TotalContributorsSumsSamples) {
+  const Fingerprint fp{1u, {at_time(0.0, 2), at_time(1.0, 3)}};
+  EXPECT_EQ(fp.total_contributors(), 5u);
+}
+
+TEST(Fingerprint, AbsorbMembersConcatenates) {
+  Fingerprint a{1u, {at_time(0.0)}};
+  const Fingerprint b{{2u, 3u}, {at_time(1.0)}};
+  a.absorb_members(b);
+  EXPECT_EQ(a.group_size(), 3u);
+  EXPECT_EQ(a.representative(), 1u);
+}
+
+TEST(Fingerprint, MutableSamplesWithResort) {
+  Fingerprint fp{1u, {at_time(1.0), at_time(2.0)}};
+  fp.mutable_samples().push_back(at_time(0.5));
+  fp.sort_samples();
+  EXPECT_DOUBLE_EQ(fp.samples()[0].tau.t, 0.5);
+  EXPECT_EQ(fp.size(), 3u);
+}
+
+TEST(Fingerprint, DefaultConstructedHasNoMembers) {
+  const Fingerprint fp;
+  EXPECT_EQ(fp.group_size(), 0u);
+  EXPECT_THROW((void)fp.representative(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace glove::cdr

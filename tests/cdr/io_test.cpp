@@ -1,0 +1,116 @@
+#include "glove/cdr/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace glove::cdr {
+namespace {
+
+TEST(CdrIo, EventsRoundTrip) {
+  const std::vector<CdrEvent> events{
+      {0u, 12.5, geo::LatLon{5.345, -4.024}},
+      {3u, 999.0, geo::LatLon{14.69, -17.44}},
+  };
+  std::ostringstream out;
+  write_cdr_csv(out, events);
+  std::istringstream in{out.str()};
+  const std::vector<CdrEvent> back = read_cdr_csv(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].user, 0u);
+  EXPECT_DOUBLE_EQ(back[0].time_min, 12.5);
+  EXPECT_NEAR(back[1].antenna.lat_deg, 14.69, 1e-9);
+  EXPECT_NEAR(back[1].antenna.lon_deg, -17.44, 1e-9);
+}
+
+TEST(CdrIo, RejectsWrongFieldCount) {
+  std::istringstream in{"1,2,3\n"};
+  EXPECT_THROW((void)read_cdr_csv(in), std::invalid_argument);
+}
+
+TEST(CdrIo, RejectsNegativeUserId) {
+  std::istringstream in{"-1,0,5.0,4.0\n"};
+  EXPECT_THROW((void)read_cdr_csv(in), std::invalid_argument);
+}
+
+TEST(CdrIo, RejectsMalformedNumbers) {
+  std::istringstream in{"1,abc,5.0,4.0\n"};
+  EXPECT_THROW((void)read_cdr_csv(in), std::invalid_argument);
+}
+
+FingerprintDataset sample_dataset() {
+  Sample s1;
+  s1.sigma = SpatialExtent{100.0, 100.0, 200.0, 100.0};
+  s1.tau = TemporalExtent{10.0, 1.0};
+  Sample s2;
+  s2.sigma = SpatialExtent{0.0, 500.0, 0.0, 300.0};
+  s2.tau = TemporalExtent{50.0, 30.0};
+  s2.contributors = 4;
+
+  std::vector<Fingerprint> fps;
+  fps.emplace_back(std::vector<UserId>{1u, 2u}, std::vector<Sample>{s1, s2});
+  fps.emplace_back(7u, std::vector<Sample>{s1});
+  return FingerprintDataset{std::move(fps), "io-test"};
+}
+
+TEST(DatasetIo, RoundTripPreservesStructure) {
+  const FingerprintDataset data = sample_dataset();
+  std::ostringstream out;
+  write_dataset_csv(out, data);
+  std::istringstream in{out.str()};
+  const FingerprintDataset back = read_dataset_csv(in);
+
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].group_size(), 2u);
+  EXPECT_EQ(back[0].members()[0], 1u);
+  EXPECT_EQ(back[0].members()[1], 2u);
+  EXPECT_EQ(back[1].group_size(), 1u);
+  ASSERT_EQ(back[0].size(), 2u);
+
+  const Sample& s = back[0].samples()[1];
+  EXPECT_DOUBLE_EQ(s.sigma.dx, 500.0);
+  EXPECT_DOUBLE_EQ(s.tau.dt, 30.0);
+  EXPECT_EQ(s.contributors, 4u);
+}
+
+TEST(DatasetIo, RejectsWrongFieldCount) {
+  std::istringstream in{"1,2,3,4\n"};
+  EXPECT_THROW((void)read_dataset_csv(in), std::invalid_argument);
+}
+
+TEST(DatasetIo, RejectsNonPositiveContributors) {
+  std::istringstream in{"1,0,100,0,100,0,1,0\n"};
+  EXPECT_THROW((void)read_dataset_csv(in), std::invalid_argument);
+}
+
+TEST(DatasetIo, ParsesJoinedMembers) {
+  std::istringstream in{"10+20+30,0,100,0,100,5,1,1\n"};
+  const FingerprintDataset data = read_dataset_csv(in);
+  ASSERT_EQ(data.size(), 1u);
+  EXPECT_EQ(data[0].group_size(), 3u);
+  EXPECT_EQ(data[0].members()[2], 30u);
+}
+
+TEST(DatasetIo, RejectsEmptyMembersField) {
+  std::istringstream in{",0,100,0,100,5,1,1\n"};
+  EXPECT_THROW((void)read_dataset_csv(in), std::invalid_argument);
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_cdr_file("/nonexistent/path.csv"),
+               std::runtime_error);
+  EXPECT_THROW((void)read_dataset_file("/nonexistent/path.csv"),
+               std::runtime_error);
+}
+
+TEST(FileIo, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/glove_io_test.csv";
+  write_dataset_file(path, sample_dataset());
+  const FingerprintDataset back = read_dataset_file(path);
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.total_samples(), 3u);
+}
+
+}  // namespace
+}  // namespace glove::cdr

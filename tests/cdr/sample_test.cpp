@@ -1,0 +1,81 @@
+#include "glove/cdr/sample.hpp"
+
+#include <gtest/gtest.h>
+
+namespace glove::cdr {
+namespace {
+
+Sample make_sample(double x, double dx, double y, double dy, double t,
+                   double dt) {
+  Sample s;
+  s.sigma = SpatialExtent{x, dx, y, dy};
+  s.tau = TemporalExtent{t, dt};
+  return s;
+}
+
+TEST(SpatialExtent, EndpointsAndAccuracy) {
+  const SpatialExtent e{100.0, 50.0, 200.0, 80.0};
+  EXPECT_DOUBLE_EQ(e.x_end(), 150.0);
+  EXPECT_DOUBLE_EQ(e.y_end(), 280.0);
+  EXPECT_DOUBLE_EQ(e.accuracy_m(), 80.0);  // max of dx, dy
+}
+
+TEST(TemporalExtent, EndpointAndAccuracy) {
+  const TemporalExtent e{60.0, 15.0};
+  EXPECT_DOUBLE_EQ(e.t_end(), 75.0);
+  EXPECT_DOUBLE_EQ(e.accuracy_min(), 15.0);
+}
+
+TEST(Sample, DefaultContributorsIsOne) {
+  const Sample s;
+  EXPECT_EQ(s.contributors, 1u);
+}
+
+TEST(ByTime, OrdersByStartThenEnd) {
+  const Sample early = make_sample(0, 1, 0, 1, 10.0, 5.0);
+  const Sample late = make_sample(0, 1, 0, 1, 20.0, 5.0);
+  EXPECT_TRUE(by_time(early, late));
+  EXPECT_FALSE(by_time(late, early));
+
+  const Sample short_iv = make_sample(0, 1, 0, 1, 10.0, 2.0);
+  const Sample long_iv = make_sample(0, 1, 0, 1, 10.0, 9.0);
+  EXPECT_TRUE(by_time(short_iv, long_iv));
+}
+
+TEST(TimeOverlaps, DetectsOverlap) {
+  const Sample a = make_sample(0, 1, 0, 1, 0.0, 10.0);
+  const Sample b = make_sample(0, 1, 0, 1, 5.0, 10.0);
+  EXPECT_TRUE(time_overlaps(a, b));
+  EXPECT_TRUE(time_overlaps(b, a));
+}
+
+TEST(TimeOverlaps, TouchingIntervalsDoNotOverlap) {
+  const Sample a = make_sample(0, 1, 0, 1, 0.0, 10.0);
+  const Sample b = make_sample(0, 1, 0, 1, 10.0, 5.0);
+  EXPECT_FALSE(time_overlaps(a, b));
+  EXPECT_FALSE(time_overlaps(b, a));
+}
+
+TEST(TimeOverlaps, DisjointIntervals) {
+  const Sample a = make_sample(0, 1, 0, 1, 0.0, 5.0);
+  const Sample b = make_sample(0, 1, 0, 1, 100.0, 5.0);
+  EXPECT_FALSE(time_overlaps(a, b));
+}
+
+TEST(TimeOverlaps, ContainmentOverlaps) {
+  const Sample outer = make_sample(0, 1, 0, 1, 0.0, 100.0);
+  const Sample inner = make_sample(0, 1, 0, 1, 40.0, 10.0);
+  EXPECT_TRUE(time_overlaps(outer, inner));
+  EXPECT_TRUE(time_overlaps(inner, outer));
+}
+
+TEST(Sample, EqualityIsMemberwise) {
+  const Sample a = make_sample(1, 2, 3, 4, 5, 6);
+  Sample b = a;
+  EXPECT_EQ(a, b);
+  b.contributors = 2;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace glove::cdr

@@ -1,0 +1,122 @@
+#include "glove/core/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace glove::core {
+namespace {
+
+cdr::Sample make_sample(double dx, double dt, double t = 0.0,
+                        double x = 0.0) {
+  cdr::Sample s;
+  s.sigma = cdr::SpatialExtent{x, dx, 0.0, dx};
+  s.tau = cdr::TemporalExtent{t, dt};
+  return s;
+}
+
+cdr::FingerprintDataset mixed_dataset() {
+  std::vector<cdr::Fingerprint> fps;
+  // Group of 2 users with one tight and one loose sample.
+  fps.emplace_back(std::vector<cdr::UserId>{0u, 1u},
+                   std::vector<cdr::Sample>{make_sample(100.0, 1.0, 0.0),
+                                            make_sample(2'000.0, 120.0, 50.0)});
+  // Group of 1 user with a medium sample.
+  fps.emplace_back(2u, std::vector<cdr::Sample>{make_sample(500.0, 30.0)});
+  return cdr::FingerprintDataset{std::move(fps)};
+}
+
+TEST(MeasureAccuracy, ExtractsExtentsAndWeights) {
+  const AccuracyObservations obs = measure_accuracy(mixed_dataset());
+  ASSERT_EQ(obs.position_m.size(), 3u);
+  EXPECT_DOUBLE_EQ(obs.position_m[0], 100.0);
+  EXPECT_DOUBLE_EQ(obs.position_m[1], 2'000.0);
+  EXPECT_DOUBLE_EQ(obs.time_min[1], 120.0);
+  // Weights equal the group sizes.
+  EXPECT_DOUBLE_EQ(obs.weight[0], 2.0);
+  EXPECT_DOUBLE_EQ(obs.weight[2], 1.0);
+}
+
+TEST(MeasureAccuracy, EmptyDataset) {
+  const AccuracyObservations obs = measure_accuracy({});
+  EXPECT_TRUE(obs.empty());
+  const AccuracySummary summary = summarize_accuracy(obs);
+  EXPECT_DOUBLE_EQ(summary.mean_position_m, 0.0);
+}
+
+TEST(SummarizeAccuracy, WeightedMeanHandComputed) {
+  const AccuracySummary summary =
+      summarize_accuracy(measure_accuracy(mixed_dataset()));
+  // Weighted mean: (100*2 + 2000*2 + 500*1) / 5 = 940.
+  EXPECT_DOUBLE_EQ(summary.mean_position_m, 940.0);
+  // Weighted mean time: (1*2 + 120*2 + 30*1) / 5 = 54.4.
+  EXPECT_DOUBLE_EQ(summary.mean_time_min, 54.4);
+}
+
+TEST(SummarizeAccuracy, MedianUsesWeights) {
+  const AccuracySummary summary =
+      summarize_accuracy(measure_accuracy(mixed_dataset()));
+  // Expanded sample: {100,100,500,2000,2000} -> median 500.
+  EXPECT_DOUBLE_EQ(summary.median_position_m, 500.0);
+}
+
+TEST(AccuracyCdfs, MatchWeightedDistribution) {
+  const AccuracyObservations obs = measure_accuracy(mixed_dataset());
+  const auto pos = position_accuracy_cdf(obs);
+  EXPECT_DOUBLE_EQ(pos.at(100.0), 0.4);   // 2 of 5 records
+  EXPECT_DOUBLE_EQ(pos.at(500.0), 0.6);
+  EXPECT_DOUBLE_EQ(pos.at(2'000.0), 1.0);
+  const auto time = time_accuracy_cdf(obs);
+  EXPECT_DOUBLE_EQ(time.at(1.0), 0.4);
+  EXPECT_DOUBLE_EQ(time.at(30.0), 0.6);
+}
+
+TEST(CountUncovered, IdenticalDatasetsFullyCovered) {
+  std::vector<cdr::Fingerprint> fps;
+  fps.emplace_back(0u, std::vector<cdr::Sample>{make_sample(100.0, 1.0)});
+  const cdr::FingerprintDataset data{std::move(fps)};
+  EXPECT_EQ(count_uncovered_samples(data, data), 0u);
+}
+
+TEST(CountUncovered, DetectsMissingUser) {
+  std::vector<cdr::Fingerprint> original;
+  original.emplace_back(0u,
+                        std::vector<cdr::Sample>{make_sample(100.0, 1.0),
+                                                 make_sample(100.0, 1.0, 60)});
+  std::vector<cdr::Fingerprint> published;  // user 0 absent
+  published.emplace_back(1u,
+                         std::vector<cdr::Sample>{make_sample(100.0, 1.0)});
+  EXPECT_EQ(count_uncovered_samples(cdr::FingerprintDataset{original},
+                                    cdr::FingerprintDataset{published}),
+            2u);
+}
+
+TEST(CountUncovered, DetectsShrunkenCoverage) {
+  std::vector<cdr::Fingerprint> original;
+  original.emplace_back(
+      0u, std::vector<cdr::Sample>{make_sample(100.0, 1.0, 0.0, 0.0),
+                                   make_sample(100.0, 1.0, 0.0, 10'000.0)});
+  // Published keeps only the first location.
+  std::vector<cdr::Fingerprint> published;
+  published.emplace_back(
+      0u, std::vector<cdr::Sample>{make_sample(100.0, 1.0, 0.0, 0.0)});
+  EXPECT_EQ(count_uncovered_samples(cdr::FingerprintDataset{original},
+                                    cdr::FingerprintDataset{published}),
+            1u);
+}
+
+TEST(CountUncovered, WiderPublishedSampleCovers) {
+  std::vector<cdr::Fingerprint> original;
+  original.emplace_back(
+      0u, std::vector<cdr::Sample>{make_sample(100.0, 1.0, 10.0, 500.0)});
+  // Published sample is a superset rectangle and interval.
+  cdr::Sample wide;
+  wide.sigma = cdr::SpatialExtent{0.0, 5'000.0, 0.0, 5'000.0};
+  wide.tau = cdr::TemporalExtent{0.0, 60.0};
+  std::vector<cdr::Fingerprint> published;
+  published.emplace_back(0u, std::vector<cdr::Sample>{wide});
+  EXPECT_EQ(count_uncovered_samples(cdr::FingerprintDataset{original},
+                                    cdr::FingerprintDataset{published}),
+            0u);
+}
+
+}  // namespace
+}  // namespace glove::core

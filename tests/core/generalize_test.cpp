@@ -1,0 +1,156 @@
+#include "glove/core/generalize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "glove/core/kgap.hpp"
+
+namespace glove::core {
+namespace {
+
+cdr::Sample cell(double x, double y, double t) {
+  cdr::Sample s;
+  s.sigma = cdr::SpatialExtent{x, 100.0, y, 100.0};
+  s.tau = cdr::TemporalExtent{t, 1.0};
+  return s;
+}
+
+TEST(GeneralizeSample, SnapsToCoarserTile) {
+  const cdr::Sample s = cell(1'230.0, 2'860.0, 125.0);
+  const cdr::Sample g = generalize_sample(s, {1'000.0, 60.0});
+  EXPECT_DOUBLE_EQ(g.sigma.x, 1'000.0);
+  EXPECT_DOUBLE_EQ(g.sigma.dx, 1'000.0);
+  EXPECT_DOUBLE_EQ(g.sigma.y, 2'000.0);
+  EXPECT_DOUBLE_EQ(g.sigma.dy, 1'000.0);
+  EXPECT_DOUBLE_EQ(g.tau.t, 120.0);
+  EXPECT_DOUBLE_EQ(g.tau.dt, 60.0);
+}
+
+TEST(GeneralizeSample, ContainsTheOriginal) {
+  const cdr::Sample s = cell(1'230.0, 2'860.0, 125.0);
+  const cdr::Sample g = generalize_sample(s, {2'500.0, 120.0});
+  EXPECT_LE(g.sigma.x, s.sigma.x);
+  EXPECT_GE(g.sigma.x_end(), s.sigma.x_end());
+  EXPECT_LE(g.sigma.y, s.sigma.y);
+  EXPECT_GE(g.sigma.y_end(), s.sigma.y_end());
+  EXPECT_LE(g.tau.t, s.tau.t);
+  EXPECT_GE(g.tau.t_end(), s.tau.t_end());
+}
+
+TEST(GeneralizeSample, CellSpanningTwoTilesWidensToBoth) {
+  // Interval [950, 1050] straddles the 1 km tile edge -> [0, 2000].
+  cdr::Sample s = cell(950.0, 0.0, 0.0);
+  const cdr::Sample g = generalize_sample(s, {1'000.0, 60.0});
+  EXPECT_DOUBLE_EQ(g.sigma.x, 0.0);
+  EXPECT_DOUBLE_EQ(g.sigma.dx, 2'000.0);
+}
+
+TEST(GeneralizeSample, IdentityAtOriginalGranularity) {
+  const cdr::Sample s = cell(1'200.0, 300.0, 42.0);
+  const cdr::Sample g = generalize_sample(s, {100.0, 1.0});
+  EXPECT_EQ(g, s);
+}
+
+TEST(GeneralizeSample, RejectsNonPositiveLevels) {
+  const cdr::Sample s = cell(0, 0, 0);
+  EXPECT_THROW((void)generalize_sample(s, {0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((void)generalize_sample(s, {1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(GeneralizeDataset, CollapsesDuplicateSamples) {
+  // Two samples 200 m and 5 min apart collapse under 1 km / 30 min tiles.
+  std::vector<cdr::Fingerprint> fps;
+  fps.emplace_back(0u, std::vector<cdr::Sample>{cell(100, 0, 10),
+                                                cell(300, 0, 15)});
+  const auto out =
+      generalize_dataset(cdr::FingerprintDataset{std::move(fps)},
+                         {1'000.0, 30.0});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 1u);
+  EXPECT_EQ(out[0].samples()[0].contributors, 2u);
+}
+
+TEST(GeneralizeDataset, PreservesMembersAndOrder) {
+  std::vector<cdr::Fingerprint> fps;
+  fps.emplace_back(7u, std::vector<cdr::Sample>{cell(0, 0, 10)});
+  fps.emplace_back(3u, std::vector<cdr::Sample>{cell(5'000, 0, 700)});
+  const auto out =
+      generalize_dataset(cdr::FingerprintDataset{std::move(fps)},
+                         {1'000.0, 60.0});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].members()[0], 7u);
+  EXPECT_EQ(out[1].members()[0], 3u);
+}
+
+TEST(GeneralizeDataset, MakesDistinctUsersIdentical) {
+  // 300 m and 10 min apart: identical under 1 km / 30 min generalization —
+  // the Fig. 1b mechanism.
+  std::vector<cdr::Fingerprint> fps;
+  fps.emplace_back(0u, std::vector<cdr::Sample>{cell(100, 100, 5)});
+  fps.emplace_back(1u, std::vector<cdr::Sample>{cell(400, 200, 15)});
+  const auto out =
+      generalize_dataset(cdr::FingerprintDataset{std::move(fps)},
+                         {1'000.0, 30.0});
+  EXPECT_EQ(out[0].samples()[0], out[1].samples()[0]);
+}
+
+TEST(GeneralizeDataset, ReducesKGap) {
+  // Property from Fig. 4: generalization can only shrink (or keep) the
+  // anonymization gap.
+  std::vector<cdr::Fingerprint> fps;
+  fps.emplace_back(0u, std::vector<cdr::Sample>{cell(0, 0, 0),
+                                                cell(900, 0, 300)});
+  fps.emplace_back(1u, std::vector<cdr::Sample>{cell(400, 0, 40),
+                                                cell(1'300, 0, 350)});
+  fps.emplace_back(2u, std::vector<cdr::Sample>{cell(3'000, 0, 100),
+                                                cell(200, 0, 500)});
+  const cdr::FingerprintDataset data{std::move(fps)};
+  const auto raw = k_gap_values(data, 2);
+  const auto coarse =
+      k_gap_values(generalize_dataset(data, {5'000.0, 120.0}), 2);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_LE(coarse[i], raw[i] + 1e-12);
+  }
+}
+
+// --- Parameterized sweep over the paper's Fig. 4 generalization ladder.
+
+class GeneralizationLadder
+    : public ::testing::TestWithParam<GeneralizationLevel> {};
+
+TEST_P(GeneralizationLadder, OutputGranularityMatchesLevel) {
+  const GeneralizationLevel level = GetParam();
+  const cdr::Sample s = cell(12'345.0, 67'890.0, 1'234.0);
+  const cdr::Sample g = generalize_sample(s, level);
+  // The output is tile-aligned and spans a whole number of tiles (one tile
+  // normally; two when the 100 m sample straddles a tile boundary).
+  EXPECT_DOUBLE_EQ(std::fmod(g.sigma.x, level.spatial_m), 0.0);
+  EXPECT_DOUBLE_EQ(std::fmod(g.sigma.dx, level.spatial_m), 0.0);
+  EXPECT_DOUBLE_EQ(std::fmod(g.sigma.dy, level.spatial_m), 0.0);
+  EXPECT_DOUBLE_EQ(std::fmod(g.tau.t, level.temporal_min), 0.0);
+  EXPECT_DOUBLE_EQ(std::fmod(g.tau.dt, level.temporal_min), 0.0);
+  EXPECT_GE(g.sigma.dx, level.spatial_m);
+  EXPECT_LE(g.sigma.dx, 2.0 * level.spatial_m);
+  EXPECT_GE(g.tau.dt, level.temporal_min);
+  EXPECT_LE(g.tau.dt, 2.0 * level.temporal_min);
+  // And it covers the original sample.
+  EXPECT_LE(g.sigma.x, s.sigma.x);
+  EXPECT_GE(g.sigma.x_end(), s.sigma.x_end());
+  EXPECT_LE(g.tau.t, s.tau.t);
+  EXPECT_GE(g.tau.t_end(), s.tau.t_end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperLevels, GeneralizationLadder,
+    ::testing::Values(GeneralizationLevel{100.0, 1.0},
+                      GeneralizationLevel{1'000.0, 30.0},
+                      GeneralizationLevel{2'500.0, 60.0},
+                      GeneralizationLevel{5'000.0, 120.0},
+                      GeneralizationLevel{10'000.0, 240.0},
+                      GeneralizationLevel{20'000.0, 480.0}));
+
+}  // namespace
+}  // namespace glove::core

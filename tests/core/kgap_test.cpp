@@ -1,0 +1,107 @@
+#include "glove/core/kgap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace glove::core {
+namespace {
+
+cdr::Sample cell(double x, double y, double t) {
+  cdr::Sample s;
+  s.sigma = cdr::SpatialExtent{x, 100.0, y, 100.0};
+  s.tau = cdr::TemporalExtent{t, 1.0};
+  return s;
+}
+
+cdr::FingerprintDataset triangle_dataset() {
+  // Users 0 and 1 are near-identical; user 2 is far from both.
+  std::vector<cdr::Fingerprint> fps;
+  fps.emplace_back(0u, std::vector<cdr::Sample>{cell(0, 0, 0),
+                                                cell(100, 0, 600)});
+  fps.emplace_back(1u, std::vector<cdr::Sample>{cell(0, 0, 2),
+                                                cell(100, 0, 605)});
+  fps.emplace_back(2u, std::vector<cdr::Sample>{cell(15'000, 15'000, 100),
+                                                cell(15'000, 15'000, 900)});
+  return cdr::FingerprintDataset{std::move(fps)};
+}
+
+TEST(KGap, NearestNeighborIsSelected) {
+  const auto entries = k_gaps(triangle_dataset(), 2);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].neighbors, std::vector<std::size_t>{1});
+  EXPECT_EQ(entries[1].neighbors, std::vector<std::size_t>{0});
+  // The outlier's nearest is one of the close pair.
+  ASSERT_EQ(entries[2].neighbors.size(), 1u);
+}
+
+TEST(KGap, CloseUsersHaveSmallGap) {
+  const auto entries = k_gaps(triangle_dataset(), 2);
+  EXPECT_LT(entries[0].gap, 0.01);
+  EXPECT_GT(entries[2].gap, entries[0].gap * 10);
+}
+
+TEST(KGap, DuplicateFingerprintsAreAlreadyAnonymous) {
+  std::vector<cdr::Fingerprint> fps;
+  fps.emplace_back(0u, std::vector<cdr::Sample>{cell(0, 0, 0)});
+  fps.emplace_back(1u, std::vector<cdr::Sample>{cell(0, 0, 0)});
+  fps.emplace_back(2u, std::vector<cdr::Sample>{cell(9'000, 0, 400)});
+  const auto gaps = k_gap_values(cdr::FingerprintDataset{std::move(fps)}, 2);
+  EXPECT_DOUBLE_EQ(gaps[0], 0.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 0.0);
+  EXPECT_GT(gaps[2], 0.0);
+}
+
+TEST(KGap, GrowsWithK) {
+  // With k=3 the near pair must also absorb the outlier, raising the gap.
+  const auto k2 = k_gap_values(triangle_dataset(), 2);
+  const auto k3 = k_gap_values(triangle_dataset(), 3);
+  for (std::size_t i = 0; i < k2.size(); ++i) {
+    EXPECT_GE(k3[i], k2[i]);
+  }
+  EXPECT_GT(k3[0], k2[0]);
+}
+
+TEST(KGap, ValuesWithinUnitInterval) {
+  const auto gaps = k_gap_values(triangle_dataset(), 3);
+  for (const double g : gaps) {
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 1.0);
+  }
+}
+
+TEST(KGap, NeighborCountIsKMinusOne) {
+  std::vector<cdr::Fingerprint> fps;
+  for (cdr::UserId u = 0; u < 10; ++u) {
+    fps.emplace_back(u, std::vector<cdr::Sample>{
+                            cell(u * 200.0, 0, u * 10.0)});
+  }
+  const auto entries = k_gaps(cdr::FingerprintDataset{std::move(fps)}, 5);
+  for (const auto& e : entries) {
+    EXPECT_EQ(e.neighbors.size(), 4u);
+  }
+}
+
+TEST(KGap, MatchesManualAverageOfNearestStretches) {
+  const cdr::FingerprintDataset data = triangle_dataset();
+  const auto entries = k_gaps(data, 3);
+  // For k=3 every other user is a neighbour; gap = mean of both stretches.
+  const double expected0 = (fingerprint_stretch(data[0], data[1], {}) +
+                            fingerprint_stretch(data[0], data[2], {})) /
+                           2.0;
+  EXPECT_DOUBLE_EQ(entries[0].gap, expected0);
+}
+
+TEST(KGap, RejectsInvalidArguments) {
+  EXPECT_THROW((void)k_gaps(triangle_dataset(), 1), std::invalid_argument);
+  EXPECT_THROW((void)k_gaps(triangle_dataset(), 4), std::invalid_argument);
+}
+
+TEST(KGap, DeterministicAcrossRuns) {
+  const auto a = k_gap_values(triangle_dataset(), 2);
+  const auto b = k_gap_values(triangle_dataset(), 2);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace glove::core

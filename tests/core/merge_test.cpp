@@ -1,0 +1,238 @@
+#include "glove/core/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace glove::core {
+namespace {
+
+cdr::Sample make_sample(double x, double dx, double y, double dy, double t,
+                        double dt, std::uint32_t contributors = 1) {
+  cdr::Sample s;
+  s.sigma = cdr::SpatialExtent{x, dx, y, dy};
+  s.tau = cdr::TemporalExtent{t, dt};
+  s.contributors = contributors;
+  return s;
+}
+
+cdr::Sample cell(double x, double y, double t) {
+  return make_sample(x, 100.0, y, 100.0, t, 1.0);
+}
+
+bool sample_covers(const cdr::Sample& outer, const cdr::Sample& inner) {
+  constexpr double eps = 1e-9;
+  return outer.sigma.x <= inner.sigma.x + eps &&
+         outer.sigma.x_end() + eps >= inner.sigma.x_end() &&
+         outer.sigma.y <= inner.sigma.y + eps &&
+         outer.sigma.y_end() + eps >= inner.sigma.y_end() &&
+         outer.tau.t <= inner.tau.t + eps &&
+         outer.tau.t_end() + eps >= inner.tau.t_end();
+}
+
+bool fingerprint_covers(const cdr::Fingerprint& merged,
+                        const cdr::Fingerprint& original) {
+  return std::all_of(
+      original.samples().begin(), original.samples().end(),
+      [&](const cdr::Sample& s) {
+        return std::any_of(merged.samples().begin(), merged.samples().end(),
+                           [&](const cdr::Sample& m) {
+                             return sample_covers(m, s);
+                           });
+      });
+}
+
+TEST(MergeSamples, UnionOfRectsAndIntervals) {
+  const cdr::Sample a = make_sample(0, 100, 0, 100, 10, 5);
+  const cdr::Sample b = make_sample(300, 100, -200, 100, 30, 10);
+  const cdr::Sample m = merge_samples(a, b);
+  EXPECT_DOUBLE_EQ(m.sigma.x, 0.0);
+  EXPECT_DOUBLE_EQ(m.sigma.dx, 400.0);
+  EXPECT_DOUBLE_EQ(m.sigma.y, -200.0);
+  EXPECT_DOUBLE_EQ(m.sigma.dy, 300.0);
+  EXPECT_DOUBLE_EQ(m.tau.t, 10.0);
+  EXPECT_DOUBLE_EQ(m.tau.dt, 30.0);
+  EXPECT_EQ(m.contributors, 2u);
+}
+
+TEST(MergeSamples, IsCommutative) {
+  const cdr::Sample a = make_sample(0, 100, 50, 80, 10, 5);
+  const cdr::Sample b = make_sample(300, 50, -200, 400, 30, 10);
+  EXPECT_EQ(merge_samples(a, b), merge_samples(b, a));
+}
+
+TEST(MergeSamples, IdempotentOnIdenticalGeometry) {
+  const cdr::Sample a = cell(100, 200, 50);
+  const cdr::Sample m = merge_samples(a, a);
+  EXPECT_EQ(m.sigma, a.sigma);
+  EXPECT_EQ(m.tau, a.tau);
+  EXPECT_EQ(m.contributors, 2u);
+}
+
+TEST(MergeSamples, SumsContributors) {
+  const cdr::Sample a = make_sample(0, 1, 0, 1, 0, 1, 3);
+  const cdr::Sample b = make_sample(0, 1, 0, 1, 0, 1, 5);
+  EXPECT_EQ(merge_samples(a, b).contributors, 8u);
+}
+
+TEST(ReshapeSamples, MergesOverlappingRun) {
+  std::vector<cdr::Sample> samples{
+      make_sample(0, 100, 0, 100, 0, 10),
+      make_sample(1'000, 100, 0, 100, 5, 10),   // overlaps first
+      make_sample(2'000, 100, 0, 100, 100, 10), // separate
+  };
+  const auto out = reshape_samples(samples);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].tau.t, 0.0);
+  EXPECT_DOUBLE_EQ(out[0].tau.dt, 15.0);
+  EXPECT_DOUBLE_EQ(out[0].sigma.dx, 1'100.0);  // union of both rects
+  EXPECT_DOUBLE_EQ(out[1].tau.t, 100.0);
+}
+
+TEST(ReshapeSamples, TransitiveOverlapChainsCollapse) {
+  std::vector<cdr::Sample> samples{
+      make_sample(0, 100, 0, 100, 0, 10),
+      make_sample(0, 100, 0, 100, 8, 10),
+      make_sample(0, 100, 0, 100, 16, 10),
+  };
+  const auto out = reshape_samples(samples);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].tau.t, 0.0);
+  EXPECT_DOUBLE_EQ(out[0].tau.t_end(), 26.0);
+}
+
+TEST(ReshapeSamples, NoOverlapIsIdentity) {
+  std::vector<cdr::Sample> samples{cell(0, 0, 0), cell(100, 0, 10),
+                                   cell(200, 0, 20)};
+  const auto out = reshape_samples(samples);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(ReshapeSamples, OutputHasNoOverlaps) {
+  std::vector<cdr::Sample> samples;
+  for (int i = 0; i < 20; ++i) {
+    samples.push_back(
+        make_sample(i * 50.0, 100, 0, 100, i * 3.0, (i % 5) + 1.0));
+  }
+  const auto out = reshape_samples(samples);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_FALSE(cdr::time_overlaps(out[i - 1], out[i]));
+  }
+}
+
+TEST(SuppressSamples, DropsOverStretchedSamples) {
+  std::vector<cdr::Sample> samples{
+      make_sample(0, 100, 0, 100, 0, 10),          // fine
+      make_sample(0, 30'000, 0, 100, 20, 10, 4),   // too wide
+      make_sample(0, 100, 0, 100, 40, 900, 2),     // too long
+  };
+  MergeStats stats;
+  const auto out =
+      suppress_samples(samples, SuppressionThresholds{15'000.0, 360.0},
+                       &stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(stats.suppressed_merged_samples, 2u);
+  EXPECT_EQ(stats.suppressed_original_samples, 6u);  // 4 + 2 contributors
+}
+
+TEST(SuppressSamples, NoThresholdViolationsKeepsAll) {
+  std::vector<cdr::Sample> samples{cell(0, 0, 0), cell(100, 0, 10)};
+  MergeStats stats;
+  const auto out =
+      suppress_samples(samples, SuppressionThresholds{15'000.0, 360.0},
+                       &stats);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(stats.suppressed_merged_samples, 0u);
+}
+
+TEST(MergeFingerprints, MembersAreUnioned) {
+  const cdr::Fingerprint a{{0u, 1u}, {cell(0, 0, 0)}};
+  const cdr::Fingerprint b{2u, {cell(0, 0, 5)}};
+  const cdr::Fingerprint m = merge_fingerprints(a, b, {});
+  EXPECT_EQ(m.group_size(), 3u);
+}
+
+TEST(MergeFingerprints, ResultNoLongerThanShorterInput) {
+  const cdr::Fingerprint a{0u, {cell(0, 0, 0), cell(100, 0, 100),
+                                cell(200, 0, 200), cell(300, 0, 300)}};
+  const cdr::Fingerprint b{1u, {cell(0, 0, 10), cell(200, 0, 210)}};
+  const cdr::Fingerprint m = merge_fingerprints(a, b, {});
+  EXPECT_LE(m.size(), b.size());
+  EXPECT_GE(m.size(), 1u);
+}
+
+TEST(MergeFingerprints, CoversBothInputsWithoutSuppression) {
+  const cdr::Fingerprint a{0u, {cell(0, 0, 0), cell(500, 0, 120),
+                                cell(1'000, 500, 400)}};
+  const cdr::Fingerprint b{1u, {cell(50, 0, 30), cell(900, 450, 380)}};
+  MergeOptions options;  // reshape on, no suppression
+  const cdr::Fingerprint m = merge_fingerprints(a, b, options);
+  EXPECT_TRUE(fingerprint_covers(m, a));
+  EXPECT_TRUE(fingerprint_covers(m, b));
+}
+
+TEST(MergeFingerprints, ContributorsAreConserved) {
+  const cdr::Fingerprint a{0u, {cell(0, 0, 0), cell(500, 0, 120)}};
+  const cdr::Fingerprint b{1u, {cell(50, 0, 30), cell(900, 450, 380),
+                                cell(20, 10, 700)}};
+  const cdr::Fingerprint m = merge_fingerprints(a, b, {});
+  EXPECT_EQ(m.total_contributors(),
+            a.total_contributors() + b.total_contributors());
+}
+
+TEST(MergeFingerprints, ReshapeRemovesTemporalOverlaps) {
+  // Construct samples far apart in space but close in time, the Fig. 6b
+  // pathology; with reshape the output must be overlap-free.
+  const cdr::Fingerprint a{0u, {cell(0, 0, 100), cell(50'000, 0, 104)}};
+  const cdr::Fingerprint b{1u, {cell(0, 100, 102), cell(50'000, 100, 101)}};
+  MergeOptions options;
+  options.reshape = true;
+  const cdr::Fingerprint m = merge_fingerprints(a, b, options);
+  for (std::size_t i = 1; i < m.size(); ++i) {
+    EXPECT_FALSE(cdr::time_overlaps(m.samples()[i - 1], m.samples()[i]));
+  }
+}
+
+TEST(MergeFingerprints, SuppressionBoundsPublishedExtents) {
+  const cdr::Fingerprint a{0u, {cell(0, 0, 0), cell(40'000, 0, 700)}};
+  const cdr::Fingerprint b{1u, {cell(100, 0, 10), cell(200, 0, 1'300)}};
+  MergeOptions options;
+  options.suppression = SuppressionThresholds{15'000.0, 360.0};
+  MergeStats stats;
+  const cdr::Fingerprint m = merge_fingerprints(a, b, options, &stats);
+  for (const cdr::Sample& s : m.samples()) {
+    EXPECT_LE(s.sigma.accuracy_m(), 15'000.0);
+    EXPECT_LE(s.tau.dt, 360.0);
+  }
+}
+
+TEST(MergeFingerprints, EmptyInputYieldsOtherSide) {
+  const cdr::Fingerprint a{0u, {}};
+  const cdr::Fingerprint b{1u, {cell(0, 0, 0), cell(100, 0, 50)}};
+  const cdr::Fingerprint m = merge_fingerprints(a, b, {});
+  EXPECT_EQ(m.group_size(), 2u);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(MergeFingerprints, IdenticalFingerprintsStayIntact) {
+  const std::vector<cdr::Sample> samples{cell(0, 0, 0), cell(500, 0, 300)};
+  const cdr::Fingerprint a{0u, samples};
+  const cdr::Fingerprint b{1u, samples};
+  const cdr::Fingerprint m = merge_fingerprints(a, b, {});
+  ASSERT_EQ(m.size(), 2u);
+  // Geometry unchanged; only contributors grew.
+  EXPECT_EQ(m.samples()[0].sigma, samples[0].sigma);
+  EXPECT_EQ(m.samples()[0].tau, samples[0].tau);
+  EXPECT_EQ(m.samples()[0].contributors, 2u);
+}
+
+TEST(MergeStatsCounts, SampleUnionsAccumulate) {
+  const cdr::Fingerprint a{0u, {cell(0, 0, 0), cell(100, 0, 50)}};
+  const cdr::Fingerprint b{1u, {cell(0, 0, 5)}};
+  MergeStats stats;
+  (void)merge_fingerprints(a, b, {}, &stats);
+  EXPECT_GE(stats.sample_unions, 2u);
+}
+
+}  // namespace
+}  // namespace glove::core

@@ -1,0 +1,188 @@
+// Hand-computed checks of the stretch-effort equations (eq. 1-10).
+
+#include "glove/core/stretch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace glove::core {
+namespace {
+
+cdr::Sample make_sample(double x, double dx, double y, double dy, double t,
+                        double dt) {
+  cdr::Sample s;
+  s.sigma = cdr::SpatialExtent{x, dx, y, dy};
+  s.tau = cdr::TemporalExtent{t, dt};
+  return s;
+}
+
+cdr::Sample cell(double x, double y, double t) {
+  return make_sample(x, 100.0, y, 100.0, t, 1.0);
+}
+
+TEST(SampleStretch, IdenticalSamplesCostNothing) {
+  const cdr::Sample s = cell(0, 0, 100);
+  const SampleStretch d = sample_stretch(s, 1, s, 1, {});
+  EXPECT_DOUBLE_EQ(d.spatial, 0.0);
+  EXPECT_DOUBLE_EQ(d.temporal, 0.0);
+  EXPECT_DOUBLE_EQ(d.total(), 0.0);
+}
+
+TEST(SampleStretch, PureTemporalGapHandComputed) {
+  // Same cell; intervals [0,1] and [10,11].  Both directions stretch by
+  // 10 min, so phi*_tau = 10; phi_tau = 10/480; weighted by 1/2.
+  const cdr::Sample a = cell(0, 0, 0);
+  const cdr::Sample b = cell(0, 0, 10);
+  const SampleStretch d = sample_stretch(a, 1, b, 1, {});
+  EXPECT_DOUBLE_EQ(d.spatial, 0.0);
+  EXPECT_DOUBLE_EQ(d.temporal, 0.5 * 10.0 / 480.0);
+}
+
+TEST(SampleStretch, PureSpatialGapHandComputed) {
+  // Same minute; cells 1 km apart on the x axis.  Each rectangle must grow
+  // 1000 m towards the other: phi*_sigma = 1000; phi_sigma = 1000/20000.
+  const cdr::Sample a = cell(0, 0, 50);
+  const cdr::Sample b = cell(1'000, 0, 50);
+  const SampleStretch d = sample_stretch(a, 1, b, 1, {});
+  EXPECT_DOUBLE_EQ(d.temporal, 0.0);
+  EXPECT_DOUBLE_EQ(d.spatial, 0.5 * 1'000.0 / 20'000.0);
+}
+
+TEST(SampleStretch, DiagonalGapSumsAxes) {
+  // 1 km east and 2 km north: l+r = 3000 in each direction.
+  const cdr::Sample a = cell(0, 0, 50);
+  const cdr::Sample b = cell(1'000, 2'000, 50);
+  const SampleStretch d = sample_stretch(a, 1, b, 1, {});
+  EXPECT_DOUBLE_EQ(d.spatial, 0.5 * 3'000.0 / 20'000.0);
+}
+
+TEST(RawSpatialStretch, ContainmentIsAsymmetricPerDirection) {
+  // a = [0,1000]^2 contains b = [400,500]^2: a needs no stretch, b needs
+  // l=800 (left/south) + r=1000 (right/north) = 1800.
+  const cdr::SpatialExtent a{0, 1'000, 0, 1'000};
+  const cdr::SpatialExtent b{400, 100, 400, 100};
+  EXPECT_DOUBLE_EQ(raw_spatial_stretch_m(a, 1, b, 1), 0.5 * 1'800.0);
+}
+
+TEST(RawSpatialStretch, PopulationWeightsShiftTheCost) {
+  // Same geometry; group of 3 behind sample a: stretching b (1 user) is
+  // cheap, so the weighted cost drops to 1800 * 1/4.
+  const cdr::SpatialExtent a{0, 1'000, 0, 1'000};
+  const cdr::SpatialExtent b{400, 100, 400, 100};
+  EXPECT_DOUBLE_EQ(raw_spatial_stretch_m(a, 3, b, 1), 1'800.0 / 4.0);
+  // And symmetric weighting from b's perspective.
+  EXPECT_DOUBLE_EQ(raw_spatial_stretch_m(b, 1, a, 3), 1'800.0 / 4.0);
+}
+
+TEST(RawTemporalStretch, PartialOverlapHandComputed) {
+  // [0, 20] vs [10, 40]: a stretches right by 20, b stretches left by 10.
+  const cdr::TemporalExtent a{0, 20};
+  const cdr::TemporalExtent b{10, 30};
+  EXPECT_DOUBLE_EQ(raw_temporal_stretch_min(a, 1, b, 1),
+                   0.5 * 20.0 + 0.5 * 10.0);
+}
+
+TEST(RawTemporalStretch, ContainedIntervalCostsOnlyInner) {
+  // [0, 100] contains [40, 50]: a needs 0; b needs 40 left + 50 right.
+  const cdr::TemporalExtent a{0, 100};
+  const cdr::TemporalExtent b{40, 10};
+  EXPECT_DOUBLE_EQ(raw_temporal_stretch_min(a, 1, b, 1), 0.5 * 90.0);
+}
+
+TEST(SampleStretch, SaturatesAtLimits) {
+  // 30 km apart in space (> 20 km limit) and 10 h apart in time (> 8 h).
+  const cdr::Sample a = cell(0, 0, 0);
+  const cdr::Sample b = cell(30'000, 0, 600);
+  const SampleStretch d = sample_stretch(a, 1, b, 1, {});
+  EXPECT_DOUBLE_EQ(d.spatial, 0.5);
+  EXPECT_DOUBLE_EQ(d.temporal, 0.5);
+  EXPECT_DOUBLE_EQ(d.total(), 1.0);
+}
+
+TEST(SampleStretch, CustomLimitsChangeNormalization) {
+  StretchLimits limits;
+  limits.phi_max_sigma_m = 10'000.0;
+  limits.phi_max_tau_min = 240.0;
+  const cdr::Sample a = cell(0, 0, 0);
+  const cdr::Sample b = cell(1'000, 0, 24);
+  const SampleStretch d = sample_stretch(a, 1, b, 1, limits);
+  EXPECT_DOUBLE_EQ(d.spatial, 0.5 * 1'000.0 / 10'000.0);
+  EXPECT_DOUBLE_EQ(d.temporal, 0.5 * 24.0 / 240.0);
+}
+
+TEST(SampleStretch, IsSymmetricForEqualGroups) {
+  const cdr::Sample a = make_sample(0, 100, 50, 200, 10, 5);
+  const cdr::Sample b = make_sample(900, 300, -100, 100, 200, 15);
+  const SampleStretch ab = sample_stretch(a, 1, b, 1, {});
+  const SampleStretch ba = sample_stretch(b, 1, a, 1, {});
+  EXPECT_DOUBLE_EQ(ab.total(), ba.total());
+}
+
+TEST(FingerprintStretch, IdenticalFingerprintsAreZero) {
+  const cdr::Fingerprint fp{0u, {cell(0, 0, 10), cell(1'000, 0, 700)}};
+  EXPECT_DOUBLE_EQ(fingerprint_stretch(fp, fp, {}), 0.0);
+}
+
+TEST(FingerprintStretch, AveragesOverLongerFingerprint) {
+  // a has 2 samples, b has 1.  delta(a1, b1) = 0 (identical);
+  // delta(a2, b1) = temporal 10 min -> 10/960.
+  const cdr::Fingerprint a{0u, {cell(0, 0, 0), cell(0, 0, 10)}};
+  const cdr::Fingerprint b{1u, {cell(0, 0, 0)}};
+  EXPECT_DOUBLE_EQ(fingerprint_stretch(a, b, {}),
+                   (0.0 + 0.5 * 10.0 / 480.0) / 2.0);
+}
+
+TEST(FingerprintStretch, IsSymmetric) {
+  const cdr::Fingerprint a{0u, {cell(0, 0, 0), cell(500, 0, 300),
+                                cell(2'000, 100, 800)}};
+  const cdr::Fingerprint b{1u, {cell(100, 0, 30), cell(700, 0, 500)}};
+  EXPECT_DOUBLE_EQ(fingerprint_stretch(a, b, {}),
+                   fingerprint_stretch(b, a, {}));
+}
+
+TEST(FingerprintStretch, PicksMinimumMatchPerSample) {
+  // b has a far sample and a near one; each a-sample must match the near
+  // one (min over j), not the average.
+  const cdr::Fingerprint a{0u, {cell(0, 0, 0)}};
+  const cdr::Fingerprint b{1u, {cell(0, 0, 0), cell(19'000, 0, 470)}};
+  // longer is b (2 samples): b1 matches a1 at 0; b2 matches a1 at
+  // spatial 19000/20000/2 + temporal 470/480/2.
+  const double expected =
+      (0.0 + 0.5 * 19'000.0 / 20'000.0 + 0.5 * 470.0 / 480.0) / 2.0;
+  EXPECT_DOUBLE_EQ(fingerprint_stretch(a, b, {}), expected);
+}
+
+TEST(FingerprintStretch, BoundedByOne) {
+  const cdr::Fingerprint a{0u, {cell(0, 0, 0)}};
+  const cdr::Fingerprint b{1u, {cell(1e7, 1e7, 1e5)}};
+  EXPECT_LE(fingerprint_stretch(a, b, {}), 1.0);
+  EXPECT_DOUBLE_EQ(fingerprint_stretch(a, b, {}), 1.0);
+}
+
+TEST(FingerprintStretch, EmptyFingerprintCostsNothing) {
+  const cdr::Fingerprint a{0u, {}};
+  const cdr::Fingerprint b{1u, {cell(0, 0, 0)}};
+  EXPECT_DOUBLE_EQ(fingerprint_stretch(a, b, {}), 0.0);
+}
+
+// --- Property sweep: delta stays within [0, 1] and is monotone in the gap.
+
+class StretchGapSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(StretchGapSweep, BoundedAndMonotone) {
+  const double gap = GetParam();
+  const cdr::Sample a = cell(0, 0, 0);
+  const cdr::Sample near = cell(gap, 0, gap / 10.0);
+  const cdr::Sample far = cell(gap * 2, 0, gap / 5.0);
+  const double d_near = sample_stretch(a, 1, near, 1, {}).total();
+  const double d_far = sample_stretch(a, 1, far, 1, {}).total();
+  EXPECT_GE(d_near, 0.0);
+  EXPECT_LE(d_near, 1.0);
+  EXPECT_LE(d_near, d_far);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, StretchGapSweep,
+                         ::testing::Values(0.0, 10.0, 100.0, 1'000.0,
+                                           5'000.0, 20'000.0, 100'000.0));
+
+}  // namespace
+}  // namespace glove::core

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "glove/geo/geo.hpp"
+
+namespace glove::geo {
+namespace {
+
+// Abidjan and Dakar: the anchor cities of the paper's datasets.
+constexpr LatLon kAbidjan{5.345, -4.024};
+constexpr LatLon kDakar{14.69, -17.44};
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  EXPECT_DOUBLE_EQ(haversine_m(kAbidjan, kAbidjan), 0.0);
+}
+
+TEST(Haversine, KnownDistanceAbidjanDakar) {
+  // Great-circle Abidjan-Dakar is about 1,815 km.
+  const double d = haversine_m(kAbidjan, kDakar);
+  EXPECT_NEAR(d, 1'815'000.0, 25'000.0);
+}
+
+TEST(Haversine, OneDegreeLatitudeIsAbout111Km) {
+  const double d = haversine_m(LatLon{10.0, 0.0}, LatLon{11.0, 0.0});
+  EXPECT_NEAR(d, 111'195.0, 300.0);
+}
+
+TEST(Haversine, IsSymmetric) {
+  EXPECT_DOUBLE_EQ(haversine_m(kAbidjan, kDakar),
+                   haversine_m(kDakar, kAbidjan));
+}
+
+TEST(Lambert, OriginProjectsToZero) {
+  const LambertAzimuthalEqualArea proj{kAbidjan};
+  const PlanarPoint p = proj.project(kAbidjan);
+  EXPECT_NEAR(p.x_m, 0.0, 1e-6);
+  EXPECT_NEAR(p.y_m, 0.0, 1e-6);
+}
+
+TEST(Lambert, RoundTripsNearOrigin) {
+  const LambertAzimuthalEqualArea proj{kAbidjan};
+  const LatLon point{5.9, -4.5};
+  const LatLon back = proj.inverse(proj.project(point));
+  EXPECT_NEAR(back.lat_deg, point.lat_deg, 1e-9);
+  EXPECT_NEAR(back.lon_deg, point.lon_deg, 1e-9);
+}
+
+TEST(Lambert, RoundTripsFarFromOrigin) {
+  const LambertAzimuthalEqualArea proj{kDakar};
+  const LatLon point{12.0, -12.0};  // ~600 km away
+  const LatLon back = proj.inverse(proj.project(point));
+  EXPECT_NEAR(back.lat_deg, point.lat_deg, 1e-8);
+  EXPECT_NEAR(back.lon_deg, point.lon_deg, 1e-8);
+}
+
+TEST(Lambert, PlanarDistanceMatchesHaversineNearby) {
+  // For points within ~100 km of the origin the projected Euclidean
+  // distance must match the great circle to well under 0.1%.
+  const LambertAzimuthalEqualArea proj{kAbidjan};
+  const LatLon a{5.40, -4.10};
+  const LatLon b{5.90, -3.70};
+  const double planar = planar_distance_m(proj.project(a), proj.project(b));
+  const double sphere = haversine_m(a, b);
+  EXPECT_NEAR(planar / sphere, 1.0, 1e-3);
+}
+
+TEST(Lambert, NorthIsPositiveY) {
+  const LambertAzimuthalEqualArea proj{kAbidjan};
+  const PlanarPoint north = proj.project(LatLon{6.0, kAbidjan.lon_deg});
+  EXPECT_GT(north.y_m, 0.0);
+  EXPECT_NEAR(north.x_m, 0.0, 1.0);
+}
+
+TEST(Lambert, EastIsPositiveX) {
+  const LambertAzimuthalEqualArea proj{kAbidjan};
+  const PlanarPoint east = proj.project(LatLon{kAbidjan.lat_deg, -3.0});
+  EXPECT_GT(east.x_m, 0.0);
+}
+
+TEST(Lambert, EqualAreaPropertyHolds) {
+  // A small quadrilateral keeps its area under the projection (the defining
+  // property, and why the paper picked this projection).  Compare the area
+  // of a ~10 km x 10 km cell at the origin and ~300 km away.
+  const LambertAzimuthalEqualArea proj{kAbidjan};
+  const auto cell_area = [&](double lat0, double lon0) {
+    const double dlat = 0.09;  // ~10 km
+    const double dlon = 0.09;
+    const PlanarPoint p00 = proj.project({lat0, lon0});
+    const PlanarPoint p10 = proj.project({lat0 + dlat, lon0});
+    const PlanarPoint p01 = proj.project({lat0, lon0 + dlon});
+    const PlanarPoint p11 = proj.project({lat0 + dlat, lon0 + dlon});
+    // Shoelace formula over the quadrilateral p00 p01 p11 p10.
+    const auto cross = [](PlanarPoint a, PlanarPoint b) {
+      return a.x_m * b.y_m - a.y_m * b.x_m;
+    };
+    return std::abs(cross(p00, p01) + cross(p01, p11) + cross(p11, p10) +
+                    cross(p10, p00)) /
+           2.0;
+  };
+  const double near = cell_area(kAbidjan.lat_deg, kAbidjan.lon_deg);
+  const double far = cell_area(kAbidjan.lat_deg + 2.5, kAbidjan.lon_deg + 2.5);
+  // A fixed-degree cell's true spherical area scales with cos(latitude of
+  // its centre); the projection must reproduce exactly that ratio.
+  const double true_ratio =
+      std::cos((kAbidjan.lat_deg + 2.5 + 0.045) * std::numbers::pi / 180.0) /
+      std::cos((kAbidjan.lat_deg + 0.045) * std::numbers::pi / 180.0);
+  EXPECT_NEAR(far / near, true_ratio, 5e-4);
+}
+
+TEST(PlanarDistance, EuclideanBasics) {
+  EXPECT_DOUBLE_EQ(planar_distance_m({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(planar_distance_m({1, 1}, {1, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace glove::geo

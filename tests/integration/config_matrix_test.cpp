@@ -1,0 +1,130 @@
+// Configuration-matrix sweep: GLOVE's postconditions must hold across the
+// full cross-product of anonymity level, reshaping, suppression and
+// leftover policy — the combinations a deployment can actually configure.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <tuple>
+
+#include "glove/core/accuracy.hpp"
+#include "glove/core/glove.hpp"
+#include "glove/synth/generator.hpp"
+
+namespace glove {
+namespace {
+
+struct MatrixParam {
+  std::uint32_t k;
+  bool reshape;
+  bool suppress;
+  core::LeftoverPolicy leftover;
+};
+
+std::string param_name(const ::testing::TestParamInfo<MatrixParam>& info) {
+  const MatrixParam& p = info.param;
+  std::string name = "k";
+  name += std::to_string(p.k);
+  name += p.reshape ? "_reshape" : "_noreshape";
+  name += p.suppress ? "_suppress" : "_nosuppress";
+  name += p.leftover == core::LeftoverPolicy::kMergeIntoNearest ? "_merge"
+                                                                : "_drop";
+  return name;
+}
+
+class GloveConfigMatrix : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  static const cdr::FingerprintDataset& dataset() {
+    static const cdr::FingerprintDataset data = [] {
+      synth::SynthConfig config = synth::civ_like(45, 83);
+      config.days = 3.0;
+      return synth::generate_dataset(config);
+    }();
+    return data;
+  }
+};
+
+TEST_P(GloveConfigMatrix, PostconditionsHold) {
+  const MatrixParam& param = GetParam();
+  core::GloveConfig config;
+  config.k = param.k;
+  config.reshape = param.reshape;
+  config.leftover_policy = param.leftover;
+  if (param.suppress) {
+    config.suppression = core::SuppressionThresholds{15'000.0, 360.0};
+  }
+  const cdr::FingerprintDataset& data = dataset();
+  ASSERT_GE(data.size(), 2 * param.k);
+  const core::GloveResult result = core::anonymize(data, config);
+
+  // 1. k-anonymity.
+  EXPECT_TRUE(core::is_k_anonymous(result.anonymized, param.k));
+
+  // 2. User conservation (exact under merge policy; bounded under drop).
+  std::set<cdr::UserId> users;
+  for (const auto& fp : result.anonymized.fingerprints()) {
+    users.insert(fp.members().begin(), fp.members().end());
+  }
+  if (param.leftover == core::LeftoverPolicy::kMergeIntoNearest) {
+    EXPECT_EQ(users.size(), data.size());
+  } else {
+    EXPECT_GE(users.size() + (param.k - 1), data.size());
+    EXPECT_EQ(users.size() + result.stats.discarded_fingerprints,
+              data.size());
+  }
+
+  // 3. Suppression bounds every published extent.
+  if (param.suppress) {
+    for (const auto& fp : result.anonymized.fingerprints()) {
+      for (const auto& s : fp.samples()) {
+        EXPECT_LE(s.sigma.accuracy_m(), 15'000.0 + 1e-9);
+        EXPECT_LE(s.tau.dt, 360.0 + 1e-9);
+      }
+    }
+  } else if (param.leftover == core::LeftoverPolicy::kMergeIntoNearest) {
+    // 4. Without suppression, truthfulness: every original sample covered.
+    EXPECT_EQ(core::count_uncovered_samples(data, result.anonymized), 0u);
+    EXPECT_EQ(result.stats.deleted_samples, 0u);
+  }
+
+  // 5. Reshaping leaves no temporal overlap.
+  if (param.reshape) {
+    for (const auto& fp : result.anonymized.fingerprints()) {
+      for (std::size_t i = 1; i < fp.size(); ++i) {
+        EXPECT_FALSE(
+            cdr::time_overlaps(fp.samples()[i - 1], fp.samples()[i]));
+      }
+    }
+  }
+
+  // 6. Contributor accounting: published + deleted = input samples.
+  std::uint64_t published = 0;
+  for (const auto& fp : result.anonymized.fingerprints()) {
+    published += fp.total_contributors();
+  }
+  EXPECT_EQ(published + result.stats.deleted_samples, data.total_samples());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, GloveConfigMatrix,
+    ::testing::ValuesIn([] {
+      std::vector<MatrixParam> params;
+      for (const std::uint32_t k : {2u, 3u, 5u}) {
+        for (const bool reshape : {true, false}) {
+          for (const bool suppress : {true, false}) {
+            for (const auto leftover :
+                 {core::LeftoverPolicy::kMergeIntoNearest,
+                  core::LeftoverPolicy::kSuppress}) {
+              params.push_back(MatrixParam{k, reshape, suppress, leftover});
+            }
+          }
+        }
+      }
+      return params;
+    }()),
+    param_name);
+
+}  // namespace
+}  // namespace glove

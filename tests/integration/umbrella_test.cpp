@@ -1,0 +1,28 @@
+// Compile-level test: the umbrella header must pull in the whole public
+// API without conflicts, and the headline types must be usable together.
+
+#include "glove/glove.hpp"
+
+#include <gtest/gtest.h>
+
+namespace glove {
+namespace {
+
+TEST(UmbrellaHeader, PublicApiIsUsableTogether) {
+  synth::SynthConfig config = synth::civ_like(12, 1);
+  config.days = 1.0;
+  const cdr::FingerprintDataset data = synth::generate_dataset(config);
+  if (data.size() < 4) GTEST_SKIP() << "tiny dataset drew silent users";
+
+  const auto gaps = core::k_gap_values(data, 2);
+  EXPECT_EQ(gaps.size(), data.size());
+
+  const core::GloveResult result = core::anonymize(data, {});
+  EXPECT_TRUE(core::is_k_anonymous(result.anonymized, 2));
+
+  const analysis::DatasetDescriptor d = analysis::describe(result.anonymized);
+  EXPECT_EQ(d.users, data.total_users());
+}
+
+}  // namespace
+}  // namespace glove

@@ -1,0 +1,137 @@
+#include "glove/stats/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace glove::stats {
+namespace {
+
+TEST(Quantile, MedianOfOddSample) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75), 7.5);
+}
+
+TEST(Quantile, EndpointsAreMinAndMax) {
+  const std::vector<double> v{5.0, -1.0, 3.0, 9.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, SingletonSample) {
+  const std::vector<double> v{4.2};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 4.2);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.99), 4.2);
+}
+
+TEST(Quantile, RejectsEmptyAndBadP) {
+  const std::vector<double> empty;
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)quantile(empty, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantile(v, 1.1), std::invalid_argument);
+}
+
+TEST(Summarize, BasicStatistics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(Summarize, EmptySampleIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(EmpiricalCdf, StepFunctionSemantics) {
+  const EmpiricalCdf cdf{std::vector<double>{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(99.0), 1.0);
+}
+
+TEST(EmpiricalCdf, WeightsActAsMultiplicity) {
+  // {1 (w=3), 2 (w=1)} behaves like {1,1,1,2}.
+  const EmpiricalCdf weighted{{1.0, 2.0}, {3.0, 1.0}};
+  EXPECT_DOUBLE_EQ(weighted.at(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(weighted.at(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(weighted.total_weight(), 4.0);
+}
+
+TEST(EmpiricalCdf, InverseReturnsSmallestValueReachingP) {
+  const EmpiricalCdf cdf{std::vector<double>{10.0, 20.0, 30.0, 40.0}};
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.26), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(1.0), 40.0);
+}
+
+TEST(EmpiricalCdf, InverseIsCompatibleWithAt) {
+  const EmpiricalCdf cdf{std::vector<double>{5.0, 1.0, 9.0, 3.0, 7.0}};
+  for (const double p : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    EXPECT_GE(cdf.at(cdf.inverse(p)), p - 1e-12);
+  }
+}
+
+TEST(EmpiricalCdf, RejectsBadInput) {
+  EXPECT_THROW((EmpiricalCdf{{1.0, 2.0}, {1.0}}), std::invalid_argument);
+  EXPECT_THROW((EmpiricalCdf{{1.0}, {0.0}}), std::invalid_argument);
+  const EmpiricalCdf empty;
+  EXPECT_THROW((void)empty.inverse(0.5), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(empty.at(1.0), 0.0);
+}
+
+TEST(EmpiricalCdf, SampleAtEvaluatesGrid) {
+  const EmpiricalCdf cdf{std::vector<double>{1.0, 2.0}};
+  const auto ys = cdf.sample_at(std::vector<double>{0.0, 1.0, 2.0});
+  ASSERT_EQ(ys.size(), 3u);
+  EXPECT_DOUBLE_EQ(ys[0], 0.0);
+  EXPECT_DOUBLE_EQ(ys[1], 0.5);
+  EXPECT_DOUBLE_EQ(ys[2], 1.0);
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto g = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.front(), 0.0);
+  EXPECT_DOUBLE_EQ(g.back(), 1.0);
+  EXPECT_DOUBLE_EQ(g[1], 0.25);
+}
+
+TEST(Linspace, DegenerateSizes) {
+  EXPECT_TRUE(linspace(0.0, 1.0, 0).empty());
+  const auto one = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 3.0);
+}
+
+TEST(Logspace, IsGeometric) {
+  const auto g = logspace(1.0, 100.0, 3);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_NEAR(g[0], 1.0, 1e-12);
+  EXPECT_NEAR(g[1], 10.0, 1e-9);
+  EXPECT_NEAR(g[2], 100.0, 1e-12);
+}
+
+TEST(Logspace, RejectsNonPositiveEndpoints) {
+  EXPECT_THROW((void)logspace(0.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW((void)logspace(1.0, -1.0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace glove::stats

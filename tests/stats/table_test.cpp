@@ -1,0 +1,76 @@
+#include "glove/stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace glove::stats {
+namespace {
+
+TEST(TextTable, PrintsTitleHeaderAndRows) {
+  TextTable table{"My Table"};
+  table.header({"col1", "column2"});
+  table.row({"a", "b"});
+  table.row({"cc", "dd"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("My Table"), std::string::npos);
+  EXPECT_NE(text.find("col1"), std::string::npos);
+  EXPECT_NE(text.find("cc"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table{"T"};
+  table.header({"x", "y"});
+  table.row({"1", "2"});
+  table.row({"100", "200"});
+  std::ostringstream out;
+  table.print(out);
+  // Header cell "x" must be padded to the widest cell in its column ("100"),
+  // so "x" and "1" start at the same offset as "100".
+  std::istringstream lines{out.str()};
+  std::string line;
+  std::size_t y_column = std::string::npos;
+  while (std::getline(lines, line)) {
+    if (line.rfind("x", 0) == 0) {
+      y_column = line.find('y');
+      break;
+    }
+  }
+  ASSERT_NE(y_column, std::string::npos);
+  // In the row "100  200", '2' must be at the same column as 'y'.
+  lines.clear();
+  lines.str(out.str());
+  while (std::getline(lines, line)) {
+    if (line.rfind("100", 0) == 0) {
+      EXPECT_EQ(line.find("200"), y_column);
+    }
+  }
+}
+
+TEST(Fmt, TrimsTrailingZeros) {
+  EXPECT_EQ(fmt(1.5, 3), "1.5");
+  EXPECT_EQ(fmt(2.0, 3), "2");
+  EXPECT_EQ(fmt(0.125, 3), "0.125");
+}
+
+TEST(Fmt, RoundsToRequestedDigits) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.9999, 2), "2");
+}
+
+TEST(Fmt, HandlesNonFinite) {
+  EXPECT_EQ(fmt(std::nan(""), 2), "nan");
+}
+
+TEST(FmtPct, FormatsFractions) {
+  EXPECT_EQ(fmt_pct(0.127, 1), "12.7%");
+  EXPECT_EQ(fmt_pct(1.0, 1), "100%");
+  EXPECT_EQ(fmt_pct(0.0, 1), "0%");
+}
+
+}  // namespace
+}  // namespace glove::stats

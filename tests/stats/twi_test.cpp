@@ -1,0 +1,119 @@
+// Tail Weight Index calibration tests: the paper's footnote 5 pins the
+// measure at ~1.6 for Exp(1) and ~14 for Pareto(shape 1); a Gaussian must
+// score ~1.  We verify against the analytic quantiles of each distribution
+// (inverse-CDF sampling on a dense uniform grid).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "glove/stats/stats.hpp"
+
+namespace glove::stats {
+namespace {
+
+/// Dense analytic sample of a distribution via its inverse CDF.
+template <typename InverseCdf>
+std::vector<double> analytic_sample(InverseCdf inv, std::size_t n = 100'000) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+    out.push_back(inv(p));
+  }
+  return out;  // already sorted: inverse CDFs are monotone
+}
+
+/// Acklam-style rational approximation of the standard normal quantile;
+/// accurate to ~1e-4 over the grid we use, ample for a 2% tolerance test.
+double normal_quantile(double p) {
+  // Beasley-Springer-Moro.
+  static const double a[] = {2.50662823884, -18.61500062529, 41.39119773534,
+                             -25.44106049637};
+  static const double b[] = {-8.47351093090, 23.08336743743, -21.06224101826,
+                             3.13082909833};
+  static const double c[] = {0.3374754822726147, 0.9761690190917186,
+                             0.1607979714918209, 0.0276438810333863,
+                             0.0038405729373609, 0.0003951896511919,
+                             0.0000321767881768, 0.0000002888167364,
+                             0.0000003960315187};
+  const double y = p - 0.5;
+  if (std::abs(y) < 0.42) {
+    const double r = y * y;
+    return y * (((a[3] * r + a[2]) * r + a[1]) * r + a[0]) /
+           ((((b[3] * r + b[2]) * r + b[1]) * r + b[0]) * r + 1.0);
+  }
+  double r = p > 0.5 ? 1.0 - p : p;
+  r = std::log(-std::log(r));
+  double x = c[0];
+  double rk = 1.0;
+  for (int k = 1; k < 9; ++k) {
+    rk *= r;
+    x += c[k] * rk;
+  }
+  return p > 0.5 ? x : -x;
+}
+
+TEST(TailWeightIndex, GaussianScoresOne) {
+  const auto sample = analytic_sample(normal_quantile);
+  EXPECT_NEAR(tail_weight_index_sorted(sample), 1.0, 0.02);
+}
+
+TEST(TailWeightIndex, ExponentialScoresOnePointSix) {
+  // Exp(1): F^-1(p) = -ln(1-p).  Footnote 5: TWI 1.6.
+  const auto sample =
+      analytic_sample([](double p) { return -std::log(1.0 - p); });
+  EXPECT_NEAR(tail_weight_index_sorted(sample), 1.63, 0.03);
+}
+
+TEST(TailWeightIndex, ParetoShapeOneScoresFourteen) {
+  // Pareto(x_min=1, shape=1): F^-1(p) = 1/(1-p).  Footnote 5: TWI 14.
+  const auto sample =
+      analytic_sample([](double p) { return 1.0 / (1.0 - p); });
+  EXPECT_NEAR(tail_weight_index_sorted(sample), 14.2, 0.3);
+}
+
+TEST(TailWeightIndex, UniformIsLighterThanGaussian) {
+  const auto sample = analytic_sample([](double p) { return p; });
+  const double twi = tail_weight_index_sorted(sample);
+  EXPECT_GT(twi, 0.0);
+  EXPECT_LT(twi, 1.0);
+}
+
+TEST(TailWeightIndex, HeavierTailScoresHigher) {
+  // Pareto with smaller shape has a heavier tail.
+  const auto shape2 = analytic_sample(
+      [](double p) { return std::pow(1.0 - p, -1.0 / 2.0); });
+  const auto shape1 =
+      analytic_sample([](double p) { return 1.0 / (1.0 - p); });
+  EXPECT_GT(tail_weight_index_sorted(shape1),
+            tail_weight_index_sorted(shape2));
+}
+
+TEST(TailWeightIndex, ScaleInvariant) {
+  const auto sample =
+      analytic_sample([](double p) { return -std::log(1.0 - p); });
+  std::vector<double> scaled = sample;
+  for (double& v : scaled) v *= 1000.0;
+  EXPECT_NEAR(tail_weight_index_sorted(sample),
+              tail_weight_index_sorted(scaled), 1e-9);
+}
+
+TEST(TailWeightIndex, DegenerateSamplesReturnZero) {
+  EXPECT_DOUBLE_EQ(tail_weight_index(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(tail_weight_index(std::vector<double>{1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(tail_weight_index(std::vector<double>(100, 3.0)), 0.0);
+}
+
+TEST(TailWeightIndex, UnsortedInputHandled) {
+  const std::vector<double> unsorted{5.0, 1.0, 3.0, 2.0, 4.0, 100.0,
+                                     0.5, 2.5, 3.5, 1.5};
+  std::vector<double> sorted = unsorted;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_DOUBLE_EQ(tail_weight_index(unsorted),
+                   tail_weight_index_sorted(sorted));
+}
+
+}  // namespace
+}  // namespace glove::stats

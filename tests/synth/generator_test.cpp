@@ -1,0 +1,203 @@
+#include "glove/synth/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "glove/analysis/descriptors.hpp"
+#include "glove/stats/stats.hpp"
+
+namespace glove::synth {
+namespace {
+
+SynthConfig tiny_config() {
+  SynthConfig config = civ_like(40, /*seed=*/21);
+  config.days = 3.0;
+  return config;
+}
+
+TEST(Generator, ProducesEventsForEveryUser) {
+  SynthConfig config = tiny_config();
+  // With silent days disabled, the activity floor guarantees every user
+  // produces samples even over a short horizon.
+  config.activity.max_inactive_day_prob = 0.0;
+  const auto events = generate_events(config);
+  std::set<cdr::UserId> users;
+  for (const auto& ev : events) users.insert(ev.user);
+  EXPECT_EQ(users.size(), 40u);
+}
+
+TEST(Generator, InactiveDaysCreateSilentGaps) {
+  // The civ preset models raw-CDR silent days: a noticeable share of
+  // (user, day) pairs must carry no events, unlike the floor-only config.
+  SynthConfig config = civ_like(60, 9);
+  config.days = 10.0;
+  const auto count_active_days = [&](const SynthConfig& c) {
+    std::set<std::pair<cdr::UserId, long long>> active;
+    for (const auto& ev : generate_events(c)) {
+      active.emplace(ev.user, static_cast<long long>(ev.time_min / 1440.0));
+    }
+    return active.size();
+  };
+  SynthConfig no_gaps = config;
+  no_gaps.activity.max_inactive_day_prob = 0.0;
+  EXPECT_LT(count_active_days(config), count_active_days(no_gaps));
+}
+
+TEST(Generator, EventsWithinTimeHorizon) {
+  const SynthConfig config = tiny_config();
+  for (const auto& ev : generate_events(config)) {
+    EXPECT_GE(ev.time_min, 0.0);
+    EXPECT_LT(ev.time_min, config.days * 1440.0);
+  }
+}
+
+TEST(Generator, EventsSortedByUserThenTime) {
+  const auto events = generate_events(tiny_config());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const bool ordered =
+        events[i - 1].user < events[i].user ||
+        (events[i - 1].user == events[i].user &&
+         events[i - 1].time_min <= events[i].time_min);
+    ASSERT_TRUE(ordered);
+  }
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const auto a = generate_events(tiny_config());
+  const auto b = generate_events(tiny_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user, b[i].user);
+    EXPECT_DOUBLE_EQ(a[i].time_min, b[i].time_min);
+    EXPECT_DOUBLE_EQ(a[i].position.x_m, b[i].position.x_m);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  SynthConfig other = tiny_config();
+  other.seed = 9999;
+  other.network.seed = 4242;
+  const auto a = generate_events(tiny_config());
+  const auto b = generate_events(other);
+  // Same sizes are possible but identical traces are not.
+  bool any_difference = a.size() != b.size();
+  for (std::size_t i = 0; !any_difference && i < a.size(); ++i) {
+    any_difference = a[i].time_min != b[i].time_min ||
+                     a[i].position.x_m != b[i].position.x_m;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, DiurnalProfileSuppressesNightActivity) {
+  SynthConfig config = civ_like(150, 3);
+  config.days = 7.0;
+  const auto events = generate_events(config);
+  std::size_t night = 0;
+  std::size_t day = 0;
+  for (const auto& ev : events) {
+    const double minute_of_day = std::fmod(ev.time_min, 1440.0);
+    if (minute_of_day < 360.0) {
+      ++night;  // 00:00-06:00
+    } else if (minute_of_day >= 480.0 && minute_of_day < 1200.0) {
+      ++day;    // 08:00-20:00
+    }
+  }
+  // Day hours are 2x the night window but must carry far more than 2x
+  // the events.
+  EXPECT_GT(day, night * 4);
+}
+
+TEST(Generator, DatasetHasOriginalGranularity) {
+  const cdr::FingerprintDataset data = generate_dataset(tiny_config());
+  for (const auto& fp : data.fingerprints()) {
+    for (const auto& s : fp.samples()) {
+      EXPECT_DOUBLE_EQ(s.sigma.dx, 100.0);
+      EXPECT_DOUBLE_EQ(s.sigma.dy, 100.0);
+      EXPECT_DOUBLE_EQ(s.tau.dt, 1.0);
+    }
+  }
+  EXPECT_EQ(data.name(), "civ-like");
+}
+
+TEST(Generator, SpatialLocalityMatchesCdrProfile) {
+  // Median radius of gyration must land in the paper's ballpark (about
+  // 2 km median on D4D data; we accept a loose band of 0.2-30 km).
+  SynthConfig config = civ_like(120, 17);
+  const cdr::FingerprintDataset data = generate_dataset(config);
+  const auto descriptor = analysis::describe(data);
+  EXPECT_GT(descriptor.median_radius_of_gyration_m, 200.0);
+  EXPECT_LT(descriptor.median_radius_of_gyration_m, 30'000.0);
+}
+
+TEST(Generator, SenPresetHasMoreHomogeneousActivity) {
+  // d4d-sen only retains users active >75% of the period, which trims the
+  // population's activity heterogeneity; civ-like keeps the raw lognormal
+  // spread.  The per-user rate dispersion (coefficient of variation) must
+  // therefore be clearly smaller for sen-like.
+  SynthConfig civ = civ_like(250, 5);
+  SynthConfig sen = sen_like(250, 5);
+  civ.days = 7.0;
+  sen.days = 7.0;
+  civ.activity.min_events_per_day = 0.0;  // raw civ, pre-screening
+  const auto cv = [](const cdr::FingerprintDataset& data) {
+    std::vector<double> rates;
+    rates.reserve(data.size());
+    for (const auto& fp : data.fingerprints()) {
+      rates.push_back(static_cast<double>(fp.size()));
+    }
+    const auto s = stats::summarize(rates);
+    return s.stddev / s.mean;
+  };
+  EXPECT_GT(cv(generate_dataset(civ)), 1.2 * cv(generate_dataset(sen)));
+}
+
+TEST(Generator, ActivityFloorKeepsUsersActive) {
+  SynthConfig config = sen_like(50, 23);
+  config.days = 7.0;
+  const cdr::FingerprintDataset data = generate_dataset(config);
+  // d4d-sen profile: every retained user is active most days.
+  for (const auto& fp : data.fingerprints()) {
+    EXPECT_GE(static_cast<double>(fp.size()) / config.days, 1.0);
+  }
+}
+
+TEST(Generator, LatLonExportRoundTripsRegion) {
+  const SynthConfig config = tiny_config();
+  const auto planar = generate_events(config);
+  const auto geo_events = to_latlon_events(planar, config);
+  ASSERT_EQ(geo_events.size(), planar.size());
+  // All exported coordinates must be near the region anchor (within ~5 deg).
+  for (const auto& ev : geo_events) {
+    EXPECT_NEAR(ev.antenna.lat_deg, config.region_anchor.lat_deg, 5.0);
+    EXPECT_NEAR(ev.antenna.lon_deg, config.region_anchor.lon_deg, 5.0);
+  }
+}
+
+TEST(Generator, RejectsBadConfig) {
+  SynthConfig config = tiny_config();
+  config.users = 0;
+  EXPECT_THROW((void)generate_events(config), std::invalid_argument);
+  config = tiny_config();
+  config.days = 0.0;
+  EXPECT_THROW((void)generate_events(config), std::invalid_argument);
+}
+
+TEST(DiurnalProfile, HasExpectedShape) {
+  const auto& profile = diurnal_profile();
+  // Deep night is the minimum; evening peak is the maximum.
+  const auto [min_it, max_it] =
+      std::minmax_element(profile.begin(), profile.end());
+  const auto min_hour = static_cast<int>(min_it - profile.begin());
+  const auto max_hour = static_cast<int>(max_it - profile.begin());
+  EXPECT_GE(min_hour, 1);
+  EXPECT_LE(min_hour, 5);
+  EXPECT_GE(max_hour, 16);
+  EXPECT_LE(max_hour, 21);
+}
+
+}  // namespace
+}  // namespace glove::synth

@@ -1,0 +1,131 @@
+#include "glove/synth/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "glove/util/rng.hpp"
+
+namespace glove::synth {
+namespace {
+
+NetworkConfig small_config() {
+  NetworkConfig config;
+  config.antennas = 200;
+  config.region_size_m = 100'000.0;
+  config.cities = 4;
+  config.urban_fraction = 0.7;
+  config.seed = 3;
+  return config;
+}
+
+TEST(AntennaNetwork, GeneratesRequestedAntennaCount) {
+  const AntennaNetwork network{small_config()};
+  EXPECT_EQ(network.size(), 200u);
+  EXPECT_EQ(network.cities().size(), 4u);
+}
+
+TEST(AntennaNetwork, AntennasStayInRegion) {
+  const NetworkConfig config = small_config();
+  const AntennaNetwork network{config};
+  for (const auto& a : network.antennas()) {
+    EXPECT_GE(a.x_m, 0.0);
+    EXPECT_LE(a.x_m, config.region_size_m);
+    EXPECT_GE(a.y_m, 0.0);
+    EXPECT_LE(a.y_m, config.region_size_m);
+  }
+}
+
+TEST(AntennaNetwork, DeterministicForSeed) {
+  const AntennaNetwork a{small_config()};
+  const AntennaNetwork b{small_config()};
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.antenna(i).x_m, b.antenna(i).x_m);
+    EXPECT_DOUBLE_EQ(a.antenna(i).y_m, b.antenna(i).y_m);
+  }
+}
+
+TEST(AntennaNetwork, MainCityHasLargestWeight) {
+  const AntennaNetwork network{small_config()};
+  const City& main = network.main_city();
+  for (const City& c : network.cities()) {
+    EXPECT_LE(c.weight, main.weight);
+  }
+}
+
+TEST(AntennaNetwork, CityWeightsSumToUrbanFraction) {
+  const NetworkConfig config = small_config();
+  const AntennaNetwork network{config};
+  double total = 0.0;
+  for (const City& c : network.cities()) total += c.weight;
+  EXPECT_NEAR(total, config.urban_fraction, 1e-9);
+}
+
+TEST(AntennaNetwork, UrbanAntennasClusterNearMainCity) {
+  const AntennaNetwork network{small_config()};
+  const City& main = network.main_city();
+  // A meaningful share of antennas must lie within 3 radii of the capital.
+  std::size_t close = 0;
+  for (const auto& a : network.antennas()) {
+    if (geo::planar_distance_m(a, main.center) <= 3.0 * main.radius_m) {
+      ++close;
+    }
+  }
+  EXPECT_GT(close, network.size() / 10);
+}
+
+TEST(AntennaNetwork, NearestAntennaIsCorrect) {
+  const AntennaNetwork network{small_config()};
+  const geo::PlanarPoint q{42'000.0, 13'000.0};
+  const std::size_t best = network.nearest_antenna(q);
+  const double best_d = geo::planar_distance_m(network.antenna(best), q);
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    EXPECT_LE(best_d, geo::planar_distance_m(network.antenna(i), q) + 1e-9);
+  }
+}
+
+TEST(AntennaNetwork, AntennasNearReturnsSortedByDistance) {
+  const AntennaNetwork network{small_config()};
+  const geo::PlanarPoint q{50'000.0, 50'000.0};
+  const auto near = network.antennas_near(q, 30'000.0);
+  for (std::size_t i = 1; i < near.size(); ++i) {
+    EXPECT_LE(geo::planar_distance_m(network.antenna(near[i - 1]), q),
+              geo::planar_distance_m(network.antenna(near[i]), q) + 1e-9);
+  }
+  for (const std::size_t i : near) {
+    EXPECT_LE(geo::planar_distance_m(network.antenna(i), q), 30'000.0);
+  }
+}
+
+TEST(AntennaNetwork, SampleHomePrefersBigCities) {
+  const AntennaNetwork network{small_config()};
+  util::Xoshiro256 rng{99};
+  const City& main = network.main_city();
+  std::size_t near_main = 0;
+  constexpr std::size_t kDraws = 2'000;
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    const std::size_t home = network.sample_home(rng);
+    if (geo::planar_distance_m(network.antenna(home), main.center) <=
+        4.0 * main.radius_m) {
+      ++near_main;
+    }
+  }
+  // The capital holds the largest single share of homes.
+  EXPECT_GT(near_main, kDraws / 5);
+}
+
+TEST(AntennaNetwork, RejectsBadConfig) {
+  NetworkConfig config = small_config();
+  config.antennas = 0;
+  EXPECT_THROW(AntennaNetwork{config}, std::invalid_argument);
+  config = small_config();
+  config.cities = 0;
+  EXPECT_THROW(AntennaNetwork{config}, std::invalid_argument);
+  config = small_config();
+  config.urban_fraction = 1.5;
+  EXPECT_THROW(AntennaNetwork{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace glove::synth

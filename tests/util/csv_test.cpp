@@ -1,0 +1,106 @@
+#include "glove/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace glove::util {
+namespace {
+
+TEST(SplitCsvLine, SplitsSimpleFields) {
+  const auto fields = split_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitCsvLine, TrimsWhitespace) {
+  const auto fields = split_csv_line(" 1 ,\t2 , 3\t");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "1");
+  EXPECT_EQ(fields[1], "2");
+  EXPECT_EQ(fields[2], "3");
+}
+
+TEST(SplitCsvLine, KeepsEmptyFields) {
+  const auto fields = split_csv_line("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitCsvLine, EmptyInputYieldsNoFields) {
+  EXPECT_TRUE(split_csv_line("").empty());
+}
+
+TEST(SplitCsvLine, HonorsCustomSeparator) {
+  const auto fields = split_csv_line("a;b;c", ';');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvReader, SkipsCommentsAndBlankLines) {
+  std::istringstream in{"# header\n\n1,2\n  # another\n3,4\n"};
+  CsvReader reader{in};
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(reader.next(fields));
+  EXPECT_EQ(fields[0], "1");
+  ASSERT_TRUE(reader.next(fields));
+  EXPECT_EQ(fields[0], "3");
+  EXPECT_FALSE(reader.next(fields));
+  EXPECT_EQ(reader.rows_read(), 2u);
+}
+
+TEST(CsvReader, TracksLineNumbers) {
+  std::istringstream in{"# c\n10,20\n30,40\n"};
+  CsvReader reader{in};
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(reader.next(fields));
+  EXPECT_EQ(reader.line_number(), 2u);
+  ASSERT_TRUE(reader.next(fields));
+  EXPECT_EQ(reader.line_number(), 3u);
+}
+
+TEST(CsvWriter, RoundTripsWithReader) {
+  std::ostringstream out;
+  CsvWriter writer{out};
+  writer.comment("test");
+  writer.row({"1", "2.5", "x"});
+  writer.row({"4", "5", "y"});
+
+  std::istringstream in{out.str()};
+  CsvReader reader{in};
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(reader.next(fields));
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "2.5");
+  ASSERT_TRUE(reader.next(fields));
+  EXPECT_EQ(fields[2], "y");
+  EXPECT_FALSE(reader.next(fields));
+}
+
+TEST(ParseDouble, ParsesValidNumbers) {
+  EXPECT_DOUBLE_EQ(parse_double("3.25", "test"), 3.25);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3", "test"), -1000.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_THROW((void)parse_double("abc", "ctx"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("1.5x", "ctx"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("", "ctx"), std::invalid_argument);
+}
+
+TEST(ParseInt, ParsesValidIntegers) {
+  EXPECT_EQ(parse_int("42", "test"), 42);
+  EXPECT_EQ(parse_int("-7", "test"), -7);
+}
+
+TEST(ParseInt, RejectsGarbage) {
+  EXPECT_THROW((void)parse_int("4.2", "ctx"), std::invalid_argument);
+  EXPECT_THROW((void)parse_int("x", "ctx"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace glove::util

@@ -1,0 +1,106 @@
+#include "glove/util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace glove::util {
+namespace {
+
+Flags make_flags() {
+  Flags flags{"test program"};
+  flags.define("users", "100", "number of users")
+      .define("k", "2", "anonymity level")
+      .define("verbose", "false", "chatty output")
+      .define("name", "demo", "run name");
+  return flags;
+}
+
+TEST(Flags, DefaultsApplyWithoutArgs) {
+  Flags flags = make_flags();
+  flags.parse(0, nullptr);
+  EXPECT_EQ(flags.get_int("users"), 100);
+  EXPECT_EQ(flags.get("name"), "demo");
+  EXPECT_FALSE(flags.get_bool("verbose"));
+}
+
+TEST(Flags, ParsesEqualsSyntax) {
+  Flags flags = make_flags();
+  const char* argv[] = {"--users=250", "--name=abc"};
+  flags.parse(2, argv);
+  EXPECT_EQ(flags.get_int("users"), 250);
+  EXPECT_EQ(flags.get("name"), "abc");
+}
+
+TEST(Flags, ParsesSpaceSyntax) {
+  Flags flags = make_flags();
+  const char* argv[] = {"--users", "300"};
+  flags.parse(2, argv);
+  EXPECT_EQ(flags.get_int("users"), 300);
+}
+
+TEST(Flags, BooleanSwitchWithoutValue) {
+  Flags flags = make_flags();
+  const char* argv[] = {"--verbose"};
+  flags.parse(1, argv);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  Flags flags = make_flags();
+  const char* argv[] = {"--bogus=1"};
+  EXPECT_THROW(flags.parse(1, argv), std::invalid_argument);
+}
+
+TEST(Flags, CollectsPositionalArguments) {
+  Flags flags = make_flags();
+  const char* argv[] = {"input.csv", "--k=3", "output.csv"};
+  flags.parse(3, argv);
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "output.csv");
+  EXPECT_EQ(flags.get_int("k"), 3);
+}
+
+TEST(Flags, HelpRequestDetected) {
+  Flags flags = make_flags();
+  const char* argv[] = {"--help"};
+  flags.parse(1, argv);
+  EXPECT_TRUE(flags.help_requested());
+  EXPECT_NE(flags.usage().find("users"), std::string::npos);
+}
+
+TEST(Flags, GetDoubleParses) {
+  Flags flags = make_flags();
+  const char* argv[] = {"--users=2.5"};
+  flags.parse(1, argv);
+  EXPECT_DOUBLE_EQ(flags.get_double("users"), 2.5);
+}
+
+TEST(EnvInt, FallsBackWhenUnset) {
+  ::unsetenv("GLOVE_TEST_ENV_INT");
+  EXPECT_EQ(env_int("GLOVE_TEST_ENV_INT", 17), 17);
+}
+
+TEST(EnvInt, ReadsValue) {
+  ::setenv("GLOVE_TEST_ENV_INT", "55", 1);
+  EXPECT_EQ(env_int("GLOVE_TEST_ENV_INT", 17), 55);
+  ::unsetenv("GLOVE_TEST_ENV_INT");
+}
+
+TEST(EnvInt, FallsBackOnGarbage) {
+  ::setenv("GLOVE_TEST_ENV_INT", "5x", 1);
+  EXPECT_EQ(env_int("GLOVE_TEST_ENV_INT", 17), 17);
+  ::unsetenv("GLOVE_TEST_ENV_INT");
+}
+
+TEST(EnvDouble, ReadsValueWithFallback) {
+  ::setenv("GLOVE_TEST_ENV_DBL", "2.75", 1);
+  EXPECT_DOUBLE_EQ(env_double("GLOVE_TEST_ENV_DBL", 1.0), 2.75);
+  ::unsetenv("GLOVE_TEST_ENV_DBL");
+  EXPECT_DOUBLE_EQ(env_double("GLOVE_TEST_ENV_DBL", 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace glove::util

@@ -1,0 +1,108 @@
+#include "glove/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace glove::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministicForSeed) {
+  SplitMix64 a{123};
+  SplitMix64 b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a{1};
+  SplitMix64 b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownFirstOutputForZeroSeed) {
+  // Reference value of the SplitMix64 algorithm with state 0.
+  SplitMix64 rng{0};
+  EXPECT_EQ(rng(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(Xoshiro256, IsDeterministicForSeed) {
+  Xoshiro256 a{999};
+  Xoshiro256 b{999};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, ForkYieldsIndependentStreams) {
+  const Xoshiro256 root{7};
+  Xoshiro256 s0 = root.fork(0);
+  Xoshiro256 s1 = root.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (s0() == s1()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, ForkIsReproducible) {
+  const Xoshiro256 root{7};
+  Xoshiro256 a = root.fork(5);
+  Xoshiro256 b = root.fork(5);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Uniform01, StaysInUnitInterval) {
+  Xoshiro256 rng{3};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = uniform01(rng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Uniform01, MeanIsNearHalf) {
+  Xoshiro256 rng{4};
+  double sum = 0.0;
+  constexpr int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += uniform01(rng);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Uniform, RespectsBounds) {
+  Xoshiro256 rng{5};
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = uniform(rng, -3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(UniformIndex, CoversTheRange) {
+  Xoshiro256 rng{6};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    const std::uint64_t v = uniform_index(rng, 10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(UniformIndex, ZeroRangeReturnsZero) {
+  Xoshiro256 rng{6};
+  EXPECT_EQ(uniform_index(rng, 0), 0u);
+}
+
+}  // namespace
+}  // namespace glove::util

@@ -1,0 +1,95 @@
+#include "glove/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "glove/util/parallel.hpp"
+
+namespace glove::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool{4};
+  std::atomic<int> counter{0};
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] {
+      counter.fetch_add(1);
+      done.fetch_add(1);
+    });
+  }
+  while (done.load() < 100) std::this_thread::yield();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool{3};
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  EXPECT_GE(ThreadPool::shared().size(), 1u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(10'000);
+  parallel_for(pool, hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, HandlesZeroCount) {
+  ThreadPool pool{2};
+  bool called = false;
+  parallel_for(pool, 0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SmallCountRunsInline) {
+  ThreadPool pool{4};
+  std::vector<int> hits(10, 0);
+  parallel_for(pool, hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST(ParallelFor, ComputesSameResultAsSequential) {
+  ThreadPool pool{8};
+  std::vector<double> parallel_out(5'000);
+  std::vector<double> sequential_out(5'000);
+  const auto f = [](std::size_t i) {
+    return static_cast<double>(i) * 1.5 + 1.0;
+  };
+  parallel_for(pool, parallel_out.size(),
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   parallel_out[i] = f(i);
+                 }
+               });
+  for (std::size_t i = 0; i < sequential_out.size(); ++i) {
+    sequential_out[i] = f(i);
+  }
+  EXPECT_EQ(parallel_out, sequential_out);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  ThreadPool pool{4};
+  EXPECT_THROW(
+      parallel_for(
+          pool, 10'000,
+          [&](std::size_t begin, std::size_t) {
+            if (begin == 0) throw std::runtime_error{"boom"};
+          },
+          /*min_chunk=*/16),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace glove::util
