@@ -118,8 +118,8 @@ int main() {
     std::uint64_t skipped = 0;
     const auto fast = core::k_gaps_pruned(civ, 2, {}, &skipped);
     const auto t2 = std::chrono::steady_clock::now();
-    const double total_pairs =
-        static_cast<double>(civ.size()) * (civ.size() - 1);
+    const double total_pairs = static_cast<double>(civ.size()) *
+                               static_cast<double>(civ.size() - 1);
     std::vector<double> fast_gaps;
     for (const auto& e : fast) fast_gaps.push_back(e.gap);
     pruning.row({"brute force", "0",

@@ -163,8 +163,10 @@ W4MResult anonymize_w4m(const cdr::FingerprintDataset& data,
             other);
       }
       const std::size_t need = config.k - 1;
-      std::partial_sort(nearest.begin(), nearest.begin() + need,
-                        nearest.end());
+      std::partial_sort(
+          nearest.begin(),
+          nearest.begin() + static_cast<std::ptrdiff_t>(need),
+          nearest.end());
       double mean_distance = 0.0;
       for (std::size_t i = 0; i < need; ++i) mean_distance += nearest[i].first;
       mean_distance /= static_cast<double>(need);

@@ -20,7 +20,7 @@ long long days_from_civil(int y, unsigned m, unsigned d) {
   y -= m <= 2;
   const long long era = (y >= 0 ? y : y - 399) / 400;
   const auto yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
-  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doy = (153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + d - 1;
   const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
   const long long days_since_1970 = era * 146097 +
                                     static_cast<long long>(doe) - 719468;
@@ -32,13 +32,14 @@ void civil_from_days(long long z, int& y, unsigned& m, unsigned& d) {
   z += 719468 + 10957;
   const long long era = (z >= 0 ? z : z - 146096) / 146097;
   const auto doe = static_cast<unsigned long long>(z - era * 146097);
-  const unsigned yoe =
-      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const auto yoe = static_cast<unsigned>(
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365);
   y = static_cast<int>(yoe) + static_cast<int>(era) * 400;
-  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const auto doy =
+      static_cast<unsigned>(doe - (365ULL * yoe + yoe / 4 - yoe / 100));
   const unsigned mp = (5 * doy + 2) / 153;
   d = doy - (153 * mp + 2) / 5 + 1;
-  m = mp + (mp < 10 ? 3 : -9);
+  m = mp < 10 ? mp + 3 : mp - 9;
   y += m <= 2;
 }
 

@@ -33,7 +33,10 @@ std::vector<KGapEntry> k_gaps(const cdr::FingerprintDataset& data,
           }
           // Select the k-1 nearest fingerprints (ties by index for
           // determinism independent of thread count).
-          std::partial_sort(row.begin(), row.begin() + neighbors, row.end());
+          std::partial_sort(
+              row.begin(),
+              row.begin() + static_cast<std::ptrdiff_t>(neighbors),
+              row.end());
           KGapEntry& entry = result[a];
           entry.neighbors.reserve(neighbors);
           double total = 0.0;

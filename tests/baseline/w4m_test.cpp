@@ -145,7 +145,8 @@ TEST(W4M, StatsErrorVectorsMatchMeans) {
   ASSERT_FALSE(result.stats.position_errors_m.empty());
   double sum = 0.0;
   for (const double e : result.stats.position_errors_m) sum += e;
-  EXPECT_NEAR(sum / result.stats.position_errors_m.size(),
+  EXPECT_NEAR(
+      sum / static_cast<double>(result.stats.position_errors_m.size()),
               result.stats.mean_position_error_m, 1e-9);
 }
 

@@ -5,6 +5,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/fixtures.hpp"
+#include "common/golden.hpp"
+#include "common/temp_dir.hpp"
+
 namespace glove::cdr {
 namespace {
 
@@ -39,23 +43,8 @@ TEST(CdrIo, RejectsMalformedNumbers) {
   EXPECT_THROW((void)read_cdr_csv(in), std::invalid_argument);
 }
 
-FingerprintDataset sample_dataset() {
-  Sample s1;
-  s1.sigma = SpatialExtent{100.0, 100.0, 200.0, 100.0};
-  s1.tau = TemporalExtent{10.0, 1.0};
-  Sample s2;
-  s2.sigma = SpatialExtent{0.0, 500.0, 0.0, 300.0};
-  s2.tau = TemporalExtent{50.0, 30.0};
-  s2.contributors = 4;
-
-  std::vector<Fingerprint> fps;
-  fps.emplace_back(std::vector<UserId>{1u, 2u}, std::vector<Sample>{s1, s2});
-  fps.emplace_back(7u, std::vector<Sample>{s1});
-  return FingerprintDataset{std::move(fps), "io-test"};
-}
-
 TEST(DatasetIo, RoundTripPreservesStructure) {
-  const FingerprintDataset data = sample_dataset();
+  const FingerprintDataset data = test::grouped_io_dataset();
   std::ostringstream out;
   write_dataset_csv(out, data);
   std::istringstream in{out.str()};
@@ -105,11 +94,29 @@ TEST(FileIo, MissingFileThrows) {
 }
 
 TEST(FileIo, WriteAndReadBack) {
-  const std::string path = ::testing::TempDir() + "/glove_io_test.csv";
-  write_dataset_file(path, sample_dataset());
-  const FingerprintDataset back = read_dataset_file(path);
+  const test::TempDir dir;
+  const FingerprintDataset data = test::grouped_io_dataset();
+  const FingerprintDataset back = test::dataset_file_roundtrip(dir, data);
   EXPECT_EQ(back.size(), 2u);
   EXPECT_EQ(back.total_samples(), 3u);
+  test::expect_datasets_near(back, data);
+}
+
+TEST(FileIo, TempDirKeepsConcurrentSuitesApart) {
+  const test::TempDir a;
+  const test::TempDir b;
+  EXPECT_NE(a.path(), b.path());
+  write_dataset_file(a.file("data.csv"), test::grouped_io_dataset());
+  EXPECT_THROW((void)read_dataset_file(b.file("data.csv")),
+               std::runtime_error);
+}
+
+TEST(DatasetIo, SerializationMatchesGoldenFile) {
+  // Locks the on-disk CSV format: field order, member joining, float
+  // formatting.  Changing the format is a compatibility break and must be
+  // an explicit decision (re-bless with GLOVE_UPDATE_GOLDEN=1).
+  test::expect_matches_golden("io_dataset.csv",
+                              test::dataset_to_csv(test::grouped_io_dataset()));
 }
 
 }  // namespace

@@ -1,0 +1,107 @@
+#include "common/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "glove/cdr/io.hpp"
+
+#ifndef GLOVE_TEST_DATA_DIR
+#error "GLOVE_TEST_DATA_DIR must be defined by the build"
+#endif
+
+namespace glove::test {
+
+namespace {
+
+bool update_golden_requested() {
+  const char* flag = std::getenv("GLOVE_UPDATE_GOLDEN");
+  return flag != nullptr && flag[0] != '\0' && flag[0] != '0';
+}
+
+/// First line where the two texts differ, 1-based; 0 when equal.
+std::size_t first_diff_line(const std::string& a, const std::string& b,
+                            std::string& line_a, std::string& line_b) {
+  std::istringstream sa{a};
+  std::istringstream sb{b};
+  std::size_t line = 0;
+  while (true) {
+    const bool got_a = static_cast<bool>(std::getline(sa, line_a));
+    const bool got_b = static_cast<bool>(std::getline(sb, line_b));
+    ++line;
+    if (!got_a && !got_b) return 0;
+    if (got_a != got_b || line_a != line_b) return line;
+  }
+}
+
+}  // namespace
+
+std::string data_path(std::string_view name) {
+  return std::string{GLOVE_TEST_DATA_DIR} + "/" + std::string{name};
+}
+
+std::string dataset_to_csv(const cdr::FingerprintDataset& data) {
+  std::ostringstream out;
+  cdr::write_dataset_csv(out, data);
+  return out.str();
+}
+
+void expect_matches_golden(std::string_view name, const std::string& actual) {
+  const std::string path = data_path(name);
+  if (update_golden_requested()) {
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    ASSERT_TRUE(out) << "cannot write golden file " << path;
+    out << actual;
+    return;
+  }
+
+  std::ifstream in{path, std::ios::binary};
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (run with GLOVE_UPDATE_GOLDEN=1 to create it)";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string expected = buffer.str();
+
+  // Byte-for-byte verdict; the line diff is only for the diagnostic (it
+  // cannot see e.g. a missing trailing newline).
+  std::string line_actual;
+  std::string line_expected;
+  const std::size_t line =
+      first_diff_line(actual, expected, line_actual, line_expected);
+  EXPECT_EQ(actual, expected)
+      << "golden mismatch vs " << path
+      << (line != 0 ? " at line " + std::to_string(line) : " (whitespace)")
+      << "\n  expected: " << line_expected << "\n  actual:   " << line_actual
+      << "\n(re-bless with GLOVE_UPDATE_GOLDEN=1 if the change is intended)";
+}
+
+void expect_datasets_near(const cdr::FingerprintDataset& actual,
+                          const cdr::FingerprintDataset& expected,
+                          double tolerance) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    SCOPED_TRACE("fingerprint " + std::to_string(i));
+    const cdr::Fingerprint& fa = actual[i];
+    const cdr::Fingerprint& fe = expected[i];
+    ASSERT_EQ(fa.size(), fe.size());
+    EXPECT_TRUE(std::equal(fa.members().begin(), fa.members().end(),
+                           fe.members().begin(), fe.members().end()));
+    for (std::size_t j = 0; j < fe.size(); ++j) {
+      SCOPED_TRACE("sample " + std::to_string(j));
+      const cdr::Sample& sa = fa.samples()[j];
+      const cdr::Sample& se = fe.samples()[j];
+      EXPECT_NEAR(sa.sigma.x, se.sigma.x, tolerance);
+      EXPECT_NEAR(sa.sigma.dx, se.sigma.dx, tolerance);
+      EXPECT_NEAR(sa.sigma.y, se.sigma.y, tolerance);
+      EXPECT_NEAR(sa.sigma.dy, se.sigma.dy, tolerance);
+      EXPECT_NEAR(sa.tau.t, se.tau.t, tolerance);
+      EXPECT_NEAR(sa.tau.dt, se.tau.dt, tolerance);
+      EXPECT_EQ(sa.contributors, se.contributors);
+    }
+  }
+}
+
+}  // namespace glove::test

@@ -1,0 +1,40 @@
+// Golden-file utilities: compare produced text against a checked-in
+// reference, and compare whole datasets structurally with tolerances.
+//
+// Golden files live in tests/data/ (absolute path baked in as
+// GLOVE_TEST_DATA_DIR).  Run a test binary with GLOVE_UPDATE_GOLDEN=1 to
+// rewrite the reference instead of failing — then review the diff.
+
+#ifndef GLOVE_TESTS_COMMON_GOLDEN_HPP
+#define GLOVE_TESTS_COMMON_GOLDEN_HPP
+
+#include <string>
+#include <string_view>
+
+#include "glove/cdr/dataset.hpp"
+
+namespace glove::test {
+
+/// Absolute path of a file inside the checked-in tests/data/ directory.
+[[nodiscard]] std::string data_path(std::string_view name);
+
+/// Serializes a dataset with write_dataset_csv (the canonical text form
+/// used by golden comparisons).
+[[nodiscard]] std::string dataset_to_csv(const cdr::FingerprintDataset& data);
+
+/// Non-fatally EXPECTs that `actual` matches the golden file `name` (under
+/// tests/data/) byte for byte, reporting the first differing line.  With
+/// GLOVE_UPDATE_GOLDEN=1 in the environment the file is (re)written and the
+/// check passes.
+void expect_matches_golden(std::string_view name, const std::string& actual);
+
+/// Non-fatally EXPECTs that the two datasets have identical structure
+/// (group membership, sample counts, contributors) and extents equal within
+/// `tolerance` — the invariant behind every serialize/parse round-trip.
+void expect_datasets_near(const cdr::FingerprintDataset& actual,
+                          const cdr::FingerprintDataset& expected,
+                          double tolerance = 1e-4);
+
+}  // namespace glove::test
+
+#endif  // GLOVE_TESTS_COMMON_GOLDEN_HPP

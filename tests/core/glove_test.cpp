@@ -6,36 +6,14 @@
 #include <set>
 #include <stdexcept>
 
+#include "common/fixtures.hpp"
 #include "glove/core/accuracy.hpp"
-#include "glove/synth/generator.hpp"
 
 namespace glove::core {
 namespace {
 
-cdr::Sample cell(double x, double y, double t) {
-  cdr::Sample s;
-  s.sigma = cdr::SpatialExtent{x, 100.0, y, 100.0};
-  s.tau = cdr::TemporalExtent{t, 1.0};
-  return s;
-}
-
-/// Hand-made dataset: three pairs of near-identical users plus one outlier.
-cdr::FingerprintDataset paired_dataset() {
-  std::vector<cdr::Fingerprint> fps;
-  const auto add_pair = [&](cdr::UserId base, double ox, double ot) {
-    fps.emplace_back(base,
-                     std::vector<cdr::Sample>{cell(ox, 0, ot),
-                                              cell(ox + 100, 0, ot + 300)});
-    fps.emplace_back(base + 1,
-                     std::vector<cdr::Sample>{cell(ox, 100, ot + 4),
-                                              cell(ox + 200, 0, ot + 310)});
-  };
-  add_pair(0, 0.0, 0.0);
-  add_pair(2, 5'000.0, 600.0);
-  add_pair(4, 10'000.0, 1'200.0);
-  fps.emplace_back(6u, std::vector<cdr::Sample>{cell(200'000, 200'000, 50)});
-  return cdr::FingerprintDataset{std::move(fps), "paired"};
-}
+using test::cell;
+using test::paired_dataset;
 
 std::set<cdr::UserId> all_members(const cdr::FingerprintDataset& data) {
   std::set<cdr::UserId> users;
@@ -189,9 +167,8 @@ class GloveSynthetic : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(GloveSynthetic, AnonymizesSyntheticCdr) {
   const std::uint32_t k = GetParam();
-  synth::SynthConfig config = synth::civ_like(60, /*seed=*/5);
-  config.days = 3.0;
-  const cdr::FingerprintDataset data = synth::generate_dataset(config);
+  const cdr::FingerprintDataset data =
+      test::small_synth_dataset(60, /*days=*/3.0, /*seed=*/5);
   ASSERT_GE(data.size(), 50u);
 
   GloveConfig glove_config;

@@ -4,15 +4,12 @@
 
 #include <stdexcept>
 
+#include "common/fixtures.hpp"
+
 namespace glove::core {
 namespace {
 
-cdr::Sample cell(double x, double y, double t) {
-  cdr::Sample s;
-  s.sigma = cdr::SpatialExtent{x, 100.0, y, 100.0};
-  s.tau = cdr::TemporalExtent{t, 1.0};
-  return s;
-}
+using test::cell;
 
 cdr::FingerprintDataset triangle_dataset() {
   // Users 0 and 1 are near-identical; user 2 is far from both.

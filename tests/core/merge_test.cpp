@@ -4,20 +4,18 @@
 
 #include <algorithm>
 
+#include "common/fixtures.hpp"
+
 namespace glove::core {
 namespace {
 
+using test::cell;
+
 cdr::Sample make_sample(double x, double dx, double y, double dy, double t,
                         double dt, std::uint32_t contributors = 1) {
-  cdr::Sample s;
-  s.sigma = cdr::SpatialExtent{x, dx, y, dy};
-  s.tau = cdr::TemporalExtent{t, dt};
+  cdr::Sample s = test::box(x, dx, y, dy, t, dt);
   s.contributors = contributors;
   return s;
-}
-
-cdr::Sample cell(double x, double y, double t) {
-  return make_sample(x, 100.0, y, 100.0, t, 1.0);
 }
 
 bool sample_covers(const cdr::Sample& outer, const cdr::Sample& inner) {

@@ -4,20 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fixtures.hpp"
+
 namespace glove::core {
 namespace {
 
-cdr::Sample make_sample(double x, double dx, double y, double dy, double t,
-                        double dt) {
-  cdr::Sample s;
-  s.sigma = cdr::SpatialExtent{x, dx, y, dy};
-  s.tau = cdr::TemporalExtent{t, dt};
-  return s;
-}
-
-cdr::Sample cell(double x, double y, double t) {
-  return make_sample(x, 100.0, y, 100.0, t, 1.0);
-}
+using test::cell;
 
 TEST(SampleStretch, IdenticalSamplesCostNothing) {
   const cdr::Sample s = cell(0, 0, 100);
@@ -110,8 +102,8 @@ TEST(SampleStretch, CustomLimitsChangeNormalization) {
 }
 
 TEST(SampleStretch, IsSymmetricForEqualGroups) {
-  const cdr::Sample a = make_sample(0, 100, 50, 200, 10, 5);
-  const cdr::Sample b = make_sample(900, 300, -100, 100, 200, 15);
+  const cdr::Sample a = test::box(0, 100, 50, 200, 10, 5);
+  const cdr::Sample b = test::box(900, 300, -100, 100, 200, 15);
   const SampleStretch ab = sample_stretch(a, 1, b, 1, {});
   const SampleStretch ba = sample_stretch(b, 1, a, 1, {});
   EXPECT_DOUBLE_EQ(ab.total(), ba.total());

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/fixtures.hpp"
 #include "glove/baseline/w4m.hpp"
 #include "glove/cdr/io.hpp"
 #include "glove/core/accuracy.hpp"
@@ -19,12 +20,7 @@
 namespace glove {
 namespace {
 
-cdr::Sample cell(double x, double y, double t) {
-  cdr::Sample s;
-  s.sigma = cdr::SpatialExtent{x, 100.0, y, 100.0};
-  s.tau = cdr::TemporalExtent{t, 1.0};
-  return s;
-}
+using test::cell;
 
 TEST(EdgeCases, AllIdenticalFingerprintsMergeForFree) {
   std::vector<cdr::Fingerprint> fps;

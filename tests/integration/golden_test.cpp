@@ -7,23 +7,18 @@
 
 #include <sstream>
 
+#include "common/fixtures.hpp"
+#include "common/golden.hpp"
 #include "glove/cdr/io.hpp"
 #include "glove/core/glove.hpp"
 #include "glove/core/kgap.hpp"
 #include "glove/core/merge.hpp"
 #include "glove/core/stretch.hpp"
-#include "glove/util/rng.hpp"
 
 namespace glove {
 namespace {
 
-cdr::Sample make(double x, double dx, double y, double dy, double t,
-                 double dt) {
-  cdr::Sample s;
-  s.sigma = cdr::SpatialExtent{x, dx, y, dy};
-  s.tau = cdr::TemporalExtent{t, dt};
-  return s;
-}
+using test::box;
 
 TEST(Golden, SampleStretchMixedGeometry) {
   // a = [0,100]x[0,100] @ [0,1]; b = [400,600]x[250,300] @ [45,75].
@@ -31,8 +26,8 @@ TEST(Golden, SampleStretchMixedGeometry) {
   // Spatial, b->a: l = 400+250 = 650, r = 0.  Weighted 1:1 -> 675.
   // Temporal, a->b: l = 0, r = 75-1 = 74; b->a: l = 45, r = 0 -> 59.5.
   // delta = 0.5*675/20000 + 0.5*59.5/480.
-  const cdr::Sample a = make(0, 100, 0, 100, 0, 1);
-  const cdr::Sample b = make(400, 200, 250, 50, 45, 30);
+  const cdr::Sample a = box(0, 100, 0, 100, 0, 1);
+  const cdr::Sample b = box(400, 200, 250, 50, 45, 30);
   const core::SampleStretch d = core::sample_stretch(a, 1, b, 1, {});
   EXPECT_DOUBLE_EQ(d.spatial, 0.5 * 675.0 / 20'000.0);
   EXPECT_DOUBLE_EQ(d.temporal, 0.5 * 59.5 / 480.0);
@@ -42,8 +37,8 @@ TEST(Golden, WeightedSampleStretch) {
   // Same geometry, a carries a group of 3: weights 3/4 and 1/4.
   // Spatial: 700*(3/4) + 650*(1/4) = 687.5.
   // Temporal: 74*(3/4) + 45*(1/4) = 66.75.
-  const cdr::Sample a = make(0, 100, 0, 100, 0, 1);
-  const cdr::Sample b = make(400, 200, 250, 50, 45, 30);
+  const cdr::Sample a = box(0, 100, 0, 100, 0, 1);
+  const cdr::Sample b = box(400, 200, 250, 50, 45, 30);
   const core::SampleStretch d = core::sample_stretch(a, 3, b, 1, {});
   EXPECT_DOUBLE_EQ(d.spatial, 0.5 * 687.5 / 20'000.0);
   EXPECT_DOUBLE_EQ(d.temporal, 0.5 * 66.75 / 480.0);
@@ -57,11 +52,11 @@ TEST(Golden, FingerprintStretchThreeByTwo) {
   //        b2 spatial 1200 temporal 380: delta(b2) = 0.5*1200/20000 +
   //        0.5*380/480 = 0.03 + 0.3958.. = 0.4258.. < delta(b1) = 0.5*0 +
   //        0.5*1 = 0.5 -> picks b2.
-  const cdr::Fingerprint a{0u, {make(0, 100, 0, 100, 0, 1),
-                                make(1'000, 100, 0, 100, 500, 1),
-                                make(0, 100, 0, 100, 900, 1)}};
-  const cdr::Fingerprint b{1u, {make(0, 100, 0, 100, 10, 1),
-                                make(1'200, 100, 0, 100, 520, 1)}};
+  const cdr::Fingerprint a{0u, {box(0, 100, 0, 100, 0, 1),
+                                box(1'000, 100, 0, 100, 500, 1),
+                                box(0, 100, 0, 100, 900, 1)}};
+  const cdr::Fingerprint b{1u, {box(0, 100, 0, 100, 10, 1),
+                                box(1'200, 100, 0, 100, 520, 1)}};
   const double d1 = 0.5 * 10.0 / 480.0;
   const double d2 = 0.5 * 200.0 / 20'000.0 + 0.5 * 20.0 / 480.0;
   const double d3 = 0.5 * 1'200.0 / 20'000.0 + 0.5 * 380.0 / 480.0;
@@ -70,8 +65,8 @@ TEST(Golden, FingerprintStretchThreeByTwo) {
 }
 
 TEST(Golden, MergeProducesExactUnion) {
-  const cdr::Sample a = make(0, 100, 0, 100, 0, 1);
-  const cdr::Sample b = make(400, 200, 250, 50, 45, 30);
+  const cdr::Sample a = box(0, 100, 0, 100, 0, 1);
+  const cdr::Sample b = box(400, 200, 250, 50, 45, 30);
   const cdr::Sample m = core::merge_samples(a, b);
   EXPECT_DOUBLE_EQ(m.sigma.x, 0.0);
   EXPECT_DOUBLE_EQ(m.sigma.dx, 600.0);
@@ -85,13 +80,13 @@ TEST(Golden, GloveOnFixedFourUsers) {
   // Two natural pairs; GLOVE must find exactly them and produce the exact
   // unions.
   std::vector<cdr::Fingerprint> fps;
-  fps.emplace_back(0u, std::vector<cdr::Sample>{make(0, 100, 0, 100, 0, 1)});
+  fps.emplace_back(0u, std::vector<cdr::Sample>{box(0, 100, 0, 100, 0, 1)});
   fps.emplace_back(1u,
-                   std::vector<cdr::Sample>{make(200, 100, 0, 100, 5, 1)});
+                   std::vector<cdr::Sample>{box(200, 100, 0, 100, 5, 1)});
   fps.emplace_back(
-      2u, std::vector<cdr::Sample>{make(9'000, 100, 0, 100, 700, 1)});
+      2u, std::vector<cdr::Sample>{box(9'000, 100, 0, 100, 700, 1)});
   fps.emplace_back(
-      3u, std::vector<cdr::Sample>{make(9'300, 100, 0, 100, 710, 1)});
+      3u, std::vector<cdr::Sample>{box(9'300, 100, 0, 100, 710, 1)});
   const core::GloveResult result =
       core::anonymize(cdr::FingerprintDataset{std::move(fps)}, {});
   ASSERT_EQ(result.anonymized.size(), 2u);
@@ -114,48 +109,21 @@ TEST(Golden, GloveOnFixedFourUsers) {
 
 TEST(Golden, DatasetCsvRoundTripIsExactOnRandomData) {
   // Property: write -> read is the identity on structure and values.
-  util::Xoshiro256 rng{404};
-  std::vector<cdr::Fingerprint> fps;
-  for (cdr::UserId u = 0; u < 15; ++u) {
-    std::vector<cdr::Sample> samples;
-    const std::size_t n = 1 + util::uniform_index(rng, 6);
-    for (std::size_t i = 0; i < n; ++i) {
-      cdr::Sample s;
-      s.sigma = cdr::SpatialExtent{util::uniform(rng, -1e5, 1e5),
-                                   util::uniform(rng, 1.0, 5e4),
-                                   util::uniform(rng, -1e5, 1e5),
-                                   util::uniform(rng, 1.0, 5e4)};
-      s.tau = cdr::TemporalExtent{util::uniform(rng, 0.0, 2e4),
-                                  util::uniform(rng, 1.0, 500.0)};
-      s.contributors =
-          1 + static_cast<std::uint32_t>(util::uniform_index(rng, 9));
-      samples.push_back(s);
-    }
-    fps.emplace_back(u, std::move(samples));
-  }
-  const cdr::FingerprintDataset data{std::move(fps), "roundtrip"};
+  const cdr::FingerprintDataset data = test::random_dataset(15, /*seed=*/404);
 
-  std::ostringstream out;
-  cdr::write_dataset_csv(out, data);
-  std::istringstream in{out.str()};
+  std::istringstream in{test::dataset_to_csv(data)};
   const cdr::FingerprintDataset back = cdr::read_dataset_csv(in);
+  test::expect_datasets_near(back, data);
+}
 
-  ASSERT_EQ(back.size(), data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    ASSERT_EQ(back[i].size(), data[i].size());
-    EXPECT_TRUE(std::equal(back[i].members().begin(),
-                           back[i].members().end(),
-                           data[i].members().begin()));
-    for (std::size_t j = 0; j < data[i].size(); ++j) {
-      const cdr::Sample& original = data[i].samples()[j];
-      const cdr::Sample& restored = back[i].samples()[j];
-      EXPECT_NEAR(restored.sigma.x, original.sigma.x, 1e-4);
-      EXPECT_NEAR(restored.sigma.dx, original.sigma.dx, 1e-4);
-      EXPECT_NEAR(restored.tau.t, original.tau.t, 1e-4);
-      EXPECT_NEAR(restored.tau.dt, original.tau.dt, 1e-4);
-      EXPECT_EQ(restored.contributors, original.contributors);
-    }
-  }
+TEST(Golden, AnonymizedPairedDatasetMatchesGoldenFile) {
+  // End-to-end regression: the full GLOVE output on the shared paired
+  // dataset, serialized to CSV, against a checked-in reference.  Catches
+  // any semantic drift in the merge order, union geometry or serializer.
+  const core::GloveResult result =
+      core::anonymize(test::paired_dataset(), {});
+  test::expect_matches_golden("glove_paired_k2.csv",
+                              test::dataset_to_csv(result.anonymized));
 }
 
 }  // namespace
