@@ -13,8 +13,8 @@
 #include <iostream>
 
 #include "common/bench_common.hpp"
+#include "glove/api/cli.hpp"
 #include "glove/core/accuracy.hpp"
-#include "glove/core/glove.hpp"
 #include "glove/core/scalability.hpp"
 #include "glove/stats/table.hpp"
 #include "glove/util/rng.hpp"
@@ -31,14 +31,15 @@ struct Outcome {
   double seconds;
 };
 
-Outcome run(const cdr::FingerprintDataset& data,
-            const core::GloveConfig& config) {
-  const core::GloveResult result = core::anonymize(data, config);
+Outcome run(const Engine& engine, const cdr::FingerprintDataset& data,
+            const api::RunConfig& config) {
+  const RunReport result = api::run_or_exit(engine, data, config);
   const auto summary =
       core::summarize_accuracy(core::measure_accuracy(result.anonymized));
   return Outcome{summary.mean_position_m / 1'000.0, summary.mean_time_min,
-                 result.stats.deleted_samples, result.stats.output_groups,
-                 result.stats.init_seconds + result.stats.merge_seconds};
+                 result.counters.deleted_samples,
+                 result.counters.output_groups,
+                 result.timings.init_seconds + result.timings.merge_seconds};
 }
 
 void add_row(stats::TextTable& table, const std::string& name,
@@ -52,6 +53,7 @@ void add_row(stats::TextTable& table, const std::string& name,
 }  // namespace
 
 int main() {
+  const glove::Engine engine;
   const bench::Scale scale = bench::resolve_scale(/*default_users=*/180);
   const cdr::FingerprintDataset civ = bench::make_civ(scale);
   bench::print_banner("Ablations (GLOVE design choices)", civ);
@@ -60,22 +62,26 @@ int main() {
   table.header({"variant", "pos mean", "time mean", "deleted", "groups",
                 "runtime"});
 
-  core::GloveConfig base;
+  api::RunConfig base;
   base.k = 2;
-  add_row(table, "baseline (reshape on)", run(civ, base));
+  add_row(table, "baseline (reshape on)", run(engine, civ, base));
 
-  core::GloveConfig no_reshape = base;
+  api::RunConfig no_reshape = base;
   no_reshape.reshape = false;
-  add_row(table, "reshape off", run(civ, no_reshape));
+  add_row(table, "reshape off", run(engine, civ, no_reshape));
 
-  core::GloveConfig suppress_leftover = base;
+  api::RunConfig suppress_leftover = base;
   suppress_leftover.leftover_policy = core::LeftoverPolicy::kSuppress;
-  add_row(table, "leftover: suppress", run(civ, suppress_leftover));
+  add_row(table, "leftover: suppress", run(engine, civ, suppress_leftover));
 
-  core::GloveConfig with_suppression = base;
+  api::RunConfig with_suppression = base;
   with_suppression.suppression =
       core::SuppressionThresholds{15'000.0, 360.0};
-  add_row(table, "suppression 15km/6h", run(civ, with_suppression));
+  add_row(table, "suppression 15km/6h", run(engine, civ, with_suppression));
+
+  api::RunConfig pruned = base;
+  pruned.strategy = api::kStrategyPrunedKGap;
+  add_row(table, "pruned init (exact)", run(engine, civ, pruned));
 
   // Input-order sensitivity: shuffle the dataset and re-run.
   util::Xoshiro256 rng{scale.seed * 7 + 5};
@@ -86,23 +92,16 @@ int main() {
               shuffled[util::uniform_index(rng, i)]);
   }
   const cdr::FingerprintDataset permuted{std::move(shuffled), "civ-shuffled"};
-  add_row(table, "input order shuffled", run(permuted, base));
+  add_row(table, "input order shuffled", run(engine, permuted, base));
 
   // Chunked (W4M-LC-style scaling): smaller chunks trade accuracy for a
   // quadratic-cost reduction.
   for (const std::size_t chunk : {90u, 45u}) {
-    core::ChunkedConfig chunked;
-    chunked.glove = base;
-    chunked.chunk_size = chunk;
-    const core::GloveResult result = core::anonymize_chunked(civ, chunked);
-    const auto summary =
-        core::summarize_accuracy(core::measure_accuracy(result.anonymized));
-    add_row(table,
-            "chunked (" + std::to_string(chunk) + "/chunk)",
-            Outcome{summary.mean_position_m / 1'000.0,
-                    summary.mean_time_min, result.stats.deleted_samples,
-                    result.stats.output_groups,
-                    result.stats.init_seconds + result.stats.merge_seconds});
+    api::RunConfig chunked = base;
+    chunked.strategy = api::kStrategyChunked;
+    chunked.chunked.chunk_size = chunk;
+    add_row(table, "chunked (" + std::to_string(chunk) + "/chunk)",
+            run(engine, civ, chunked));
   }
 
   table.print(std::cout);

@@ -12,8 +12,8 @@
 #include <iostream>
 
 #include "common/bench_common.hpp"
+#include "glove/api/cli.hpp"
 #include "glove/attack/linkage.hpp"
-#include "glove/core/glove.hpp"
 #include "glove/core/partial.hpp"
 #include "glove/stats/table.hpp"
 
@@ -33,6 +33,7 @@ void report_row(stats::TextTable& table, const std::string& dataset,
 }  // namespace
 
 int main() {
+  const glove::Engine engine;
   const bench::Scale scale = bench::resolve_scale(/*default_users=*/220);
   const cdr::FingerprintDataset civ = bench::make_civ(scale);
   bench::print_banner("Attack & defense (motivation + verification)", civ);
@@ -57,9 +58,9 @@ int main() {
   }
 
   // --- After full-length GLOVE (k = 2): every attack must be defeated.
-  core::GloveConfig glove_config;
+  api::RunConfig glove_config;
   glove_config.k = 2;
-  const core::GloveResult glove = core::anonymize(civ, glove_config);
+  const RunReport glove = api::run_or_exit(engine, civ, glove_config);
   {
     attack::TopLocationsAttack top;
     top.top_n = 3;

@@ -8,15 +8,16 @@
 #include <iostream>
 
 #include "common/bench_common.hpp"
+#include "glove/api/cli.hpp"
 #include "glove/core/accuracy.hpp"
-#include "glove/core/glove.hpp"
 #include "glove/stats/table.hpp"
 
 namespace {
 
 using namespace glove;
 
-void run_dataset(const cdr::FingerprintDataset& data, double max_days) {
+void run_dataset(const Engine& engine, const cdr::FingerprintDataset& data,
+                 double max_days) {
   stats::TextTable table{"Fig. 10 — accuracy vs timespan (" + data.name() +
                          ", k=2)"};
   table.header({"days", "users", "pos mean", "pos median", "time mean",
@@ -26,9 +27,9 @@ void run_dataset(const cdr::FingerprintDataset& data, double max_days) {
     const cdr::FingerprintDataset window =
         cdr::cut_time_window(data, 0.0, days * 1'440.0);
     if (window.size() < 4) continue;
-    core::GloveConfig config;
+    api::RunConfig config;
     config.k = 2;
-    const core::GloveResult result = core::anonymize(window, config);
+    const RunReport result = api::run_or_exit(engine, window, config);
     const auto summary =
         core::summarize_accuracy(core::measure_accuracy(result.anonymized));
     table.row({stats::fmt(days, 0), std::to_string(window.size()),
@@ -43,13 +44,14 @@ void run_dataset(const cdr::FingerprintDataset& data, double max_days) {
 }  // namespace
 
 int main() {
+  const glove::Engine engine;
   const bench::Scale scale = bench::resolve_scale(/*default_users=*/220);
   const cdr::FingerprintDataset civ = bench::make_civ(scale);
   const cdr::FingerprintDataset sen = bench::make_sen(scale);
   bench::print_banner("Fig. 10 (accuracy vs timespan)", civ);
-  run_dataset(civ, scale.days);
+  run_dataset(engine, civ, scale.days);
   bench::print_banner("Fig. 10 (accuracy vs timespan)", sen);
-  run_dataset(sen, scale.days);
+  run_dataset(engine, sen, scale.days);
   std::cout << "\n  Paper shape: accuracy roughly halves from 1-day to "
                "14-day spans, with diminishing degradation.\n";
   return 0;

@@ -7,15 +7,16 @@
 #include <iostream>
 
 #include "common/bench_common.hpp"
+#include "glove/api/cli.hpp"
 #include "glove/core/accuracy.hpp"
-#include "glove/core/glove.hpp"
 #include "glove/stats/table.hpp"
 
 namespace {
 
 using namespace glove;
 
-void run_dataset(const cdr::FingerprintDataset& data, std::uint64_t seed) {
+void run_dataset(const Engine& engine, const cdr::FingerprintDataset& data,
+                 std::uint64_t seed) {
   stats::TextTable table{"Fig. 11 — accuracy vs population (" + data.name() +
                          ", k=2)"};
   table.header({"fraction", "users", "pos mean", "pos median", "time mean",
@@ -24,9 +25,9 @@ void run_dataset(const cdr::FingerprintDataset& data, std::uint64_t seed) {
     const cdr::FingerprintDataset subset =
         fraction >= 1.0 ? data : cdr::subsample_users(data, fraction, seed);
     if (subset.size() < 4) continue;
-    core::GloveConfig config;
+    api::RunConfig config;
     config.k = 2;
-    const core::GloveResult result = core::anonymize(subset, config);
+    const RunReport result = api::run_or_exit(engine, subset, config);
     const auto summary =
         core::summarize_accuracy(core::measure_accuracy(result.anonymized));
     table.row({stats::fmt_pct(fraction, 0), std::to_string(subset.size()),
@@ -41,13 +42,14 @@ void run_dataset(const cdr::FingerprintDataset& data, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  const glove::Engine engine;
   const bench::Scale scale = bench::resolve_scale(/*default_users=*/250);
   const cdr::FingerprintDataset civ = bench::make_civ(scale);
   const cdr::FingerprintDataset sen = bench::make_sen(scale);
   bench::print_banner("Fig. 11 (accuracy vs population)", civ);
-  run_dataset(civ, scale.seed * 101);
+  run_dataset(engine, civ, scale.seed * 101);
   bench::print_banner("Fig. 11 (accuracy vs population)", sen);
-  run_dataset(sen, scale.seed * 103);
+  run_dataset(engine, sen, scale.seed * 103);
   std::cout << "\n  Paper shape: accuracy degrades as the population "
                "shrinks, sharply only at small fractions.\n";
   return 0;

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "common/bench_common.hpp"
+#include "glove/api/cli.hpp"
 #include "glove/core/accuracy.hpp"
 #include "glove/core/glove.hpp"
 #include "glove/stats/table.hpp"
@@ -16,12 +17,12 @@ namespace {
 
 using namespace glove;
 
-void run_dataset(const cdr::FingerprintDataset& data,
+void run_dataset(const Engine& engine, const cdr::FingerprintDataset& data,
                  stats::TextTable& position_table,
                  stats::TextTable& time_table) {
-  core::GloveConfig config;
+  api::RunConfig config;
   config.k = 2;
-  const core::GloveResult result = core::anonymize(data, config);
+  const RunReport result = api::run_or_exit(engine, data, config);
   if (!core::is_k_anonymous(result.anonymized, 2)) {
     std::cerr << "ERROR: output not 2-anonymous\n";
     std::exit(1);
@@ -49,15 +50,16 @@ void run_dataset(const cdr::FingerprintDataset& data,
             << " (paper: 70-80%);  <=30min " << stats::fmt_pct(time_cdf.at(30.0))
             << ";  <=2h " << stats::fmt_pct(time_cdf.at(120.0))
             << " (paper: 70-80%)"
-            << ";  merges=" << result.stats.merges
-            << ", init=" << stats::fmt(result.stats.init_seconds, 2)
-            << "s, greedy=" << stats::fmt(result.stats.merge_seconds, 2)
+            << ";  merges=" << result.counters.merges
+            << ", init=" << stats::fmt(result.timings.init_seconds, 2)
+            << "s, greedy=" << stats::fmt(result.timings.merge_seconds, 2)
             << "s\n";
 }
 
 }  // namespace
 
 int main() {
+  const glove::Engine engine;
   const bench::Scale scale = bench::resolve_scale(/*default_users=*/250);
   const cdr::FingerprintDataset civ = bench::make_civ(scale);
   const cdr::FingerprintDataset sen = bench::make_sen(scale);
@@ -81,8 +83,8 @@ int main() {
   }
   time_table.header(std::move(time_header));
 
-  run_dataset(civ, position_table, time_table);
-  run_dataset(sen, position_table, time_table);
+  run_dataset(engine, civ, position_table, time_table);
+  run_dataset(engine, sen, position_table, time_table);
   position_table.print(std::cout);
   time_table.print(std::cout);
   return 0;

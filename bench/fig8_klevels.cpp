@@ -7,12 +7,14 @@
 #include <iostream>
 
 #include "common/bench_common.hpp"
+#include "glove/api/cli.hpp"
 #include "glove/core/accuracy.hpp"
 #include "glove/core/glove.hpp"
 #include "glove/stats/table.hpp"
 
 int main() {
   using namespace glove;
+  const Engine engine;
   const bench::Scale scale = bench::resolve_scale(/*default_users=*/250);
   const cdr::FingerprintDataset civ = bench::make_civ(scale);
   bench::print_banner("Fig. 8 (accuracy vs k)", civ);
@@ -36,9 +38,9 @@ int main() {
 
   double previous_kept = 1.0;
   for (const std::uint32_t k : {2u, 3u, 5u}) {
-    core::GloveConfig config;
+    api::RunConfig config;
     config.k = k;
-    const core::GloveResult result = core::anonymize(civ, config);
+    const RunReport result = api::run_or_exit(engine, civ, config);
     if (!core::is_k_anonymous(result.anonymized, k)) {
       std::cerr << "ERROR: output not " << k << "-anonymous\n";
       return 1;

@@ -13,8 +13,8 @@
 #include <optional>
 
 #include "common/bench_common.hpp"
+#include "glove/api/cli.hpp"
 #include "glove/core/accuracy.hpp"
-#include "glove/core/glove.hpp"
 #include "glove/stats/table.hpp"
 
 namespace {
@@ -26,21 +26,22 @@ struct SweepPoint {
   std::optional<core::SuppressionThresholds> thresholds;
 };
 
-void run_sweep(const cdr::FingerprintDataset& data, const std::string& title,
+void run_sweep(const Engine& engine, const cdr::FingerprintDataset& data,
+               const std::string& title,
                const std::vector<SweepPoint>& sweep) {
   stats::TextTable table{title};
   table.header({"threshold", "discarded", "pos mean", "pos med", "pos q25",
                 "pos q75", "time mean", "time med", "time q25", "time q75"});
   for (const SweepPoint& point : sweep) {
-    core::GloveConfig config;
+    api::RunConfig config;
     config.k = 2;
     config.suppression = point.thresholds;
-    const core::GloveResult result = core::anonymize(data, config);
+    const RunReport result = api::run_or_exit(engine, data, config);
     const auto summary =
         core::summarize_accuracy(core::measure_accuracy(result.anonymized));
     const double discarded =
-        static_cast<double>(result.stats.deleted_samples) /
-        static_cast<double>(result.stats.input_samples);
+        static_cast<double>(result.counters.deleted_samples) /
+        static_cast<double>(result.counters.input_samples);
     table.row({point.label, stats::fmt_pct(discarded),
                stats::fmt(summary.mean_position_m / 1'000.0, 2) + "km",
                stats::fmt(summary.median_position_m / 1'000.0, 2) + "km",
@@ -57,6 +58,7 @@ void run_sweep(const cdr::FingerprintDataset& data, const std::string& title,
 }  // namespace
 
 int main() {
+  const glove::Engine engine;
   const bench::Scale scale = bench::resolve_scale(/*default_users=*/200);
   const cdr::FingerprintDataset civ = bench::make_civ(scale);
   bench::print_banner("Fig. 9 (suppression sweeps, k=2)", civ);
@@ -69,7 +71,7 @@ int main() {
         {"6h-" + stats::fmt(km, 0) + "km",
          core::SuppressionThresholds{km * 1'000.0, 360.0}});
   }
-  run_sweep(civ,
+  run_sweep(engine, civ,
             "Fig. 9 (left) — spatial thresholds at 6 h temporal (civ-like)",
             spatial_sweep);
 
@@ -79,7 +81,7 @@ int main() {
         {stats::fmt(minutes, 0) + "min",
          core::SuppressionThresholds{kInf, minutes}});
   }
-  run_sweep(civ, "Fig. 9 (right) — temporal thresholds (civ-like)",
+  run_sweep(engine, civ, "Fig. 9 (right) — temporal thresholds (civ-like)",
             temporal_sweep);
   return 0;
 }

@@ -14,9 +14,8 @@
 #include <iostream>
 
 #include "common/bench_common.hpp"
-#include "glove/baseline/w4m.hpp"
+#include "glove/api/cli.hpp"
 #include "glove/core/accuracy.hpp"
-#include "glove/core/glove.hpp"
 #include "glove/stats/table.hpp"
 
 namespace {
@@ -25,46 +24,50 @@ using namespace glove;
 
 struct Row {
   std::string dataset;
-  std::uint32_t k;
+  std::uint32_t k = 0;
   // W4M-LC
-  std::uint64_t w4m_discarded;
-  std::uint64_t w4m_created;
-  std::uint64_t w4m_deleted;
-  double w4m_pos_error_m;
-  double w4m_time_error_min;
+  std::uint64_t w4m_discarded = 0;
+  std::uint64_t w4m_created = 0;
+  std::uint64_t w4m_deleted = 0;
+  double w4m_pos_error_m = 0.0;
+  double w4m_time_error_min = 0.0;
   // GLOVE
-  std::uint64_t glove_deleted;
-  double glove_pos_error_m;
-  double glove_time_error_min;
-  std::uint64_t input_samples;
-  std::uint64_t input_users;
+  std::uint64_t glove_deleted = 0;
+  double glove_pos_error_m = 0.0;
+  double glove_time_error_min = 0.0;
+  std::uint64_t input_samples = 0;
+  std::uint64_t input_users = 0;
 };
 
-Row run_case(const cdr::FingerprintDataset& data, std::uint32_t k) {
+Row run_case(const Engine& engine, const cdr::FingerprintDataset& data,
+             std::uint32_t k) {
   Row row;
   row.dataset = data.name();
   row.k = k;
   row.input_samples = data.total_samples();
   row.input_users = data.total_users();
 
-  baseline::W4MConfig w4m_config;
+  // Both sides of the table are one Engine run each; only the strategy
+  // (and the paper's per-algorithm knobs) differ.
+  api::RunConfig w4m_config;
+  w4m_config.strategy = api::kStrategyW4M;
   w4m_config.k = k;
-  w4m_config.delta_m = 2'000.0;
-  w4m_config.trash_fraction = 0.10;
-  const baseline::W4MResult w4m = baseline::anonymize_w4m(data, w4m_config);
-  row.w4m_discarded = w4m.stats.discarded_fingerprints;
-  row.w4m_created = w4m.stats.created_samples;
-  row.w4m_deleted = w4m.stats.deleted_samples;
-  row.w4m_pos_error_m = w4m.stats.mean_position_error_m;
-  row.w4m_time_error_min = w4m.stats.mean_time_error_min;
+  w4m_config.w4m.delta_m = 2'000.0;
+  w4m_config.w4m.trash_fraction = 0.10;
+  const RunReport w4m = api::run_or_exit(engine, data, w4m_config);
+  row.w4m_discarded = w4m.counters.discarded_fingerprints;
+  row.w4m_created = w4m.counters.created_samples;
+  row.w4m_deleted = w4m.counters.deleted_samples;
+  row.w4m_pos_error_m = api::find_metric(w4m, "mean_position_error_m");
+  row.w4m_time_error_min = api::find_metric(w4m, "mean_time_error_min");
 
-  core::GloveConfig glove_config;
+  api::RunConfig glove_config;
   glove_config.k = k;
   glove_config.suppression = core::SuppressionThresholds{15'000.0, 360.0};
-  const core::GloveResult glove = core::anonymize(data, glove_config);
+  const RunReport glove = api::run_or_exit(engine, data, glove_config);
   const auto summary =
       core::summarize_accuracy(core::measure_accuracy(glove.anonymized));
-  row.glove_deleted = glove.stats.deleted_samples;
+  row.glove_deleted = glove.counters.deleted_samples;
   row.glove_pos_error_m = summary.mean_position_m;
   row.glove_time_error_min = summary.mean_time_min;
   return row;
@@ -79,6 +82,7 @@ std::string pct(std::uint64_t part, std::uint64_t whole) {
 }  // namespace
 
 int main() {
+  const glove::Engine engine;
   const bench::Scale scale = bench::resolve_scale(/*default_users=*/220);
   const cdr::FingerprintDataset civ = bench::make_civ(scale);
   const cdr::FingerprintDataset sen = bench::make_sen(scale);
@@ -100,7 +104,7 @@ int main() {
                   << " (too few users at this scale)\n";
         continue;
       }
-      const Row row = run_case(*data, k);
+      const Row row = run_case(engine, *data, k);
       table.row({row.dataset, "discarded fingerprints",
                  std::to_string(row.w4m_discarded) + " (" +
                      pct(row.w4m_discarded, row.input_users) + ")",

@@ -7,8 +7,7 @@
 
 #include "common/bench_common.hpp"
 #include "glove/analysis/utility.hpp"
-#include "glove/baseline/w4m.hpp"
-#include "glove/core/glove.hpp"
+#include "glove/api/cli.hpp"
 #include "glove/stats/table.hpp"
 
 namespace {
@@ -34,6 +33,7 @@ void add_row(stats::TextTable& table, const std::string& name,
 }  // namespace
 
 int main() {
+  const glove::Engine engine;
   const bench::Scale scale = bench::resolve_scale(/*default_users=*/200);
   const cdr::FingerprintDataset civ = bench::make_civ(scale);
   bench::print_banner("Utility after anonymization (Sec. 2.4 claims)", civ);
@@ -45,18 +45,20 @@ int main() {
 
   add_row(table, "original", civ, civ);
 
-  core::GloveConfig plain;
+  api::RunConfig plain;
   plain.k = 2;
-  add_row(table, "GLOVE", civ, core::anonymize(civ, plain).anonymized);
+  add_row(table, "GLOVE", civ,
+          api::run_or_exit(engine, civ, plain).anonymized);
 
-  core::GloveConfig suppressing = plain;
+  api::RunConfig suppressing = plain;
   suppressing.suppression = core::SuppressionThresholds{15'000.0, 360.0};
   add_row(table, "GLOVE +suppression", civ,
-          core::anonymize(civ, suppressing).anonymized);
+          api::run_or_exit(engine, civ, suppressing).anonymized);
 
-  baseline::W4MConfig w4m;
-  w4m.k = 2;
-  add_row(table, "W4M-LC", civ, baseline::anonymize_w4m(civ, w4m).anonymized);
+  api::RunConfig w4m = plain;
+  w4m.strategy = api::kStrategyW4M;
+  add_row(table, "W4M-LC", civ,
+          api::run_or_exit(engine, civ, w4m).anonymized);
 
   table.print(std::cout);
   std::cout << "\n  Reading: k-anonymized data must keep aggregate "

@@ -6,56 +6,36 @@
 //   * Tail Weight Index statistics — i.e., *why* the dataset is hard to
 //     anonymize (heavy-tailed time diversity).
 //
-//   ./build/examples/anonymizability_report [input.csv] [--k=2]
+//   ./build/examples/example_anonymizability_report [input.csv] [--k=2]
 
 #include <iostream>
 
 #include "glove/analysis/anonymizability.hpp"
 #include "glove/analysis/descriptors.hpp"
-#include "glove/cdr/builder.hpp"
-#include "glove/cdr/io.hpp"
+#include "glove/api/cli.hpp"
 #include "glove/core/kgap.hpp"
+#include "glove/util/flags.hpp"
 #include "glove/stats/stats.hpp"
 #include "glove/stats/table.hpp"
-#include "glove/synth/generator.hpp"
-#include "glove/util/flags.hpp"
 
 int main(int argc, char** argv) {
   using namespace glove;
   util::Flags flags{
       "anonymizability_report: k-gap and tail diagnosis of a CDR dataset\n"
       "usage: anonymizability_report [input.csv] [flags]"};
+  // Diagnosis only — no Engine run, so no run flags beyond k itself.
   flags.define("k", "2", "anonymity level to evaluate");
-  flags.define("users", "150", "users in the generated dataset (no input)");
-  flags.define("origin-lat", "6.82", "projection origin latitude");
-  flags.define("origin-lon", "-5.28", "projection origin longitude");
-  try {
-    flags.parse(argc - 1, argv + 1);
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << '\n';
-    return 1;
-  }
-  if (flags.help_requested()) {
-    std::cout << flags.usage();
-    return 0;
-  }
+  api::define_input_flags(flags);
+  api::define_synth_flags(flags, /*default_users=*/150, /*default_days=*/7.0,
+                          /*default_seed=*/23);
+  int exit_code = 0;
+  if (!api::parse_cli(flags, argc - 1, argv + 1, exit_code)) return exit_code;
 
   try {
-    cdr::FingerprintDataset data;
-    if (!flags.positional().empty()) {
-      const auto events = cdr::read_cdr_file(flags.positional()[0]);
-      cdr::BuilderConfig builder;
-      builder.projection_origin =
-          geo::LatLon{flags.get_double("origin-lat"),
-                      flags.get_double("origin-lon")};
-      data = cdr::build_fingerprints(events, builder);
-      data.set_name(flags.positional()[0]);
-    } else {
-      synth::SynthConfig config = synth::civ_like(
-          static_cast<std::size_t>(flags.get_int("users")), 23);
-      config.days = 7.0;
-      data = synth::generate_dataset(config);
-    }
+    const cdr::FingerprintDataset data =
+        flags.positional().empty()
+            ? api::synth_dataset_from_flags(flags)
+            : api::load_dataset(flags.positional()[0], flags);
 
     const analysis::DatasetDescriptor d = analysis::describe(data);
     std::cout << "dataset '" << data.name() << "': " << d.fingerprints

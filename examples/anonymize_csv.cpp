@@ -1,64 +1,45 @@
 // anonymize_csv: the file-to-file pipeline a data-publishing operator would
 // run — read a raw CDR trace (user,time_min,lat,lon), build fingerprints,
-// k-anonymize with GLOVE and write the publishable dataset.
+// k-anonymize through glove::Engine and write the publishable dataset.
 //
-//   ./build/examples/anonymize_csv input.csv output.csv --k=2
+//   ./build/examples/example_anonymize_csv input.csv output.csv --k=2
+//       [--strategy=full|chunked|pruned-kgap|incremental|w4m-baseline]
 //       [--origin-lat=6.82 --origin-lon=-5.28] [--suppress-km=15]
-//       [--suppress-hours=6]
+//       [--suppress-hours=6] [--report=run.json]
 //
 // Holders of the actual D4D challenge files can run the paper's exact
 // pipeline with:
 //
-//   ./build/examples/anonymize_csv SET2_trace.csv out.csv
+//   ./build/examples/example_anonymize_csv SET2_trace.csv out.csv
 //       --format=d4d --antennas=SITE_ARR_LONLAT.CSV
 //
 // Without an input file the example writes a demo trace first (so it is
 // runnable out of the box) and anonymizes that.
 
 #include <iostream>
-#include <limits>
 
-#include "glove/cdr/builder.hpp"
-#include "glove/cdr/d4d.hpp"
+#include "glove/api/cli.hpp"
 #include "glove/cdr/io.hpp"
 #include "glove/core/accuracy.hpp"
 #include "glove/core/glove.hpp"
 #include "glove/stats/table.hpp"
 #include "glove/synth/generator.hpp"
-#include "glove/util/flags.hpp"
 
 int main(int argc, char** argv) {
   using namespace glove;
+  const Engine engine;
   util::Flags flags{
-      "anonymize_csv: raw CDR csv -> GLOVE -> anonymized dataset csv\n"
+      "anonymize_csv: raw CDR csv -> glove::Engine -> anonymized dataset csv\n"
       "usage: anonymize_csv [input.csv [output.csv]] [flags]"};
-  flags.define("k", "2", "anonymity level");
-  flags.define("origin-lat", "6.82", "projection origin latitude");
-  flags.define("origin-lon", "-5.28", "projection origin longitude");
-  flags.define("suppress-km", "0",
-               "spatial suppression threshold in km (0 = off)");
-  flags.define("suppress-hours", "0",
-               "temporal suppression threshold in hours (0 = off)");
+  api::define_run_flags(flags, engine);
+  api::define_input_flags(flags);
   flags.define("demo-users", "80", "users in the generated demo trace");
-  flags.define("format", "flat",
-               "input trace format: 'flat' (user,time_min,lat,lon) or "
-               "'d4d' (user,timestamp,antenna_id; needs --antennas)");
-  flags.define("antennas", "",
-               "D4D antenna file (antenna_id,lat,lon); required with "
-               "--format=d4d");
-  try {
-    flags.parse(argc - 1, argv + 1);
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << '\n';
-    return 1;
-  }
-  if (flags.help_requested()) {
-    std::cout << flags.usage();
-    return 0;
-  }
+  int exit_code = 0;
+  if (!api::parse_cli(flags, argc - 1, argv + 1, exit_code)) return exit_code;
 
-  std::string input = flags.positional().size() > 0 ? flags.positional()[0]
-                                                    : "demo_cdr.csv";
+  const std::string input = flags.positional().size() > 0
+                                ? flags.positional()[0]
+                                : "demo_cdr.csv";
   const std::string output = flags.positional().size() > 1
                                  ? flags.positional()[1]
                                  : "demo_anonymized.csv";
@@ -77,62 +58,28 @@ int main(int argc, char** argv) {
     }
 
     // 1. Read and project the trace (Sec. 3 pipeline).
-    std::vector<cdr::CdrEvent> events;
-    if (flags.get("format") == "d4d") {
-      const std::string antenna_path = flags.get("antennas");
-      if (antenna_path.empty()) {
-        std::cerr << "--format=d4d requires --antennas=FILE\n";
-        return 1;
-      }
-      const cdr::AntennaTable antennas =
-          cdr::read_d4d_antennas_file(antenna_path);
-      cdr::D4DTrace trace = cdr::read_d4d_trace_file(input, antennas);
-      std::cout << "D4D trace: " << trace.users << " users, "
-                << trace.events.size() << " events\n";
-      events = std::move(trace.events);
-    } else {
-      events = cdr::read_cdr_file(input);
-    }
-    cdr::BuilderConfig builder;
-    builder.projection_origin =
-        geo::LatLon{flags.get_double("origin-lat"),
-                    flags.get_double("origin-lon")};
-    const cdr::FingerprintDataset data =
-        cdr::build_fingerprints(events, builder);
-    std::cout << "read " << events.size() << " events -> " << data.size()
+    const cdr::FingerprintDataset data = api::load_dataset(input, flags);
+    std::cout << "read " << input << " -> " << data.size()
               << " fingerprints, " << data.total_samples() << " samples\n";
 
-    // 2. Anonymize.
-    core::GloveConfig config;
-    config.k = static_cast<std::uint32_t>(flags.get_int("k"));
-    const double suppress_km = flags.get_double("suppress-km");
-    const double suppress_hours = flags.get_double("suppress-hours");
-    if (suppress_km > 0.0 || suppress_hours > 0.0) {
-      config.suppression = core::SuppressionThresholds{
-          suppress_km > 0.0 ? suppress_km * 1'000.0
-                            : std::numeric_limits<double>::infinity(),
-          suppress_hours > 0.0 ? suppress_hours * 60.0
-                               : std::numeric_limits<double>::infinity()};
-    }
-    const core::GloveResult result = core::anonymize(data, config);
+    // 2. Anonymize through the Engine with the flag-selected strategy.
+    const api::RunConfig config = api::run_config_from_flags(flags);
+    const RunReport report = api::run_or_exit(engine, data, config);
 
     // 3. Verify and write.
-    if (!core::is_k_anonymous(result.anonymized, config.k)) {
+    if (!core::is_k_anonymous(report.anonymized, config.k)) {
       std::cerr << "ERROR: output is not k-anonymous\n";
       return 1;
     }
-    cdr::write_dataset_file(output, result.anonymized);
+    cdr::write_dataset_file(output, report.anonymized);
     const auto summary =
-        core::summarize_accuracy(core::measure_accuracy(result.anonymized));
-    std::cout << "wrote " << output << ": " << result.anonymized.size()
-              << " groups (k=" << config.k << "), "
-              << result.anonymized.total_samples() << " samples; deleted "
-              << result.stats.deleted_samples
-              << " samples via suppression\n"
-              << "median accuracy: "
+        core::summarize_accuracy(core::measure_accuracy(report.anonymized));
+    std::cout << "wrote " << output << ": " << api::summarize_report(report)
+              << "\nmedian accuracy: "
               << stats::fmt(summary.median_position_m / 1'000.0, 2)
               << " km / " << stats::fmt(summary.median_time_min, 1)
               << " min\n";
+    api::maybe_write_report(flags, report, std::cout);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

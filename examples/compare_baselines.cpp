@@ -1,43 +1,32 @@
 // compare_baselines: GLOVE vs W4M-LC vs uniform generalization on one
 // citywide scenario — the Sec. 7.2 comparison as a runnable example.
+// Both anonymizers run through the same glove::Engine entry point; only
+// the strategy name differs.
 //
-//   ./build/examples/compare_baselines [--users=150] [--k=2]
+//   ./build/examples/example_compare_baselines [--users=150] [--k=2]
 
 #include <iostream>
 
-#include "glove/baseline/w4m.hpp"
+#include "glove/api/cli.hpp"
 #include "glove/core/accuracy.hpp"
 #include "glove/core/generalize.hpp"
 #include "glove/core/glove.hpp"
 #include "glove/core/kgap.hpp"
 #include "glove/stats/table.hpp"
-#include "glove/synth/generator.hpp"
-#include "glove/util/flags.hpp"
 
 int main(int argc, char** argv) {
   using namespace glove;
+  const Engine engine;
   util::Flags flags{"compare_baselines: GLOVE vs W4M-LC vs generalization"};
-  flags.define("users", "150", "synthetic population size");
-  flags.define("days", "7", "trace timespan in days");
-  flags.define("k", "2", "anonymity level");
-  flags.define("seed", "31", "generator seed");
-  try {
-    flags.parse(argc - 1, argv + 1);
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << '\n';
-    return 1;
-  }
-  if (flags.help_requested()) {
-    std::cout << flags.usage();
-    return 0;
-  }
+  api::define_synth_flags(flags, /*default_users=*/150, /*default_days=*/7.0,
+                          /*default_seed=*/31, /*default_preset=*/"sen");
+  api::define_run_flags(flags, engine);
+  int exit_code = 0;
+  if (!api::parse_cli(flags, argc - 1, argv + 1, exit_code)) return exit_code;
 
-  synth::SynthConfig config = synth::sen_like(
-      static_cast<std::size_t>(flags.get_int("users")),
-      static_cast<std::uint64_t>(flags.get_int("seed")));
-  config.days = flags.get_double("days");
-  const cdr::FingerprintDataset data = synth::generate_dataset(config);
-  const auto k = static_cast<std::uint32_t>(flags.get_int("k"));
+  const cdr::FingerprintDataset data = api::synth_dataset_from_flags(flags);
+  api::RunConfig config = api::run_config_from_flags(flags);
+  const std::uint32_t k = config.k;
   std::cout << "dataset: " << data.size() << " users, "
             << data.total_samples() << " samples; target k=" << k << "\n";
 
@@ -65,39 +54,42 @@ int main(int argc, char** argv) {
                stats::fmt(summary.median_time_min, 1) + "min", "yes"});
   }
 
-  // --- W4M-LC (delta = 2 km, 10% trash).
+  // --- W4M-LC (delta = 2 km, 10% trash) through the Engine.
   {
-    baseline::W4MConfig w4m_config;
-    w4m_config.k = k;
-    const baseline::W4MResult w4m = baseline::anonymize_w4m(data, w4m_config);
-    table.row({"W4M-LC", "(k," + stats::fmt(w4m_config.delta_m, 0) +
-                             "m)-anonymity",
-               std::to_string(w4m.stats.created_samples),
-               std::to_string(w4m.stats.deleted_samples),
-               stats::fmt(w4m.stats.mean_position_error_m / 1'000.0, 2) +
-                   "km (mean err)",
-               stats::fmt(w4m.stats.mean_time_error_min, 1) + "min (mean err)",
+    api::RunConfig w4m_config = config;
+    w4m_config.strategy = api::kStrategyW4M;
+    const RunReport w4m = api::run_or_exit(engine, data, w4m_config);
+    const double mean_pos_error_m =
+        api::find_metric(w4m, "mean_position_error_m");
+    const double mean_time_error_min =
+        api::find_metric(w4m, "mean_time_error_min");
+    table.row({"W4M-LC",
+               "(k," + stats::fmt(w4m.config.w4m_delta_m, 0) + "m)-anonymity",
+               std::to_string(w4m.counters.created_samples),
+               std::to_string(w4m.counters.deleted_samples),
+               stats::fmt(mean_pos_error_m / 1'000.0, 2) + "km (mean err)",
+               stats::fmt(mean_time_error_min, 1) + "min (mean err)",
                "NO (fabricates samples)"});
   }
 
-  // --- GLOVE.
+  // --- GLOVE through the Engine (flag-selected variant, default "full").
+  const RunReport glove = api::run_or_exit(engine, data, config);
   {
-    core::GloveConfig glove_config;
-    glove_config.k = k;
-    const core::GloveResult glove = core::anonymize(data, glove_config);
     const bool ok = core::is_k_anonymous(glove.anonymized, k);
     const std::uint64_t uncovered =
         core::count_uncovered_samples(data, glove.anonymized);
     const auto summary =
         core::summarize_accuracy(core::measure_accuracy(glove.anonymized));
-    table.row({"GLOVE", ok ? "100% of users" : "FAILED", "0",
-               std::to_string(glove.stats.deleted_samples),
+    table.row({"GLOVE (" + glove.strategy + ")",
+               ok ? "100% of users" : "FAILED", "0",
+               std::to_string(glove.counters.deleted_samples),
                stats::fmt(summary.median_position_m / 1'000.0, 2) + "km",
                stats::fmt(summary.median_time_min, 1) + "min",
                uncovered == 0 ? "yes" : "NO"});
   }
 
   table.print(std::cout);
+  api::maybe_write_report(flags, glove, std::cout);
   std::cout << "\nreading: uniform generalization destroys granularity and "
                "still fails k-anonymity;\nW4M-LC reaches its (k,delta) "
                "criterion only by fabricating samples and displacing\nusers "

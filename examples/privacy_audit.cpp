@@ -2,47 +2,32 @@
 // and after anonymization, with the record-linkage attacks the paper
 // defends against (Sec. 2.3), plus a utility check on what anonymization
 // preserved.  This is the due-diligence step a data-protection officer
-// would run before approving a release.
+// would run before approving a release.  Anonymization runs through
+// glove::Engine, so any --strategy can be audited.
 //
-//   ./build/examples/privacy_audit [--users=120] [--k=2]
+//   ./build/examples/example_privacy_audit [--users=120] [--k=2]
 
 #include <iostream>
 
 #include "glove/analysis/utility.hpp"
+#include "glove/api/cli.hpp"
 #include "glove/attack/linkage.hpp"
-#include "glove/core/glove.hpp"
 #include "glove/stats/table.hpp"
-#include "glove/synth/generator.hpp"
-#include "glove/util/flags.hpp"
 
 int main(int argc, char** argv) {
   using namespace glove;
+  const Engine engine;
   util::Flags flags{"privacy_audit: attack-based privacy measurement"};
-  flags.define("users", "120", "synthetic population size");
-  flags.define("days", "7", "trace timespan in days");
-  flags.define("k", "2", "anonymity level");
-  flags.define("seed", "8", "generator seed");
-  try {
-    flags.parse(argc - 1, argv + 1);
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << '\n';
-    return 1;
-  }
-  if (flags.help_requested()) {
-    std::cout << flags.usage();
-    return 0;
-  }
+  api::define_synth_flags(flags, /*default_users=*/120, /*default_days=*/7.0,
+                          /*default_seed=*/8);
+  api::define_run_flags(flags, engine);
+  int exit_code = 0;
+  if (!api::parse_cli(flags, argc - 1, argv + 1, exit_code)) return exit_code;
 
-  synth::SynthConfig config = synth::civ_like(
-      static_cast<std::size_t>(flags.get_int("users")),
-      static_cast<std::uint64_t>(flags.get_int("seed")));
-  config.days = flags.get_double("days");
-  const cdr::FingerprintDataset data = synth::generate_dataset(config);
-  const auto k = static_cast<std::uint32_t>(flags.get_int("k"));
-
-  core::GloveConfig glove_config;
-  glove_config.k = k;
-  const core::GloveResult glove = core::anonymize(data, glove_config);
+  const cdr::FingerprintDataset data = api::synth_dataset_from_flags(flags);
+  const api::RunConfig config = api::run_config_from_flags(flags);
+  const std::uint32_t k = config.k;
+  const RunReport glove = api::run_or_exit(engine, data, config);
 
   stats::TextTable table{"Privacy audit: attacks before/after GLOVE (k=" +
                          std::to_string(k) + ")"};
@@ -51,7 +36,8 @@ int main(int argc, char** argv) {
 
   const auto audit = [&](const std::string& name, const auto& attack_model) {
     const attack::AttackReport before = attack_model.run(data, data);
-    const attack::AttackReport after = attack_model.run(data, glove.anonymized);
+    const attack::AttackReport after =
+        attack_model.run(data, glove.anonymized);
     // Smallest candidate set after anonymization (k-anonymity floor).
     double min_set = 1e18;
     bool any_below = false;
@@ -87,5 +73,6 @@ int main(int argc, char** argv) {
             << (ok ? "AUDIT PASSED: no record-linkage attack beats k-"
                      "anonymity.\n"
                    : "AUDIT FAILED: see violations above.\n");
+  api::maybe_write_report(flags, glove, std::cout);
   return ok ? 0 : 1;
 }

@@ -1,0 +1,68 @@
+// Anonymizer: the common abstract interface every anonymization strategy
+// (GLOVE full/chunked/pruned, incremental updates, the W4M baseline, and
+// future sharded/streaming backends) implements to plug into the Engine.
+
+#ifndef GLOVE_API_ANONYMIZER_HPP
+#define GLOVE_API_ANONYMIZER_HPP
+
+#include <optional>
+#include <string_view>
+
+#include "glove/api/config.hpp"
+#include "glove/api/error.hpp"
+#include "glove/api/report.hpp"
+#include "glove/cdr/dataset.hpp"
+#include "glove/util/hooks.hpp"
+
+namespace glove::api {
+
+/// Per-run context handed to a strategy: hooks already adapted by the
+/// Engine (progress monotone-clamped, cancellation token installed).
+/// Strategies thread `hooks` into the core loops they call.
+struct RunContext {
+  util::RunHooks hooks;
+};
+
+/// What a strategy produces: the anonymized dataset, uniform counters,
+/// phase timings, and optional strategy-specific metrics.  The Engine
+/// wraps this into the final RunReport.
+struct StrategyOutcome {
+  cdr::FingerprintDataset anonymized;
+  RunCounters counters;
+  double init_seconds = 0.0;
+  double merge_seconds = 0.0;
+  std::vector<std::pair<std::string, double>> extra_metrics;
+};
+
+class Anonymizer {
+ public:
+  virtual ~Anonymizer() = default;
+
+  /// Registry key (e.g. "full", "chunked"); also RunConfig::strategy.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// One-line description for --help output and strategy listings.
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+
+  /// Strategy-specific validation beyond the Engine's shared checks
+  /// (k >= 2, non-empty dataset).  Returns the error to surface, or
+  /// nullopt when the configuration is acceptable.
+  [[nodiscard]] virtual std::optional<Error> validate(
+      const cdr::FingerprintDataset& data, const RunConfig& config) const {
+    (void)data;
+    (void)config;
+    return std::nullopt;
+  }
+
+  /// Runs the strategy.  May throw util::CancelledError (mapped to
+  /// kCancelled by the Engine), std::invalid_argument (kInvalidConfig) or
+  /// any std::exception (kInternal); the Engine owns the mapping so
+  /// strategies can lean on the legacy throwing core.
+  [[nodiscard]] virtual StrategyOutcome run(const cdr::FingerprintDataset& data,
+                                            const RunConfig& config,
+                                            const RunContext& context) const = 0;
+};
+
+}  // namespace glove::api
+
+#endif  // GLOVE_API_ANONYMIZER_HPP

@@ -1,0 +1,163 @@
+#include "glove/api/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <sstream>
+
+#include "glove/cdr/builder.hpp"
+#include "glove/cdr/d4d.hpp"
+#include "glove/cdr/io.hpp"
+#include "glove/stats/table.hpp"
+#include "glove/synth/generator.hpp"
+
+namespace glove::api {
+
+bool parse_cli(util::Flags& flags, int argc, const char* const* argv,
+               int& exit_code) {
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    exit_code = 1;
+    return false;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage();
+    exit_code = 0;
+    return false;
+  }
+  return true;
+}
+
+void define_run_flags(util::Flags& flags, const Engine& engine,
+                      std::string_view default_strategy) {
+  flags.define_enum("strategy", std::string{default_strategy},
+                    engine.strategies(), "anonymization strategy");
+  flags.define("k", "2", "anonymity level (every group hides >= k users)");
+  flags.define("suppress-km", "0",
+               "spatial suppression threshold in km (0 = off)");
+  flags.define("suppress-hours", "0",
+               "temporal suppression threshold in hours (0 = off)");
+  flags.define("chunk-size", "2000",
+               "users per chunk for --strategy=chunked");
+  flags.define("report", "",
+               "write the run report to this path (.json or .csv)");
+}
+
+RunConfig run_config_from_flags(const util::Flags& flags) {
+  RunConfig config;
+  config.strategy = flags.get("strategy");
+  config.k = static_cast<std::uint32_t>(flags.get_int("k"));
+  const double suppress_km = flags.get_double("suppress-km");
+  const double suppress_hours = flags.get_double("suppress-hours");
+  if (suppress_km > 0.0 || suppress_hours > 0.0) {
+    config.suppression = core::SuppressionThresholds{
+        suppress_km > 0.0 ? suppress_km * 1'000.0
+                          : std::numeric_limits<double>::infinity(),
+        suppress_hours > 0.0 ? suppress_hours * 60.0
+                             : std::numeric_limits<double>::infinity()};
+  }
+  config.chunked.chunk_size =
+      static_cast<std::size_t>(flags.get_int("chunk-size"));
+  return config;
+}
+
+void define_synth_flags(util::Flags& flags, std::size_t default_users,
+                        double default_days, std::uint64_t default_seed,
+                        std::string_view default_preset) {
+  flags.define("users", std::to_string(default_users),
+               "synthetic population size");
+  std::ostringstream days;
+  days << default_days;
+  flags.define("days", days.str(), "trace timespan in days");
+  flags.define("seed", std::to_string(default_seed), "generator seed");
+  flags.define_enum("preset", std::string{default_preset}, {"civ", "sen"},
+                    "synthetic dataset preset (civ-like or sen-like)");
+}
+
+cdr::FingerprintDataset synth_dataset_from_flags(const util::Flags& flags) {
+  const auto users = static_cast<std::size_t>(flags.get_int("users"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  synth::SynthConfig config = flags.get("preset") == "sen"
+                                  ? synth::sen_like(users, seed)
+                                  : synth::civ_like(users, seed);
+  config.days = flags.get_double("days");
+  return synth::generate_dataset(config);
+}
+
+void define_input_flags(util::Flags& flags) {
+  flags.define_enum("format", "flat", {"flat", "d4d"},
+                    "input trace format: 'flat' (user,time_min,lat,lon) or "
+                    "'d4d' (user,timestamp,antenna_id; needs --antennas)");
+  flags.define("antennas", "",
+               "D4D antenna file (antenna_id,lat,lon); required with "
+               "--format=d4d");
+  flags.define("origin-lat", "6.82", "projection origin latitude");
+  flags.define("origin-lon", "-5.28", "projection origin longitude");
+}
+
+cdr::FingerprintDataset load_dataset(const std::string& path,
+                                     const util::Flags& flags) {
+  std::vector<cdr::CdrEvent> events;
+  if (flags.get("format") == "d4d") {
+    const std::string antenna_path = flags.get("antennas");
+    if (antenna_path.empty()) {
+      throw std::invalid_argument{"--format=d4d requires --antennas=FILE"};
+    }
+    const cdr::AntennaTable antennas =
+        cdr::read_d4d_antennas_file(antenna_path);
+    cdr::D4DTrace trace = cdr::read_d4d_trace_file(path, antennas);
+    events = std::move(trace.events);
+  } else {
+    events = cdr::read_cdr_file(path);
+  }
+  cdr::BuilderConfig builder;
+  builder.projection_origin = geo::LatLon{flags.get_double("origin-lat"),
+                                          flags.get_double("origin-lon")};
+  cdr::FingerprintDataset data = cdr::build_fingerprints(events, builder);
+  data.set_name(path);
+  return data;
+}
+
+RunReport run_or_exit(const Engine& engine,
+                      const cdr::FingerprintDataset& data,
+                      const RunConfig& config) {
+  Result<RunReport> result = engine.run(data, config);
+  if (!result.ok()) {
+    std::cerr << "error [" << to_string(result.error().code)
+              << "]: " << result.error().message << '\n';
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void maybe_write_report(const util::Flags& flags, const RunReport& report,
+                        std::ostream& out) {
+  const std::string& path = flags.get("report");
+  if (path.empty()) return;
+  write_report_file(path, report);
+  out << "wrote run report: " << path << '\n';
+}
+
+std::string summarize_report(const RunReport& report) {
+  std::ostringstream out;
+  out << report.strategy << ": " << report.counters.output_groups
+      << " groups (k=" << report.config.k << "), "
+      << report.counters.output_samples << " samples";
+  if (report.counters.deleted_samples > 0) {
+    out << "; deleted " << report.counters.deleted_samples << " samples";
+  }
+  if (report.counters.created_samples > 0) {
+    out << "; created " << report.counters.created_samples
+        << " synthetic samples";
+  }
+  if (report.counters.discarded_fingerprints > 0) {
+    out << "; discarded " << report.counters.discarded_fingerprints
+        << " fingerprints";
+  }
+  out << "; " << stats::fmt(report.timings.total_seconds, 2) << "s";
+  return out.str();
+}
+
+}  // namespace glove::api

@@ -1,0 +1,79 @@
+// RunConfig: the one validated configuration for every anonymization
+// strategy the Engine can drive.  Shared knobs (k, stretch limits,
+// suppression) sit at the top level; strategy-specific knobs live in
+// per-strategy sections that are ignored by the other strategies.
+
+#ifndef GLOVE_API_CONFIG_HPP
+#define GLOVE_API_CONFIG_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "glove/cdr/dataset.hpp"
+#include "glove/core/glove.hpp"
+#include "glove/util/hooks.hpp"
+
+namespace glove::api {
+
+/// Built-in strategy names (the registry accepts additional ones).
+inline constexpr std::string_view kStrategyFull = "full";
+inline constexpr std::string_view kStrategyChunked = "chunked";
+inline constexpr std::string_view kStrategyPrunedKGap = "pruned-kgap";
+inline constexpr std::string_view kStrategyIncremental = "incremental";
+inline constexpr std::string_view kStrategyW4M = "w4m-baseline";
+
+struct RunConfig {
+  /// Registered Anonymizer to run (see Engine::strategies()).
+  std::string strategy{kStrategyFull};
+
+  // --- Shared knobs (GLOVE family; W4M uses only `k`).
+  /// Target anonymity level; every output fingerprint hides >= k users.
+  std::uint32_t k = 2;
+  core::StretchLimits limits;
+  /// Per-merge suppression thresholds (Sec. 7.1); disabled when empty.
+  std::optional<core::SuppressionThresholds> suppression;
+  /// Resolve temporal overlaps after each merge (Fig. 6b).
+  bool reshape = true;
+  core::LeftoverPolicy leftover_policy = core::LeftoverPolicy::kMergeIntoNearest;
+
+  // --- Strategy sections.
+  struct ChunkedSection {
+    /// Users per locality-sorted chunk; must be >= k.
+    std::size_t chunk_size = 2'000;
+  } chunked;
+
+  struct W4MSection {
+    /// Diameter of the uncertainty cylinder, metres.
+    double delta_m = 2'000.0;
+    /// Maximum fraction of trajectories discarded as outliers, in [0, 1).
+    double trash_fraction = 0.10;
+    /// Trajectories per clustering chunk (the LC variant); must be >= k.
+    std::size_t chunk_size = 512;
+    /// Published-to-original timestamp match tolerance, minutes.
+    double match_tolerance_min = 1.0;
+  } w4m;
+
+  struct IncrementalSection {
+    /// The already-published k-anonymized release; the run's input dataset
+    /// is then the set of newcomers (single-user fingerprints).  When
+    /// null, the run starts from an empty release and the newcomers are
+    /// grouped among themselves.  The pointee must outlive the run.
+    const cdr::FingerprintDataset* published = nullptr;
+  } incremental;
+
+  // --- Observability.
+  /// Invoked with monotone non-decreasing `done` out of a fixed `total`
+  /// (the Engine clamps out-of-order reports from worker threads).  The
+  /// callback runs on the Engine's calling thread or a worker; it must be
+  /// fast and must not re-enter the Engine.
+  util::ProgressFn progress;
+  /// Cooperative cancellation; request_cancel() (from any thread,
+  /// including the progress callback) aborts the run with
+  /// ErrorCode::kCancelled and no partial output.
+  std::optional<util::CancellationToken> cancel;
+};
+
+}  // namespace glove::api
+
+#endif  // GLOVE_API_CONFIG_HPP

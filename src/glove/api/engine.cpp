@@ -1,0 +1,132 @@
+#include "glove/api/engine.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace glove::api {
+
+namespace {
+
+/// Serializes and monotone-clamps progress reports before they reach the
+/// caller: core loops may report from worker threads, and phase handoffs
+/// could otherwise glitch backwards.  Totals are pinned by the first
+/// report so multi-phase strategies present one coherent scale.
+class MonotoneProgress {
+ public:
+  explicit MonotoneProgress(util::ProgressFn fn) : fn_{std::move(fn)} {}
+
+  void operator()(std::uint64_t done, std::uint64_t total) {
+    const std::lock_guard lock{mutex_};
+    if (total_ == 0) total_ = total;
+    if (total_ == 0) return;  // degenerate: nothing to report
+    if (done > total_) done = total_;
+    if (done < max_done_) return;
+    max_done_ = done;
+    fn_(done, total_);
+  }
+
+ private:
+  std::mutex mutex_;
+  util::ProgressFn fn_;
+  std::uint64_t max_done_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace
+
+Engine::Engine() { register_builtin_strategies(*this); }
+
+void Engine::register_strategy(std::unique_ptr<Anonymizer> strategy) {
+  std::string key{strategy->name()};
+  registry_[std::move(key)] = std::move(strategy);
+}
+
+std::vector<std::string> Engine::strategies() const {
+  std::vector<std::string> names;
+  names.reserve(registry_.size());
+  for (const auto& [name, strategy] : registry_) names.push_back(name);
+  return names;
+}
+
+const Anonymizer* Engine::find(std::string_view name) const {
+  const auto it = registry_.find(name);
+  return it == registry_.end() ? nullptr : it->second.get();
+}
+
+Result<RunReport> Engine::run(const cdr::FingerprintDataset& data,
+                              const RunConfig& config) const {
+  // --- Resolve the strategy.
+  const Anonymizer* strategy = find(config.strategy);
+  if (strategy == nullptr) {
+    std::ostringstream message;
+    message << "unknown strategy '" << config.strategy << "' (registered:";
+    for (const std::string& name : strategies()) message << ' ' << name;
+    message << ')';
+    return Error{ErrorCode::kUnknownStrategy, message.str()};
+  }
+
+  // --- Shared validation; strategies add their own checks.
+  if (config.k < 2) {
+    return Error{ErrorCode::kInvalidConfig,
+                 "k must be >= 2 (got " + std::to_string(config.k) + ")"};
+  }
+  if (config.limits.phi_max_sigma_m <= 0.0 ||
+      config.limits.phi_max_tau_min <= 0.0) {
+    return Error{ErrorCode::kInvalidConfig,
+                 "stretch saturation limits must be positive"};
+  }
+  if (config.suppression &&
+      (config.suppression->max_spatial_extent_m <= 0.0 ||
+       config.suppression->max_temporal_extent_min <= 0.0)) {
+    return Error{ErrorCode::kInvalidConfig,
+                 "suppression thresholds must be positive"};
+  }
+  if (data.empty()) {
+    return Error{ErrorCode::kInvalidDataset, "input dataset is empty"};
+  }
+  if (std::optional<Error> error = strategy->validate(data, config)) {
+    return *std::move(error);
+  }
+
+  // --- Adapt hooks and run inside the typed-error boundary.
+  RunContext context;
+  context.hooks.cancel = config.cancel;
+  std::shared_ptr<MonotoneProgress> progress;
+  if (config.progress) {
+    progress = std::make_shared<MonotoneProgress>(config.progress);
+    context.hooks.progress = [progress](std::uint64_t done,
+                                        std::uint64_t total) {
+      (*progress)(done, total);
+    };
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    StrategyOutcome outcome = strategy->run(data, config, context);
+
+    RunReport report;
+    report.strategy = config.strategy;
+    report.dataset_name = data.name();
+    report.anonymized = std::move(outcome.anonymized);
+    report.counters = outcome.counters;
+    report.timings.init_seconds = outcome.init_seconds;
+    report.timings.merge_seconds = outcome.merge_seconds;
+    report.timings.total_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    report.config = echo_config(config);
+    report.extra_metrics = std::move(outcome.extra_metrics);
+    return report;
+  } catch (const util::CancelledError&) {
+    return Error{ErrorCode::kCancelled, "run cancelled by its token"};
+  } catch (const std::invalid_argument& e) {
+    return Error{ErrorCode::kInvalidConfig, e.what()};
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kInternal, e.what()};
+  }
+}
+
+}  // namespace glove::api

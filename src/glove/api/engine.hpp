@@ -1,0 +1,78 @@
+// glove::Engine — the single entry point for anonymization runs:
+//
+//   glove::Engine engine;
+//   glove::api::RunConfig config;
+//   config.strategy = "chunked";
+//   config.k = 5;
+//   auto result = engine.run(dataset, config);
+//   if (!result.ok()) { /* typed error, no partial output */ }
+//   const glove::api::RunReport& report = result.value();
+//
+// One `run(dataset, RunConfig) -> Result<RunReport>` call drives every
+// registered Anonymizer strategy (full GLOVE, chunked, pruned, incremental
+// updates, the W4M baseline, and anything registered later) behind a
+// uniform validated config, progress callback, cooperative cancellation
+// and a serializable run report.  The pre-Engine free functions
+// (core::anonymize & friends) remain as deprecated shims.
+
+#ifndef GLOVE_API_ENGINE_HPP
+#define GLOVE_API_ENGINE_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "glove/api/anonymizer.hpp"
+#include "glove/api/config.hpp"
+#include "glove/api/error.hpp"
+#include "glove/api/report.hpp"
+#include "glove/cdr/dataset.hpp"
+
+namespace glove::api {
+
+class Engine {
+ public:
+  /// Constructs an Engine with the five built-in strategies registered:
+  /// full, chunked, pruned-kgap, incremental, w4m-baseline.
+  Engine();
+
+  Engine(Engine&&) noexcept = default;
+  Engine& operator=(Engine&&) noexcept = default;
+
+  /// Runs the configured strategy on `data`.  Never throws on bad input or
+  /// cancellation — those come back as typed errors; a cancelled or failed
+  /// run produces no dataset.  `config.progress` observes monotone
+  /// (done, total) updates ending at done == total on success.
+  [[nodiscard]] Result<RunReport> run(const cdr::FingerprintDataset& data,
+                                      const RunConfig& config) const;
+
+  /// Registers (or replaces) a strategy under its name().  This is the
+  /// drop-in point for future backends — callers keep calling run().
+  void register_strategy(std::unique_ptr<Anonymizer> strategy);
+
+  /// Registered strategy names, sorted.
+  [[nodiscard]] std::vector<std::string> strategies() const;
+
+  /// Looks up a strategy; nullptr when unknown.
+  [[nodiscard]] const Anonymizer* find(std::string_view name) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Anonymizer>, std::less<>> registry_;
+};
+
+/// Registers the built-in strategies on `engine` (called by the Engine
+/// constructor; exposed for tests that build a bare registry).
+void register_builtin_strategies(Engine& engine);
+
+}  // namespace glove::api
+
+// The Engine is the library's front door; make the short spelling
+// glove::Engine (and its companions) available as the issue/README use it.
+namespace glove {
+using api::Engine;
+using api::RunConfig;
+using api::RunReport;
+}  // namespace glove
+
+#endif  // GLOVE_API_ENGINE_HPP

@@ -1,0 +1,173 @@
+#include "glove/api/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "glove/util/csv.hpp"
+
+namespace glove::api {
+
+namespace {
+
+std::string_view leftover_policy_name(core::LeftoverPolicy policy) {
+  switch (policy) {
+    case core::LeftoverPolicy::kMergeIntoNearest: return "merge-into-nearest";
+    case core::LeftoverPolicy::kSuppress: return "suppress";
+  }
+  return "merge-into-nearest";
+}
+
+std::string fmt_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  return buffer;
+}
+
+}  // namespace
+
+double find_metric(const RunReport& report, std::string_view name,
+                   double fallback) {
+  for (const auto& [key, value] : report.extra_metrics) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+ConfigEcho echo_config(const RunConfig& config) {
+  ConfigEcho echo;
+  echo.strategy = config.strategy;
+  echo.k = config.k;
+  echo.phi_max_sigma_m = config.limits.phi_max_sigma_m;
+  echo.phi_max_tau_min = config.limits.phi_max_tau_min;
+  echo.w_sigma = config.limits.w_sigma;
+  echo.w_tau = config.limits.w_tau;
+  echo.suppression_enabled = config.suppression.has_value();
+  if (config.suppression) {
+    echo.max_spatial_extent_m = config.suppression->max_spatial_extent_m;
+    echo.max_temporal_extent_min = config.suppression->max_temporal_extent_min;
+  }
+  echo.reshape = config.reshape;
+  echo.leftover_policy = leftover_policy_name(config.leftover_policy);
+  echo.chunked_chunk_size = config.chunked.chunk_size;
+  echo.w4m_delta_m = config.w4m.delta_m;
+  echo.w4m_trash_fraction = config.w4m.trash_fraction;
+  echo.w4m_chunk_size = config.w4m.chunk_size;
+  echo.w4m_match_tolerance_min = config.w4m.match_tolerance_min;
+  return echo;
+}
+
+stats::Json report_json(const RunReport& report) {
+  const ConfigEcho& echo = report.config;
+
+  stats::Json limits = stats::Json::object();
+  limits.set("phi_max_sigma_m", echo.phi_max_sigma_m)
+      .set("phi_max_tau_min", echo.phi_max_tau_min)
+      .set("w_sigma", echo.w_sigma)
+      .set("w_tau", echo.w_tau);
+
+  stats::Json suppression = stats::Json::object();
+  suppression.set("enabled", echo.suppression_enabled)
+      .set("max_spatial_extent_m", echo.max_spatial_extent_m)
+      .set("max_temporal_extent_min", echo.max_temporal_extent_min);
+
+  stats::Json config = stats::Json::object();
+  config.set("strategy", echo.strategy)
+      .set("k", echo.k)
+      .set("limits", std::move(limits))
+      .set("suppression", std::move(suppression))
+      .set("reshape", echo.reshape)
+      .set("leftover_policy", echo.leftover_policy)
+      .set("chunked",
+           stats::Json::object().set(
+               "chunk_size", static_cast<std::uint64_t>(echo.chunked_chunk_size)))
+      .set("w4m", stats::Json::object()
+                      .set("delta_m", echo.w4m_delta_m)
+                      .set("trash_fraction", echo.w4m_trash_fraction)
+                      .set("chunk_size",
+                           static_cast<std::uint64_t>(echo.w4m_chunk_size))
+                      .set("match_tolerance_min",
+                           echo.w4m_match_tolerance_min));
+
+  const RunCounters& c = report.counters;
+  stats::Json counters = stats::Json::object();
+  counters.set("input_users", c.input_users)
+      .set("input_samples", c.input_samples)
+      .set("output_groups", c.output_groups)
+      .set("output_samples", c.output_samples)
+      .set("merges", c.merges)
+      .set("deleted_samples", c.deleted_samples)
+      .set("created_samples", c.created_samples)
+      .set("discarded_fingerprints", c.discarded_fingerprints)
+      .set("stretch_evaluations", c.stretch_evaluations);
+
+  stats::Json timings = stats::Json::object();
+  timings.set("init_seconds", report.timings.init_seconds)
+      .set("merge_seconds", report.timings.merge_seconds)
+      .set("total_seconds", report.timings.total_seconds);
+
+  stats::Json metrics = stats::Json::object();
+  for (const auto& [name, value] : report.extra_metrics) {
+    metrics.set(name, value);
+  }
+
+  stats::Json doc = stats::Json::object();
+  doc.set("schema", "glove.run_report.v1")
+      .set("strategy", report.strategy)
+      .set("dataset", report.dataset_name)
+      .set("config", std::move(config))
+      .set("counters", std::move(counters))
+      .set("timings", std::move(timings))
+      .set("metrics", std::move(metrics));
+  return doc;
+}
+
+std::string to_json(const RunReport& report, int indent) {
+  return report_json(report).dump(indent) + "\n";
+}
+
+std::string report_csv_header() {
+  return "strategy,dataset,k,input_users,input_samples,output_groups,"
+         "output_samples,merges,deleted_samples,created_samples,"
+         "discarded_fingerprints,stretch_evaluations,init_seconds,"
+         "merge_seconds,total_seconds";
+}
+
+std::string to_csv_row(const RunReport& report) {
+  std::ostringstream out;
+  util::CsvWriter writer{out};
+  const RunCounters& c = report.counters;
+  writer.row({report.strategy, report.dataset_name,
+              std::to_string(report.config.k), std::to_string(c.input_users),
+              std::to_string(c.input_samples), std::to_string(c.output_groups),
+              std::to_string(c.output_samples), std::to_string(c.merges),
+              std::to_string(c.deleted_samples),
+              std::to_string(c.created_samples),
+              std::to_string(c.discarded_fingerprints),
+              std::to_string(c.stretch_evaluations),
+              fmt_double(report.timings.init_seconds),
+              fmt_double(report.timings.merge_seconds),
+              fmt_double(report.timings.total_seconds)});
+  std::string row = out.str();
+  // CsvWriter terminates rows with '\n'; the caller appends rows itself.
+  if (!row.empty() && row.back() == '\n') row.pop_back();
+  return row;
+}
+
+void write_report_file(const std::string& path, const RunReport& report) {
+  std::ofstream out{path};
+  if (!out) {
+    throw std::runtime_error{"cannot open report file: " + path};
+  }
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    out << to_json(report);
+  } else {
+    out << report_csv_header() << '\n' << to_csv_row(report) << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error{"failed writing report file: " + path};
+  }
+}
+
+}  // namespace glove::api

@@ -1,0 +1,97 @@
+// RunReport: the structured outcome of an Engine run — the anonymized
+// dataset plus uniform counters, phase timings, a config echo, and
+// strategy-specific extra metrics.  Serializable to JSON (schema locked by
+// a golden test) and to a flat CSV row for sweep scripts.
+
+#ifndef GLOVE_API_REPORT_HPP
+#define GLOVE_API_REPORT_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "glove/api/config.hpp"
+#include "glove/cdr/dataset.hpp"
+#include "glove/stats/json.hpp"
+
+namespace glove::api {
+
+/// Uniform cost counters across strategies (the Tab. 2 rows).  Fields a
+/// strategy cannot produce stay zero (e.g. created_samples for GLOVE,
+/// merges for W4M).
+struct RunCounters {
+  std::uint64_t input_users = 0;
+  std::uint64_t input_samples = 0;
+  std::uint64_t output_groups = 0;
+  std::uint64_t output_samples = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t deleted_samples = 0;
+  std::uint64_t created_samples = 0;
+  std::uint64_t discarded_fingerprints = 0;
+  std::uint64_t stretch_evaluations = 0;
+};
+
+struct RunTimings {
+  double init_seconds = 0.0;   ///< strategy setup (e.g. stretch matrix)
+  double merge_seconds = 0.0;  ///< main loop (greedy merge / clustering)
+  double total_seconds = 0.0;  ///< wall clock of Engine::run
+};
+
+/// Scalar echo of the validated configuration the run actually used.
+struct ConfigEcho {
+  std::string strategy;
+  std::uint32_t k = 0;
+  double phi_max_sigma_m = 0.0;
+  double phi_max_tau_min = 0.0;
+  double w_sigma = 0.0;
+  double w_tau = 0.0;
+  bool suppression_enabled = false;
+  double max_spatial_extent_m = 0.0;
+  double max_temporal_extent_min = 0.0;
+  bool reshape = true;
+  std::string leftover_policy;
+  std::size_t chunked_chunk_size = 0;
+  double w4m_delta_m = 0.0;
+  double w4m_trash_fraction = 0.0;
+  std::size_t w4m_chunk_size = 0;
+  double w4m_match_tolerance_min = 0.0;
+};
+
+[[nodiscard]] ConfigEcho echo_config(const RunConfig& config);
+
+struct RunReport {
+  std::string strategy;
+  std::string dataset_name;
+  cdr::FingerprintDataset anonymized;
+  RunCounters counters;
+  RunTimings timings;
+  ConfigEcho config;
+  /// Strategy-specific scalar metrics (e.g. W4M mean errors, incremental
+  /// join counts), serialized under "metrics" in declaration order.
+  std::vector<std::pair<std::string, double>> extra_metrics;
+};
+
+/// Looks up a strategy-specific metric by name; `fallback` when absent.
+[[nodiscard]] double find_metric(const RunReport& report,
+                                 std::string_view name,
+                                 double fallback = 0.0);
+
+/// JSON document of everything but the dataset itself (strategy, config
+/// echo, counters, timings, metrics).  Key order is fixed; the schema is
+/// locked by tests/api/report_test.cpp.
+[[nodiscard]] stats::Json report_json(const RunReport& report);
+[[nodiscard]] std::string to_json(const RunReport& report, int indent = 2);
+
+/// Flat CSV form: a stable header plus one row per report, for appending
+/// sweep results.  Extra metrics are not included (they vary by strategy).
+[[nodiscard]] std::string report_csv_header();
+[[nodiscard]] std::string to_csv_row(const RunReport& report);
+
+/// Writes `to_json` or a header+row CSV to `path`, chosen by extension
+/// (".json" vs anything else).  Throws std::runtime_error on I/O failure.
+void write_report_file(const std::string& path, const RunReport& report);
+
+}  // namespace glove::api
+
+#endif  // GLOVE_API_REPORT_HPP

@@ -1,0 +1,247 @@
+// The five built-in Anonymizer strategies, each a thin adapter from the
+// uniform RunConfig onto the corresponding core/baseline algorithm.  The
+// algorithms themselves are unchanged — the parity test locks every
+// strategy's output to the pre-Engine free function byte for byte.
+
+#include "glove/api/engine.hpp"
+#include "glove/baseline/w4m.hpp"
+#include "glove/core/glove.hpp"
+#include "glove/core/incremental.hpp"
+#include "glove/core/scalability.hpp"
+
+namespace glove::api {
+
+namespace {
+
+core::GloveConfig to_glove_config(const RunConfig& config) {
+  core::GloveConfig glove;
+  glove.k = config.k;
+  glove.limits = config.limits;
+  glove.suppression = config.suppression;
+  glove.reshape = config.reshape;
+  glove.leftover_policy = config.leftover_policy;
+  return glove;
+}
+
+RunCounters from_glove_stats(const core::GloveStats& stats) {
+  RunCounters counters;
+  counters.input_users = stats.input_users;
+  counters.input_samples = stats.input_samples;
+  counters.output_groups = stats.output_groups;
+  counters.output_samples = stats.output_samples;
+  counters.merges = stats.merges;
+  counters.deleted_samples = stats.deleted_samples;
+  counters.discarded_fingerprints = stats.discarded_fingerprints;
+  counters.stretch_evaluations = stats.stretch_evaluations;
+  return counters;
+}
+
+StrategyOutcome from_glove_result(core::GloveResult result) {
+  StrategyOutcome outcome;
+  outcome.counters = from_glove_stats(result.stats);
+  outcome.init_seconds = result.stats.init_seconds;
+  outcome.merge_seconds = result.stats.merge_seconds;
+  outcome.anonymized = std::move(result.anonymized);
+  return outcome;
+}
+
+std::optional<Error> require_at_least_k(const cdr::FingerprintDataset& data,
+                                        const RunConfig& config) {
+  if (data.size() < config.k) {
+    return Error{ErrorCode::kInvalidDataset,
+                 "dataset holds " + std::to_string(data.size()) +
+                     " fingerprints, fewer than the target anonymity level " +
+                     std::to_string(config.k)};
+  }
+  return std::nullopt;
+}
+
+class FullStrategy final : public Anonymizer {
+ public:
+  std::string_view name() const noexcept override { return kStrategyFull; }
+  std::string_view description() const noexcept override {
+    return "GLOVE greedy k-anonymization over the full pair matrix (Alg. 1)";
+  }
+  std::optional<Error> validate(const cdr::FingerprintDataset& data,
+                                const RunConfig& config) const override {
+    return require_at_least_k(data, config);
+  }
+  StrategyOutcome run(const cdr::FingerprintDataset& data,
+                      const RunConfig& config,
+                      const RunContext& context) const override {
+    return from_glove_result(
+        core::anonymize(data, to_glove_config(config), context.hooks));
+  }
+};
+
+class PrunedStrategy final : public Anonymizer {
+ public:
+  std::string_view name() const noexcept override {
+    return kStrategyPrunedKGap;
+  }
+  std::string_view description() const noexcept override {
+    return "exact GLOVE with bounding-box-pruned (lazy lower-bound) "
+           "initialization; identical output, fewer stretch evaluations";
+  }
+  std::optional<Error> validate(const cdr::FingerprintDataset& data,
+                                const RunConfig& config) const override {
+    return require_at_least_k(data, config);
+  }
+  StrategyOutcome run(const cdr::FingerprintDataset& data,
+                      const RunConfig& config,
+                      const RunContext& context) const override {
+    return from_glove_result(
+        core::anonymize_pruned(data, to_glove_config(config), context.hooks));
+  }
+};
+
+class ChunkedStrategy final : public Anonymizer {
+ public:
+  std::string_view name() const noexcept override { return kStrategyChunked; }
+  std::string_view description() const noexcept override {
+    return "GLOVE over locality-sorted chunks (W4M-LC-style scaling)";
+  }
+  std::optional<Error> validate(const cdr::FingerprintDataset& data,
+                                const RunConfig& config) const override {
+    if (config.chunked.chunk_size < config.k) {
+      return Error{ErrorCode::kInvalidConfig,
+                   "chunked.chunk_size must be at least k"};
+    }
+    return require_at_least_k(data, config);
+  }
+  StrategyOutcome run(const cdr::FingerprintDataset& data,
+                      const RunConfig& config,
+                      const RunContext& context) const override {
+    core::ChunkedConfig chunked;
+    chunked.glove = to_glove_config(config);
+    chunked.chunk_size = config.chunked.chunk_size;
+    return from_glove_result(
+        core::anonymize_chunked(data, chunked, context.hooks));
+  }
+};
+
+class IncrementalStrategy final : public Anonymizer {
+ public:
+  std::string_view name() const noexcept override {
+    return kStrategyIncremental;
+  }
+  std::string_view description() const noexcept override {
+    return "incremental update: newcomers join a published release without "
+           "regrouping existing users";
+  }
+  std::optional<Error> validate(const cdr::FingerprintDataset& data,
+                                const RunConfig& config) const override {
+    for (const cdr::Fingerprint& fp : data.fingerprints()) {
+      if (fp.group_size() != 1) {
+        return Error{ErrorCode::kInvalidDataset,
+                     "incremental input must hold single-user fingerprints "
+                     "(the newcomers); found a group of " +
+                         std::to_string(fp.group_size())};
+      }
+    }
+    const cdr::FingerprintDataset* published = config.incremental.published;
+    if (published == nullptr || published->empty()) {
+      // Starting from scratch: the newcomers must form groups on their own.
+      return require_at_least_k(data, config);
+    }
+    if (!core::is_k_anonymous(*published, config.k)) {
+      return Error{ErrorCode::kInvalidDataset,
+                   "incremental.published does not satisfy the configured "
+                   "anonymity level k=" +
+                       std::to_string(config.k)};
+    }
+    return std::nullopt;
+  }
+  StrategyOutcome run(const cdr::FingerprintDataset& data,
+                      const RunConfig& config,
+                      const RunContext& context) const override {
+    static const cdr::FingerprintDataset kEmptyPublished;
+    const cdr::FingerprintDataset& published =
+        config.incremental.published != nullptr ? *config.incremental.published
+                                                : kEmptyPublished;
+    core::UpdateResult result = core::anonymize_update(
+        published, data, to_glove_config(config), context.hooks);
+
+    StrategyOutcome outcome;
+    outcome.counters = from_glove_stats(result.stats.glove);
+    outcome.counters.input_users = published.total_users() + data.total_users();
+    outcome.counters.input_samples =
+        published.total_samples() + data.total_samples();
+    outcome.init_seconds = result.stats.glove.init_seconds;
+    outcome.merge_seconds = result.stats.glove.merge_seconds;
+    outcome.extra_metrics = {
+        {"new_users", static_cast<double>(result.stats.new_users)},
+        {"joined_existing_groups",
+         static_cast<double>(result.stats.joined_existing_groups)},
+        {"formed_new_groups",
+         static_cast<double>(result.stats.formed_new_groups)}};
+    outcome.anonymized = std::move(result.anonymized);
+    outcome.counters.output_groups = outcome.anonymized.size();
+    outcome.counters.output_samples = outcome.anonymized.total_samples();
+    return outcome;
+  }
+};
+
+class W4MStrategy final : public Anonymizer {
+ public:
+  std::string_view name() const noexcept override { return kStrategyW4M; }
+  std::string_view description() const noexcept override {
+    return "W4M-LC baseline: cluster-and-perturb (fabricates samples; for "
+           "comparison, not PPDP-truthful)";
+  }
+  std::optional<Error> validate(const cdr::FingerprintDataset& data,
+                                const RunConfig& config) const override {
+    if (config.w4m.delta_m <= 0.0) {
+      return Error{ErrorCode::kInvalidConfig, "w4m.delta_m must be positive"};
+    }
+    if (config.w4m.trash_fraction < 0.0 || config.w4m.trash_fraction >= 1.0) {
+      return Error{ErrorCode::kInvalidConfig,
+                   "w4m.trash_fraction must be in [0, 1)"};
+    }
+    if (config.w4m.chunk_size < config.k) {
+      return Error{ErrorCode::kInvalidConfig,
+                   "w4m.chunk_size must be at least k"};
+    }
+    return require_at_least_k(data, config);
+  }
+  StrategyOutcome run(const cdr::FingerprintDataset& data,
+                      const RunConfig& config,
+                      const RunContext& context) const override {
+    baseline::W4MConfig w4m;
+    w4m.k = config.k;
+    w4m.delta_m = config.w4m.delta_m;
+    w4m.trash_fraction = config.w4m.trash_fraction;
+    w4m.chunk_size = config.w4m.chunk_size;
+    w4m.match_tolerance_min = config.w4m.match_tolerance_min;
+    baseline::W4MResult result =
+        baseline::anonymize_w4m(data, w4m, context.hooks);
+
+    StrategyOutcome outcome;
+    outcome.counters.input_users = result.stats.input_users;
+    outcome.counters.input_samples = result.stats.input_samples;
+    outcome.counters.deleted_samples = result.stats.deleted_samples;
+    outcome.counters.created_samples = result.stats.created_samples;
+    outcome.counters.discarded_fingerprints =
+        result.stats.discarded_fingerprints;
+    outcome.extra_metrics = {
+        {"clusters", static_cast<double>(result.stats.clusters)},
+        {"mean_position_error_m", result.stats.mean_position_error_m},
+        {"mean_time_error_min", result.stats.mean_time_error_min}};
+    outcome.anonymized = std::move(result.anonymized);
+    outcome.counters.output_groups = outcome.anonymized.size();
+    outcome.counters.output_samples = outcome.anonymized.total_samples();
+    return outcome;
+  }
+};
+
+}  // namespace
+
+void register_builtin_strategies(Engine& engine) {
+  engine.register_strategy(std::make_unique<FullStrategy>());
+  engine.register_strategy(std::make_unique<ChunkedStrategy>());
+  engine.register_strategy(std::make_unique<PrunedStrategy>());
+  engine.register_strategy(std::make_unique<IncrementalStrategy>());
+  engine.register_strategy(std::make_unique<W4MStrategy>());
+}
+
+}  // namespace glove::api

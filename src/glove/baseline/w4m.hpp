@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "glove/cdr/dataset.hpp"
+#include "glove/util/hooks.hpp"
 
 namespace glove::baseline {
 
@@ -74,8 +75,16 @@ struct W4MResult {
   W4MStats stats;
 };
 
-/// Runs W4M-LC.  Requires data.size() >= k >= 2; throws
-/// std::invalid_argument otherwise.  Deterministic.
+/// Runs W4M-LC with observability hooks: progress counts trajectories
+/// consumed by clustering plus cluster members published; cancellation is
+/// polled per pivot and per cluster.  Requires data.size() >= k >= 2;
+/// throws std::invalid_argument otherwise.  Deterministic.
+[[nodiscard]] W4MResult anonymize_w4m(const cdr::FingerprintDataset& data,
+                                      const W4MConfig& config,
+                                      const util::RunHooks& hooks);
+
+/// Deprecated entry point: prefer glove::Engine::run (strategy
+/// "w4m-baseline") or the hooks overload above.
 [[nodiscard]] W4MResult anonymize_w4m(const cdr::FingerprintDataset& data,
                                       const W4MConfig& config);
 

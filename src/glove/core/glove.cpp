@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "glove/core/scalability.hpp"
 #include "glove/util/parallel.hpp"
 
 namespace glove::core {
@@ -19,25 +20,35 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// Min-heap entry: candidate merge of nodes `a` and `b`.  Entries are lazy:
-/// a node consumed by a merge invalidates all its pending entries, detected
-/// on pop via the `alive` flags.
+/// Min-heap entry: candidate merge of nodes `a` and `b`.  Entries are lazy
+/// in two ways: a node consumed by a merge invalidates all its pending
+/// entries (detected on pop via the `alive` flags), and — in the pruned
+/// variant — an entry may carry only a bounding-box *lower bound* on the
+/// stretch (`exact == false`), refined to the true value when it reaches
+/// the top of the heap.
 struct PairEntry {
   double stretch;
   std::uint32_t a;
   std::uint32_t b;
+  bool exact = true;
 
   friend bool operator>(const PairEntry& lhs, const PairEntry& rhs) {
     if (lhs.stretch != rhs.stretch) return lhs.stretch > rhs.stretch;
+    // At equal value a bound must pop before an exact entry: its true
+    // stretch may tie, and only after refinement can the (a, b) tie-break
+    // pick the same pair the all-exact heap would.
+    if (lhs.exact != rhs.exact) return lhs.exact;
     if (lhs.a != rhs.a) return lhs.a > rhs.a;  // deterministic tie-break
     return lhs.b > rhs.b;
   }
 };
 
-}  // namespace
+/// Cancellation poll interval inside parallel init chunks (elements).
+constexpr std::size_t kCancelPollMask = 0x1FFF;
 
-GloveResult anonymize(const cdr::FingerprintDataset& data,
-                      const GloveConfig& config) {
+GloveResult anonymize_impl(const cdr::FingerprintDataset& data,
+                           const GloveConfig& config,
+                           const util::RunHooks& hooks, bool lazy_init) {
   if (config.k < 2) {
     throw std::invalid_argument{"GLOVE requires k >= 2"};
   }
@@ -74,19 +85,41 @@ GloveResult anonymize(const cdr::FingerprintDataset& data,
   }
 
   // --- Initialization: stretch effort for all open pairs (Alg. 1 l. 1-2).
+  // The pruned variant seeds the heap with bounding-box lower bounds
+  // instead of exact efforts; bounds refine lazily on pop, so far-apart
+  // pairs are never evaluated exactly.  Output is identical either way.
   const auto init_start = Clock::now();
   std::vector<std::uint32_t> open;
   for (std::uint32_t id = 0; id < nodes.size(); ++id) {
     if (is_open(id)) open.push_back(id);
   }
+
+  std::vector<FingerprintBounds> bounds;
+  if (lazy_init) {
+    bounds.resize(open.size());
+    util::parallel_for(
+        open.size(),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            bounds[i] = fingerprint_bounds(nodes[open[i]]);
+          }
+        },
+        /*min_chunk=*/64);
+  }
+
   std::vector<PairEntry> heap;
-  if (open.size() >= 2) {
-    const std::size_t pairs = open.size() * (open.size() - 1) / 2;
+  const std::size_t pairs =
+      open.size() >= 2 ? open.size() * (open.size() - 1) / 2 : 0;
+  // Work units for progress: initial pairs plus open nodes to close.
+  const std::uint64_t total_work =
+      static_cast<std::uint64_t>(pairs) + open.size();
+  if (pairs > 0) {
     heap.resize(pairs);
     // Row-major enumeration of the strict upper triangle, parallel by pair
     // index: pair p -> (i, j) with i < j.
     util::parallel_for(pairs, [&](std::size_t begin, std::size_t end) {
       for (std::size_t p = begin; p < end; ++p) {
+        if ((p & kCancelPollMask) == 0) hooks.throw_if_cancelled();
         // Invert p = i*(2n-i-1)/2 + (j-i-1): estimate row i analytically,
         // then fix rounding so that offsets(i) <= p < offsets(i+1).
         const double n = static_cast<double>(open.size());
@@ -104,31 +137,50 @@ GloveResult anonymize(const cdr::FingerprintDataset& data,
         const std::size_t j = p - offset(i) + i + 1;
         const std::uint32_t a = open[i];
         const std::uint32_t b = open[j];
-        heap[p] = PairEntry{
-            fingerprint_stretch(nodes[a], nodes[b], config.limits), a, b};
+        if (lazy_init) {
+          heap[p] = PairEntry{
+              stretch_lower_bound(bounds[i], bounds[j], config.limits), a, b,
+              /*exact=*/false};
+        } else {
+          heap[p] = PairEntry{
+              fingerprint_stretch(nodes[a], nodes[b], config.limits), a, b};
+        }
       }
     });
-    stats.stretch_evaluations += pairs;
+    if (!lazy_init) stats.stretch_evaluations += pairs;
   }
   std::make_heap(heap.begin(), heap.end(), std::greater<>{});
   stats.init_seconds = seconds_since(init_start);
+  hooks.throw_if_cancelled();
+  hooks.report(pairs, total_work);
 
   // --- Greedy loop (Alg. 1 l. 4-15).
   const auto merge_start = Clock::now();
+  const std::size_t initial_open = open.size();
   std::size_t open_count = open.size();
   std::vector<PairEntry> fresh;  // scratch for new pairs of a merged node
   while (open_count >= 2) {
-    // Pop the minimum-stretch pair of still-open nodes.
+    hooks.throw_if_cancelled();
+    // Pop the minimum-stretch pair of still-open nodes, refining lower
+    // bounds that surface at the top.
     PairEntry top{};
     bool found = false;
     while (!heap.empty()) {
       std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
       top = heap.back();
       heap.pop_back();
-      if (is_open(top.a) && is_open(top.b)) {
-        found = true;
-        break;
+      if (!is_open(top.a) || !is_open(top.b)) continue;
+      if (!top.exact) {
+        top.stretch =
+            fingerprint_stretch(nodes[top.a], nodes[top.b], config.limits);
+        top.exact = true;
+        ++stats.stretch_evaluations;
+        heap.push_back(top);
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+        continue;
       }
+      found = true;
+      break;
     }
     if (!found) {
       throw std::logic_error{"GLOVE heap exhausted with open nodes left"};
@@ -149,6 +201,7 @@ GloveResult anonymize(const cdr::FingerprintDataset& data,
 
     if (nodes[m_id].group_size() >= config.k) {
       finalized.push_back(m_id);
+      hooks.report(pairs + (initial_open - open_count), total_work);
       continue;
     }
     ++open_count;
@@ -176,10 +229,12 @@ GloveResult anonymize(const cdr::FingerprintDataset& data,
       heap.push_back(e);
       std::push_heap(heap.begin(), heap.end(), std::greater<>{});
     }
+    hooks.report(pairs + (initial_open - open_count), total_work);
   }
 
   // --- Leftover handling (unspecified in Alg. 1; see DESIGN.md).
   if (open_count == 1) {
+    hooks.throw_if_cancelled();
     std::uint32_t leftover = 0;
     for (std::uint32_t id = 0; id < nodes.size(); ++id) {
       if (is_open(id)) leftover = id;
@@ -224,6 +279,7 @@ GloveResult anonymize(const cdr::FingerprintDataset& data,
     }
   }
   stats.merge_seconds = seconds_since(merge_start);
+  hooks.report(total_work, total_work);
 
   // --- Collect output.
   std::vector<cdr::Fingerprint> output;
@@ -238,6 +294,24 @@ GloveResult anonymize(const cdr::FingerprintDataset& data,
   stats.output_samples = anonymized.total_samples();
   result.anonymized = std::move(anonymized);
   return result;
+}
+
+}  // namespace
+
+GloveResult anonymize(const cdr::FingerprintDataset& data,
+                      const GloveConfig& config, const util::RunHooks& hooks) {
+  return anonymize_impl(data, config, hooks, /*lazy_init=*/false);
+}
+
+GloveResult anonymize(const cdr::FingerprintDataset& data,
+                      const GloveConfig& config) {
+  return anonymize_impl(data, config, {}, /*lazy_init=*/false);
+}
+
+GloveResult anonymize_pruned(const cdr::FingerprintDataset& data,
+                             const GloveConfig& config,
+                             const util::RunHooks& hooks) {
+  return anonymize_impl(data, config, hooks, /*lazy_init=*/true);
 }
 
 bool is_k_anonymous(const cdr::FingerprintDataset& data, std::uint32_t k) {

@@ -12,6 +12,7 @@
 #include "glove/cdr/dataset.hpp"
 #include "glove/core/merge.hpp"
 #include "glove/core/stretch.hpp"
+#include "glove/util/hooks.hpp"
 
 namespace glove::core {
 
@@ -63,10 +64,23 @@ struct GloveResult {
   GloveStats stats;
 };
 
-/// Runs GLOVE on `data`.  Requires data.size() >= k >= 2 (a dataset smaller
-/// than the target crowd cannot be k-anonymized); throws
-/// std::invalid_argument otherwise.  Deterministic for a given input and
-/// configuration, independent of thread count.
+/// Runs GLOVE on `data` with observability hooks threaded into the hot
+/// loops.  Requires data.size() >= k >= 2 (a dataset smaller than the
+/// target crowd cannot be k-anonymized); throws std::invalid_argument
+/// otherwise.  Deterministic for a given input and configuration,
+/// independent of thread count.
+///
+/// Progress units: initial pair evaluations plus fingerprints closed by
+/// the greedy loop; `done` is monotone non-decreasing and reaches `total`
+/// on completion.  Cancellation is polled between work units and aborts
+/// with util::CancelledError before any output dataset is materialized.
+[[nodiscard]] GloveResult anonymize(const cdr::FingerprintDataset& data,
+                                    const GloveConfig& config,
+                                    const util::RunHooks& hooks);
+
+/// Deprecated entry point: prefer glove::Engine::run (strategy "full") or
+/// the hooks overload above.  Kept as a thin shim; equivalent to
+/// anonymize(data, config, {}).
 [[nodiscard]] GloveResult anonymize(const cdr::FingerprintDataset& data,
                                     const GloveConfig& config);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -12,6 +13,13 @@ namespace glove::core {
 UpdateResult anonymize_update(const cdr::FingerprintDataset& published,
                               const cdr::FingerprintDataset& new_users,
                               const GloveConfig& config) {
+  return anonymize_update(published, new_users, config, {});
+}
+
+UpdateResult anonymize_update(const cdr::FingerprintDataset& published,
+                              const cdr::FingerprintDataset& new_users,
+                              const GloveConfig& config,
+                              const util::RunHooks& hooks) {
   if (!is_k_anonymous(published, config.k)) {
     throw std::invalid_argument{
         "published dataset does not satisfy the configured k"};
@@ -42,11 +50,17 @@ UpdateResult anonymize_update(const cdr::FingerprintDataset& published,
     std::size_t group = 0;
     double to_peer = std::numeric_limits<double>::infinity();
   };
+  // Progress: n decision units (parallel phase) then n placement units.
+  const std::uint64_t total_work = 2 * static_cast<std::uint64_t>(n);
+  std::mutex progress_mutex;
+  std::uint64_t decisions_done = 0;
+
   std::vector<Choice> choices(n);
   util::parallel_for(
       n,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
+          hooks.throw_if_cancelled();
           Choice& choice = choices[i];
           for (std::size_t g = 0; g < groups.size(); ++g) {
             const double d =
@@ -63,18 +77,30 @@ UpdateResult anonymize_update(const cdr::FingerprintDataset& published,
                                     config.limits);
             choice.to_peer = std::min(choice.to_peer, d);
           }
+          if (hooks.progress) {
+            const std::lock_guard lock{progress_mutex};
+            hooks.progress(++decisions_done, total_work);
+          }
         }
       },
       /*min_chunk=*/1);
 
+  // The embedded greedy pass observes only the cancellation token; its
+  // own progress would not compose monotonically with the outer units.
+  util::RunHooks inner;
+  inner.cancel = hooks.cancel;
+
+  std::uint64_t placed = 0;
   std::vector<cdr::Fingerprint> peer_pool;
   for (std::size_t i = 0; i < n; ++i) {
+    hooks.throw_if_cancelled();
     const bool join = !groups.empty() &&
                       (choices[i].to_group <= choices[i].to_peer);
     if (join) {
       cdr::Fingerprint& group = groups[choices[i].group];
       group = merge_fingerprints(group, new_users[i], merge_options);
       ++result.stats.joined_existing_groups;
+      hooks.report(static_cast<std::uint64_t>(n) + ++placed, total_work);
     } else {
       peer_pool.push_back(new_users[i]);
     }
@@ -84,7 +110,7 @@ UpdateResult anonymize_update(const cdr::FingerprintDataset& published,
   // enough of them remain; otherwise fall back to joining groups.
   if (peer_pool.size() >= config.k) {
     const GloveResult pass = anonymize(
-        cdr::FingerprintDataset{std::move(peer_pool)}, config);
+        cdr::FingerprintDataset{std::move(peer_pool)}, config, inner);
     result.stats.glove = pass.stats;
     result.stats.formed_new_groups = pass.anonymized.size();
     for (const cdr::Fingerprint& fp : pass.anonymized.fingerprints()) {
@@ -92,6 +118,7 @@ UpdateResult anonymize_update(const cdr::FingerprintDataset& published,
     }
   } else {
     for (const cdr::Fingerprint& straggler : peer_pool) {
+      hooks.throw_if_cancelled();
       if (groups.empty()) {
         throw std::invalid_argument{
             "not enough users in total to reach the anonymity level"};
@@ -112,6 +139,7 @@ UpdateResult anonymize_update(const cdr::FingerprintDataset& published,
     }
   }
 
+  hooks.report(total_work, total_work);
   result.anonymized = cdr::FingerprintDataset{
       std::move(groups), published.name() + "-updated"};
   return result;

@@ -47,6 +47,13 @@ struct UpdateResult {
 /// pass; a leftover smaller than k merges into the nearest group.
 [[nodiscard]] UpdateResult anonymize_update(
     const cdr::FingerprintDataset& published,
+    const cdr::FingerprintDataset& new_users, const GloveConfig& config,
+    const util::RunHooks& hooks);
+
+/// Deprecated entry point: prefer glove::Engine::run (strategy
+/// "incremental") or the hooks overload above.
+[[nodiscard]] UpdateResult anonymize_update(
+    const cdr::FingerprintDataset& published,
     const cdr::FingerprintDataset& new_users, const GloveConfig& config);
 
 }  // namespace glove::core

@@ -1,6 +1,7 @@
 #include "glove/core/kgap.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 
@@ -10,6 +11,12 @@ namespace glove::core {
 
 std::vector<KGapEntry> k_gaps(const cdr::FingerprintDataset& data,
                               std::uint32_t k, const StretchLimits& limits) {
+  return k_gaps(data, k, limits, {});
+}
+
+std::vector<KGapEntry> k_gaps(const cdr::FingerprintDataset& data,
+                              std::uint32_t k, const StretchLimits& limits,
+                              const util::RunHooks& hooks) {
   if (k < 2) throw std::invalid_argument{"k-gap requires k >= 2"};
   if (data.size() < k) {
     throw std::invalid_argument{
@@ -19,12 +26,16 @@ std::vector<KGapEntry> k_gaps(const cdr::FingerprintDataset& data,
   const std::size_t neighbors = k - 1;
   std::vector<KGapEntry> result(n);
 
+  std::mutex progress_mutex;
+  std::uint64_t rows_done = 0;
+
   util::parallel_for(
       n,
       [&](std::size_t begin, std::size_t end) {
         std::vector<std::pair<double, std::size_t>> row;
         row.reserve(n - 1);
         for (std::size_t a = begin; a < end; ++a) {
+          hooks.throw_if_cancelled();
           row.clear();
           for (std::size_t b = 0; b < n; ++b) {
             if (b == a) continue;
@@ -45,6 +56,10 @@ std::vector<KGapEntry> k_gaps(const cdr::FingerprintDataset& data,
             entry.neighbors.push_back(row[i].second);
           }
           entry.gap = total / static_cast<double>(neighbors);
+          if (hooks.progress) {
+            const std::lock_guard lock{progress_mutex};
+            hooks.progress(++rows_done, n);
+          }
         }
       },
       /*min_chunk=*/1);

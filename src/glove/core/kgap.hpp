@@ -9,6 +9,7 @@
 
 #include "glove/cdr/dataset.hpp"
 #include "glove/core/stretch.hpp"
+#include "glove/util/hooks.hpp"
 
 namespace glove::core {
 
@@ -28,6 +29,15 @@ struct KGapEntry {
 [[nodiscard]] std::vector<KGapEntry> k_gaps(const cdr::FingerprintDataset& data,
                                             std::uint32_t k,
                                             const StretchLimits& limits = {});
+
+/// As above, with observability hooks threaded into the O(|M|^2) matrix
+/// build: progress units are completed rows (one per fingerprint, reported
+/// under a lock so `done` stays monotone across worker threads), and
+/// cancellation is polled per row, aborting via util::CancelledError.
+[[nodiscard]] std::vector<KGapEntry> k_gaps(const cdr::FingerprintDataset& data,
+                                            std::uint32_t k,
+                                            const StretchLimits& limits,
+                                            const util::RunHooks& hooks);
 
 /// Convenience: just the gap values, same order as `data`.
 [[nodiscard]] std::vector<double> k_gap_values(

@@ -131,6 +131,12 @@ std::vector<KGapEntry> k_gaps_pruned(const cdr::FingerprintDataset& data,
 
 GloveResult anonymize_chunked(const cdr::FingerprintDataset& data,
                               const ChunkedConfig& config) {
+  return anonymize_chunked(data, config, {});
+}
+
+GloveResult anonymize_chunked(const cdr::FingerprintDataset& data,
+                              const ChunkedConfig& config,
+                              const util::RunHooks& hooks) {
   if (config.chunk_size < config.glove.k) {
     throw std::invalid_argument{"chunk size must be at least k"};
   }
@@ -174,8 +180,14 @@ GloveResult anonymize_chunked(const cdr::FingerprintDataset& data,
   total.stats.input_samples = data.total_samples();
   std::vector<cdr::Fingerprint> output;
 
+  // Inner runs observe only the cancellation token; chunk completions are
+  // the outer progress unit (per-chunk progress would not be monotone).
+  util::RunHooks inner;
+  inner.cancel = hooks.cancel;
+
   std::size_t begin = 0;
   while (begin < keys.size()) {
+    hooks.throw_if_cancelled();
     std::size_t end = std::min(begin + config.chunk_size, keys.size());
     // Never leave a tail smaller than k: extend the last chunk instead.
     if (keys.size() - end < config.glove.k && end < keys.size()) {
@@ -187,7 +199,7 @@ GloveResult anonymize_chunked(const cdr::FingerprintDataset& data,
       chunk.push_back(data[keys[i].index]);
     }
     const GloveResult part = anonymize(
-        cdr::FingerprintDataset{std::move(chunk)}, config.glove);
+        cdr::FingerprintDataset{std::move(chunk)}, config.glove, inner);
     for (const cdr::Fingerprint& fp : part.anonymized.fingerprints()) {
       output.push_back(fp);
     }
@@ -198,6 +210,7 @@ GloveResult anonymize_chunked(const cdr::FingerprintDataset& data,
     total.stats.init_seconds += part.stats.init_seconds;
     total.stats.merge_seconds += part.stats.merge_seconds;
     begin = end;
+    hooks.report(begin, keys.size());
   }
 
   total.anonymized = cdr::FingerprintDataset{

@@ -55,8 +55,25 @@ struct ChunkedConfig {
 /// Runs GLOVE independently on locality-sorted chunks and concatenates the
 /// results.  Every output group still hides >= k users (chunk sizes are
 /// adjusted so no chunk is smaller than k).  Stats are aggregated.
+/// Progress units are input fingerprints; cancellation is polled between
+/// chunks and inside each chunk's greedy loop.
+[[nodiscard]] GloveResult anonymize_chunked(const cdr::FingerprintDataset& data,
+                                            const ChunkedConfig& config,
+                                            const util::RunHooks& hooks);
+
+/// Deprecated entry point: prefer glove::Engine::run (strategy "chunked").
 [[nodiscard]] GloveResult anonymize_chunked(const cdr::FingerprintDataset& data,
                                             const ChunkedConfig& config);
+
+/// Exact GLOVE with a bounding-box-pruned initialization (implemented in
+/// glove.cpp beside the shared greedy loop): the initial candidate heap is
+/// seeded with stretch_lower_bound values and entries refine to the true
+/// stretch effort lazily when they surface, so geographically far pairs
+/// are never evaluated exactly.  Byte-identical output to anonymize();
+/// only GloveStats::stretch_evaluations (and timings) differ.
+[[nodiscard]] GloveResult anonymize_pruned(const cdr::FingerprintDataset& data,
+                                           const GloveConfig& config,
+                                           const util::RunHooks& hooks = {});
 
 }  // namespace glove::core
 

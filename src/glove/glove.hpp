@@ -10,6 +10,12 @@
 #include "glove/analysis/descriptors.hpp"
 #include "glove/analysis/entropy.hpp"
 #include "glove/analysis/utility.hpp"
+#include "glove/api/anonymizer.hpp"
+#include "glove/api/cli.hpp"
+#include "glove/api/config.hpp"
+#include "glove/api/engine.hpp"
+#include "glove/api/error.hpp"
+#include "glove/api/report.hpp"
 #include "glove/attack/linkage.hpp"
 #include "glove/baseline/w4m.hpp"
 #include "glove/cdr/builder.hpp"
@@ -27,12 +33,14 @@
 #include "glove/core/scalability.hpp"
 #include "glove/core/stretch.hpp"
 #include "glove/geo/geo.hpp"
+#include "glove/stats/json.hpp"
 #include "glove/stats/stats.hpp"
 #include "glove/stats/table.hpp"
 #include "glove/synth/generator.hpp"
 #include "glove/synth/network.hpp"
 #include "glove/util/csv.hpp"
 #include "glove/util/flags.hpp"
+#include "glove/util/hooks.hpp"
 #include "glove/util/parallel.hpp"
 #include "glove/util/rng.hpp"
 #include "glove/util/thread_pool.hpp"

@@ -1,0 +1,157 @@
+#include "glove/stats/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace glove::stats {
+
+namespace {
+
+using ObjectItems = std::vector<std::pair<std::string, Json>>;
+using ArrayItems = std::vector<Json>;
+
+void append_double(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  out += buffer;
+  // Keep integral doubles visibly floating-point so the document schema
+  // does not flip between int and float depending on the value.
+  if (out.find_first_of(".eE", out.size() - std::strlen(buffer)) ==
+      std::string::npos) {
+    out += ".0";
+  }
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Json Json::object() {
+  Json j;
+  j.value_ = ObjectItems{};
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.value_ = ArrayItems{};
+  return j;
+}
+
+Json& Json::set(std::string key, Json value) {
+  auto* items = std::get_if<ObjectItems>(&value_);
+  if (items == nullptr) {
+    throw std::logic_error{"Json::set on a non-object value"};
+  }
+  for (auto& [existing, v] : *items) {
+    if (existing == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  items->emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  auto* items = std::get_if<ArrayItems>(&value_);
+  if (items == nullptr) {
+    throw std::logic_error{"Json::push on a non-array value"};
+  }
+  items->push_back(std::move(value));
+  return *this;
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent) *
+                            static_cast<std::size_t>(depth + 1),
+                        ' ');
+  const std::string close_pad(
+      static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+  const char* newline = indent > 0 ? "\n" : "";
+
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    append_double(out, *d);
+  } else if (const auto* signed_int = std::get_if<std::int64_t>(&value_)) {
+    out += std::to_string(*signed_int);
+  } else if (const auto* unsigned_int = std::get_if<std::uint64_t>(&value_)) {
+    out += std::to_string(*unsigned_int);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    out += '"';
+    out += json_escape(*s);
+    out += '"';
+  } else if (const auto* obj = std::get_if<ObjectItems>(&value_)) {
+    if (obj->empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    out += newline;
+    for (std::size_t i = 0; i < obj->size(); ++i) {
+      out += pad;
+      out += '"';
+      out += json_escape((*obj)[i].first);
+      out += "\": ";
+      (*obj)[i].second.write(out, indent, depth + 1);
+      if (i + 1 < obj->size()) out += ',';
+      out += newline;
+    }
+    out += close_pad;
+    out += '}';
+  } else if (const auto* arr = std::get_if<ArrayItems>(&value_)) {
+    if (arr->empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    out += newline;
+    for (std::size_t i = 0; i < arr->size(); ++i) {
+      out += pad;
+      (*arr)[i].write(out, indent, depth + 1);
+      if (i + 1 < arr->size()) out += ',';
+      out += newline;
+    }
+    out += close_pad;
+    out += ']';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace glove::stats

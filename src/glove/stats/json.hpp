@@ -1,0 +1,68 @@
+// Minimal ordered JSON document builder used to serialize run reports and
+// bench manifests.  Objects preserve insertion order so emitted documents
+// are stable and diff-friendly (golden tests lock the exact bytes).
+//
+// Only what the library needs to *emit*: null, bool, integers, doubles,
+// strings, arrays, objects.  No parsing.
+
+#ifndef GLOVE_STATS_JSON_HPP
+#define GLOVE_STATS_JSON_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace glove::stats {
+
+/// One JSON value.  Build objects/arrays via the static factories, then
+/// chain `set`/`push`.
+class Json {
+ public:
+  Json() : value_{nullptr} {}
+  Json(bool value) : value_{value} {}
+  Json(double value) : value_{value} {}
+  Json(std::int64_t value) : value_{value} {}
+  Json(std::uint64_t value) : value_{value} {}
+  Json(std::uint32_t value) : value_{std::uint64_t{value}} {}
+  Json(int value) : value_{static_cast<std::int64_t>(value)} {}
+  Json(std::string value) : value_{std::move(value)} {}
+  Json(std::string_view value) : value_{std::string{value}} {}
+  Json(const char* value) : value_{std::string{value}} {}
+
+  [[nodiscard]] static Json object();
+  [[nodiscard]] static Json array();
+
+  /// Adds/overwrites `key` on an object (throws std::logic_error when this
+  /// value is not an object).  Insertion order is preserved.
+  Json& set(std::string key, Json value);
+
+  /// Appends to an array (throws std::logic_error otherwise).
+  Json& push(Json value);
+
+  /// Renders the document.  `indent` = spaces per nesting level; 0 emits
+  /// a single line.  Doubles are printed with shortest round-trip-ish
+  /// "%.10g" formatting; non-finite doubles render as null.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+ private:
+  struct Object;
+  struct Array;
+  using Value = std::variant<std::nullptr_t, bool, double, std::int64_t,
+                             std::uint64_t, std::string,
+                             std::vector<std::pair<std::string, Json>>,
+                             std::vector<Json>>;
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Value value_;
+};
+
+/// Escapes a string for embedding in a JSON document (adds no quotes).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace glove::stats
+
+#endif  // GLOVE_STATS_JSON_HPP

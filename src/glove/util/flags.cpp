@@ -1,5 +1,6 @@
 #include "glove/util/flags.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -14,8 +15,32 @@ Flags::Flags(std::string program_help)
 Flags& Flags::define(std::string name, std::string default_value,
                      std::string help) {
   entries_[std::move(name)] =
-      Entry{default_value, std::move(default_value), std::move(help)};
+      Entry{default_value, std::move(default_value), std::move(help), {}};
   return *this;
+}
+
+Flags& Flags::define_enum(std::string name, std::string default_value,
+                          std::vector<std::string> choices,
+                          std::string help) {
+  Entry entry{default_value, std::move(default_value), std::move(help),
+              std::move(choices)};
+  check_choice(name, entry, entry.default_value);
+  entries_[std::move(name)] = std::move(entry);
+  return *this;
+}
+
+void Flags::check_choice(std::string_view name, const Entry& entry,
+                         std::string_view value) {
+  if (entry.choices.empty()) return;
+  if (std::find(entry.choices.begin(), entry.choices.end(), value) !=
+      entry.choices.end()) {
+    return;
+  }
+  std::ostringstream out;
+  out << "invalid value '" << value << "' for --" << name << " (choices:";
+  for (const std::string& choice : entry.choices) out << ' ' << choice;
+  out << ')';
+  throw std::invalid_argument{out.str()};
 }
 
 void Flags::parse(int argc, const char* const* argv) {
@@ -52,6 +77,7 @@ void Flags::parse(int argc, const char* const* argv) {
     if (it == entries_.end()) {
       throw std::invalid_argument{"unknown flag --" + name + "\n" + usage()};
     }
+    check_choice(name, it->second, value);
     it->second.value = std::move(value);
   }
 }
@@ -62,6 +88,11 @@ std::string Flags::usage() const {
   for (const auto& [name, entry] : entries_) {
     out << "  --" << name << " (default: " << entry.default_value << ")\n"
         << "      " << entry.help << '\n';
+    if (!entry.choices.empty()) {
+      out << "      choices:";
+      for (const std::string& choice : entry.choices) out << ' ' << choice;
+      out << '\n';
+    }
   }
   return out.str();
 }

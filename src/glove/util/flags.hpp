@@ -24,6 +24,13 @@ class Flags {
   Flags& define(std::string name, std::string default_value,
                 std::string help);
 
+  /// Enum-valued flag: the value must be one of `choices`.  The default
+  /// must be a choice (std::invalid_argument otherwise); parse() rejects
+  /// any other value, listing the valid choices.  Replaces per-binary
+  /// string matching for flags such as --strategy.
+  Flags& define_enum(std::string name, std::string default_value,
+                     std::vector<std::string> choices, std::string help);
+
   /// Parses argv (excluding argv[0]).  Throws std::invalid_argument on
   /// unknown flags or missing values.  "--help" sets `help_requested()`.
   void parse(int argc, const char* const* argv);
@@ -46,7 +53,12 @@ class Flags {
     std::string value;
     std::string default_value;
     std::string help;
+    std::vector<std::string> choices;  // empty = any value accepted
   };
+
+  /// Throws std::invalid_argument when `value` is not a valid choice.
+  static void check_choice(std::string_view name, const Entry& entry,
+                           std::string_view value);
 
   const Entry& entry(std::string_view name) const;
 

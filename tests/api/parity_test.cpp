@@ -1,0 +1,129 @@
+// Engine/free-function parity: every built-in strategy must produce
+// byte-identical anonymized output to the pre-Engine free function it
+// wraps, on the shared fixture datasets (including the checked-in golden
+// pairing dataset).  This locks the redesign to "API change only".
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/fixtures.hpp"
+#include "common/golden.hpp"
+#include "glove/api/engine.hpp"
+#include "glove/baseline/w4m.hpp"
+#include "glove/core/glove.hpp"
+#include "glove/core/incremental.hpp"
+#include "glove/core/scalability.hpp"
+
+namespace glove::api {
+namespace {
+
+std::string engine_csv(const Engine& engine,
+                       const cdr::FingerprintDataset& data,
+                       const RunConfig& config) {
+  const auto result = engine.run(data, config);
+  EXPECT_TRUE(result.ok()) << config.strategy << ": "
+                           << (result.ok() ? "" : result.error().message);
+  return test::dataset_to_csv(result.value().anonymized);
+}
+
+class ParityTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ParityTest, FullMatchesFreeFunction) {
+  const Engine engine;
+  const std::uint32_t k = GetParam();
+  for (const auto& data :
+       {test::paired_dataset(), test::small_synth_dataset(30)}) {
+    RunConfig config;
+    config.k = k;
+    core::GloveConfig legacy;
+    legacy.k = k;
+    EXPECT_EQ(engine_csv(engine, data, config),
+              test::dataset_to_csv(core::anonymize(data, legacy).anonymized));
+  }
+}
+
+TEST_P(ParityTest, PrunedMatchesFullFreeFunction) {
+  // pruned-kgap is *exact*: the lazy lower-bound initialization must
+  // reproduce the all-exact heap's output byte for byte.
+  const Engine engine;
+  const std::uint32_t k = GetParam();
+  for (const auto& data :
+       {test::paired_dataset(), test::small_synth_dataset(40),
+        test::random_dataset(25, 7)}) {
+    RunConfig config;
+    config.strategy = kStrategyPrunedKGap;
+    config.k = k;
+    core::GloveConfig legacy;
+    legacy.k = k;
+    EXPECT_EQ(engine_csv(engine, data, config),
+              test::dataset_to_csv(core::anonymize(data, legacy).anonymized));
+  }
+}
+
+TEST_P(ParityTest, ChunkedMatchesFreeFunction) {
+  const Engine engine;
+  const std::uint32_t k = GetParam();
+  const cdr::FingerprintDataset data = test::small_synth_dataset(40);
+  RunConfig config;
+  config.strategy = kStrategyChunked;
+  config.k = k;
+  config.chunked.chunk_size = 16;
+  core::ChunkedConfig legacy;
+  legacy.glove.k = k;
+  legacy.chunk_size = 16;
+  EXPECT_EQ(
+      engine_csv(engine, data, config),
+      test::dataset_to_csv(core::anonymize_chunked(data, legacy).anonymized));
+}
+
+TEST_P(ParityTest, W4MMatchesFreeFunction) {
+  const Engine engine;
+  const std::uint32_t k = GetParam();
+  const cdr::FingerprintDataset data = test::small_synth_dataset(30);
+  RunConfig config;
+  config.strategy = kStrategyW4M;
+  config.k = k;
+  baseline::W4MConfig legacy;
+  legacy.k = k;
+  EXPECT_EQ(
+      engine_csv(engine, data, config),
+      test::dataset_to_csv(baseline::anonymize_w4m(data, legacy).anonymized));
+}
+
+TEST_P(ParityTest, IncrementalMatchesFreeFunction) {
+  const Engine engine;
+  const std::uint32_t k = GetParam();
+  core::GloveConfig legacy;
+  legacy.k = k;
+  const core::GloveResult published =
+      core::anonymize(test::small_synth_dataset(24), legacy);
+  const cdr::FingerprintDataset newcomers = test::random_dataset(8, 3);
+
+  RunConfig config;
+  config.strategy = kStrategyIncremental;
+  config.k = k;
+  config.incremental.published = &published.anonymized;
+  EXPECT_EQ(engine_csv(engine, newcomers, config),
+            test::dataset_to_csv(
+                core::anonymize_update(published.anonymized, newcomers, legacy)
+                    .anonymized));
+}
+
+INSTANTIATE_TEST_SUITE_P(KLevels, ParityTest, ::testing::Values(2u, 3u));
+
+TEST(Parity, FullMatchesOnCheckedInGoldenDataset) {
+  // The checked-in golden file locks core::anonymize's output on the
+  // paired dataset at k=2; the Engine's "full" strategy must match the
+  // same bytes.
+  const Engine engine;
+  RunConfig config;
+  config.k = 2;
+  const auto result = engine.run(test::paired_dataset(), config);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  test::expect_matches_golden("glove_paired_k2.csv",
+                              test::dataset_to_csv(result.value().anonymized));
+}
+
+}  // namespace
+}  // namespace glove::api

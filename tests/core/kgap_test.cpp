@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "common/fixtures.hpp"
 
@@ -98,6 +102,41 @@ TEST(KGap, DeterministicAcrossRuns) {
   const auto a = k_gap_values(triangle_dataset(), 2);
   const auto b = k_gap_values(triangle_dataset(), 2);
   EXPECT_EQ(a, b);
+}
+
+TEST(KGap, HooksReportMonotoneRowProgressAcrossWorkerThreads) {
+  const cdr::FingerprintDataset data = test::small_synth_dataset(40);
+  util::RunHooks hooks;
+  std::mutex observed_mutex;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> observed;
+  hooks.progress = [&](std::uint64_t done, std::uint64_t total) {
+    const std::lock_guard lock{observed_mutex};
+    observed.emplace_back(done, total);
+  };
+  const auto hooked = k_gaps(data, 2, {}, hooks);
+  EXPECT_EQ(hooked.size(), data.size());
+  ASSERT_EQ(observed.size(), data.size());  // one report per completed row
+  std::uint64_t previous = 0;
+  for (const auto& [done, total] : observed) {
+    EXPECT_EQ(total, data.size());
+    EXPECT_GT(done, previous);  // strictly increasing under the lock
+    previous = done;
+  }
+  EXPECT_EQ(observed.back().first, data.size());
+
+  // Hooked and hookless runs agree (same rows, same parallel decomposition).
+  const auto plain = k_gaps(data, 2);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_DOUBLE_EQ(hooked[i].gap, plain[i].gap);
+  }
+}
+
+TEST(KGap, CancellationAbortsTheMatrixBuild) {
+  const cdr::FingerprintDataset data = test::small_synth_dataset(40);
+  util::RunHooks hooks;
+  hooks.cancel = util::CancellationToken{};
+  hooks.cancel->request_cancel();
+  EXPECT_THROW((void)k_gaps(data, 2, {}, hooks), util::CancelledError);
 }
 
 }  // namespace

@@ -1,0 +1,75 @@
+// stats::Json — the ordered JSON emitter behind run reports and bench
+// manifests: value formatting, escaping, nesting, and order stability.
+
+#include "glove/stats/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace glove::stats {
+namespace {
+
+TEST(Json, ScalarsRenderToJsonLiterals) {
+  EXPECT_EQ(Json{}.dump(), "null");
+  EXPECT_EQ(Json{true}.dump(), "true");
+  EXPECT_EQ(Json{false}.dump(), "false");
+  EXPECT_EQ(Json{std::int64_t{-5}}.dump(), "-5");
+  EXPECT_EQ(Json{std::uint64_t{18'000'000'000'000'000'000ull}}.dump(),
+            "18000000000000000000");
+  EXPECT_EQ(Json{"text"}.dump(), "\"text\"");
+}
+
+TEST(Json, DoublesKeepFloatingPointShape) {
+  // Integral doubles keep a ".0" so the schema never flips int <-> float.
+  EXPECT_EQ(Json{2.0}.dump(), "2.0");
+  EXPECT_EQ(Json{0.5}.dump(), "0.5");
+  EXPECT_EQ(Json{1.5e300}.dump(), "1.5e+300");
+  // Non-finite doubles have no JSON literal: render null.
+  EXPECT_EQ(Json{std::numeric_limits<double>::infinity()}.dump(), "null");
+  EXPECT_EQ(Json{std::numeric_limits<double>::quiet_NaN()}.dump(), "null");
+}
+
+TEST(Json, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string_view{"\x01", 1}), "\\u0001");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Json doc = Json::object();
+  doc.set("zebra", 1).set("alpha", 2).set("mid", Json::array());
+  EXPECT_EQ(doc.dump(0), "{\"zebra\": 1,\"alpha\": 2,\"mid\": []}");
+}
+
+TEST(Json, SettingAnExistingKeyOverwritesInPlace) {
+  Json doc = Json::object();
+  doc.set("a", 1).set("b", 2).set("a", 3);
+  EXPECT_EQ(doc.dump(0), "{\"a\": 3,\"b\": 2}");
+}
+
+TEST(Json, NestedDocumentIndents) {
+  Json doc = Json::object();
+  doc.set("list", Json::array().push(1).push("two"))
+      .set("inner", Json::object().set("k", 2));
+  EXPECT_EQ(doc.dump(2),
+            "{\n"
+            "  \"list\": [\n"
+            "    1,\n"
+            "    \"two\"\n"
+            "  ],\n"
+            "  \"inner\": {\n"
+            "    \"k\": 2\n"
+            "  }\n"
+            "}");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  EXPECT_THROW(Json{1}.set("k", 2), std::logic_error);
+  EXPECT_THROW(Json::object().push(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace glove::stats

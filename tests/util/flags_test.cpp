@@ -102,5 +102,54 @@ TEST(EnvDouble, ReadsValueWithFallback) {
   EXPECT_DOUBLE_EQ(env_double("GLOVE_TEST_ENV_DBL", 1.0), 1.0);
 }
 
+Flags make_enum_flags() {
+  Flags flags{"enum test"};
+  flags.define_enum("strategy", "full", {"full", "chunked", "w4m-baseline"},
+                    "anonymization strategy");
+  return flags;
+}
+
+TEST(EnumFlags, DefaultAppliesAndValidChoicesParse) {
+  Flags flags = make_enum_flags();
+  flags.parse(0, nullptr);
+  EXPECT_EQ(flags.get("strategy"), "full");
+
+  Flags chosen = make_enum_flags();
+  const char* argv[] = {"--strategy=chunked"};
+  chosen.parse(1, argv);
+  EXPECT_EQ(chosen.get("strategy"), "chunked");
+
+  Flags spaced = make_enum_flags();
+  const char* argv2[] = {"--strategy", "w4m-baseline"};
+  spaced.parse(2, argv2);
+  EXPECT_EQ(spaced.get("strategy"), "w4m-baseline");
+}
+
+TEST(EnumFlags, RejectsUnknownChoiceListingValidOnes) {
+  Flags flags = make_enum_flags();
+  const char* argv[] = {"--strategy=sharded"};
+  try {
+    flags.parse(1, argv);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("sharded"), std::string::npos);
+    EXPECT_NE(message.find("chunked"), std::string::npos);
+  }
+}
+
+TEST(EnumFlags, RejectsDefaultOutsideChoices) {
+  Flags flags{"bad default"};
+  EXPECT_THROW(flags.define_enum("mode", "bogus", {"a", "b"}, "help"),
+               std::invalid_argument);
+}
+
+TEST(EnumFlags, UsageListsChoices) {
+  const Flags flags = make_enum_flags();
+  const std::string usage = flags.usage();
+  EXPECT_NE(usage.find("choices: full chunked w4m-baseline"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace glove::util
