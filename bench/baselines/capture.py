@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Capture bench baselines into bench/baselines/*.json.
+
+Runs every bench binary on the fixed synthetic population (the env pin
+below) and checks the numbers in:
+
+  * one JSON per text bench (fig*, tab2, ablation, utility, sharded_scale,
+    attack_defense) recording the full stdout — a reference for humans and
+    for coarse diffing after algorithm changes;
+  * throughput.json holding the parsed items/sec of every
+    bench_throughput kernel — the machine-checked regression gate
+    (see check.py).
+
+Usage:
+  python3 bench/baselines/capture.py --build-dir build [--only throughput]
+
+Baselines are hardware-dependent: re-capture (and review the diff) when
+the reference machine class changes.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+BASELINE_DIR = pathlib.Path(__file__).resolve().parent
+
+# The fixed population every bench runs on (small enough for CI, large
+# enough that the kernels dominate process startup).
+FIXED_ENV = {
+    "GLOVE_USERS": "120",
+    "GLOVE_DAYS": "3",
+    "GLOVE_SEED": "1",
+    "GLOVE_THREADS": "2",
+}
+
+
+def bench_env():
+    env = dict(os.environ)
+    env.update(FIXED_ENV)
+    return env
+
+
+def run_text_bench(binary: pathlib.Path) -> dict:
+    result = subprocess.run(
+        [str(binary)], capture_output=True, text=True, env=bench_env(),
+        timeout=1800, check=True)
+    return {
+        "bench": binary.name,
+        "env": FIXED_ENV,
+        "stdout": result.stdout,
+    }
+
+
+def run_throughput(binary: pathlib.Path) -> dict:
+    # Median of repeated runs: single-shot items/sec swings far more than
+    # the 15% regression tolerance on small kernels, medians do not.
+    result = subprocess.run(
+        [str(binary), "--benchmark_format=json",
+         "--benchmark_repetitions=5",
+         "--benchmark_report_aggregates_only=true"],
+        capture_output=True, text=True, env=bench_env(), timeout=1800,
+        check=True)
+    doc = json.loads(result.stdout)
+    items = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("aggregate_name") != "median":
+            continue
+        ips = bench.get("items_per_second")
+        if ips is not None:
+            items[bench["run_name"]] = ips
+    return {
+        "bench": binary.name,
+        "env": FIXED_ENV,
+        "items_per_second": items,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory holding bench binaries")
+    parser.add_argument("--only", default=None,
+                        help="capture a single bench (e.g. 'throughput')")
+    args = parser.parse_args()
+
+    bench_dir = pathlib.Path(args.build_dir) / "bench"
+    if not bench_dir.is_dir():
+        print(f"error: {bench_dir} not found (build first)", file=sys.stderr)
+        return 1
+
+    captured = 0
+    for binary in sorted(bench_dir.glob("bench_*")):
+        if not os.access(binary, os.X_OK) or binary.is_dir():
+            continue
+        name = binary.name.removeprefix("bench_")
+        if args.only and name != args.only:
+            continue
+        print(f"capturing {binary.name} ...", flush=True)
+        if name == "throughput":
+            payload = run_throughput(binary)
+        else:
+            payload = run_text_bench(binary)
+        out = BASELINE_DIR / f"{name}.json"
+        out.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+        print(f"  wrote {out}")
+        captured += 1
+
+    if captured == 0:
+        print("error: no bench binaries captured", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,9 +3,11 @@
 // k-anonymize through glove::Engine and write the publishable dataset.
 //
 //   ./build/examples/example_anonymize_csv input.csv output.csv --k=2
-//       [--strategy=full|chunked|pruned-kgap|incremental|w4m-baseline]
+//       [--strategy=full|chunked|pruned-kgap|sharded|incremental|w4m-baseline]
 //       [--origin-lat=6.82 --origin-lon=-5.28] [--suppress-km=15]
 //       [--suppress-hours=6] [--report=run.json]
+//       [--tile-km=25 --shard-users=2000 --shard-workers=0
+//        --halo-km=1 --border=halo]     (sharded strategy knobs)
 //
 // Holders of the actual D4D challenge files can run the paper's exact
 // pipeline with:

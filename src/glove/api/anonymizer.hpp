@@ -32,6 +32,9 @@ struct StrategyOutcome {
   double init_seconds = 0.0;
   double merge_seconds = 0.0;
   std::vector<std::pair<std::string, double>> extra_metrics;
+  /// Per-shard rows for strategies that decompose the run (sharded);
+  /// leave empty otherwise.
+  std::vector<ShardTimingRow> shard_timings;
 };
 
 class Anonymizer {

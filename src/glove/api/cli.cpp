@@ -41,6 +41,18 @@ void define_run_flags(util::Flags& flags, const Engine& engine,
                "temporal suppression threshold in hours (0 = off)");
   flags.define("chunk-size", "2000",
                "users per chunk for --strategy=chunked");
+  flags.define("tile-km", "25",
+               "spatial tile edge in km for --strategy=sharded");
+  flags.define("shard-users", "2000",
+               "max fingerprints per shard for --strategy=sharded");
+  flags.define("shard-workers", "0",
+               "shard worker threads (0 = GLOVE_THREADS / hardware "
+               "concurrency)");
+  flags.define("halo-km", "1",
+               "border strip width in km deferred to reconciliation");
+  flags.define_enum("border", "halo", {"halo", "none"},
+                    "sharded border policy: defer border fingerprints "
+                    "('halo') or keep them in their home shard ('none')");
   flags.define("report", "",
                "write the run report to this path (.json or .csv)");
 }
@@ -60,6 +72,21 @@ RunConfig run_config_from_flags(const util::Flags& flags) {
   }
   config.chunked.chunk_size =
       static_cast<std::size_t>(flags.get_int("chunk-size"));
+  config.sharded.tile_size_m = flags.get_double("tile-km") * 1'000.0;
+  const long long shard_users = flags.get_int("shard-users");
+  const long long shard_workers = flags.get_int("shard-workers");
+  if (shard_users < 0 || shard_workers < 0) {
+    // Without this check the size_t cast would wrap a negative flag to
+    // ~2^64 — for workers that drives thread creation, not just a bound.
+    throw std::invalid_argument{
+        "--shard-users and --shard-workers must be non-negative"};
+  }
+  config.sharded.max_shard_users = static_cast<std::size_t>(shard_users);
+  config.sharded.workers = static_cast<std::size_t>(shard_workers);
+  config.sharded.halo_m = flags.get_double("halo-km") * 1'000.0;
+  config.sharded.border = flags.get("border") == "none"
+                              ? shard::BorderPolicy::kNone
+                              : shard::BorderPolicy::kHalo;
   return config;
 }
 

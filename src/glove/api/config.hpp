@@ -12,6 +12,7 @@
 
 #include "glove/cdr/dataset.hpp"
 #include "glove/core/glove.hpp"
+#include "glove/shard/config.hpp"
 #include "glove/util/hooks.hpp"
 
 namespace glove::api {
@@ -22,6 +23,7 @@ inline constexpr std::string_view kStrategyChunked = "chunked";
 inline constexpr std::string_view kStrategyPrunedKGap = "pruned-kgap";
 inline constexpr std::string_view kStrategyIncremental = "incremental";
 inline constexpr std::string_view kStrategyW4M = "w4m-baseline";
+inline constexpr std::string_view kStrategySharded = "sharded";
 
 struct RunConfig {
   /// Registered Anonymizer to run (see Engine::strategies()).
@@ -53,6 +55,22 @@ struct RunConfig {
     /// Published-to-original timestamp match tolerance, minutes.
     double match_tolerance_min = 1.0;
   } w4m;
+
+  struct ShardedSection {
+    /// Edge length of the spatial tiles fingerprints are bucketed into.
+    double tile_size_m = 25'000.0;
+    /// Load-balancing target: fingerprints per shard; must be >= k.
+    std::size_t max_shard_users = 2'000;
+    /// Shard-scheduler worker threads; 0 = shared-pool default
+    /// (GLOVE_THREADS when set, else hardware concurrency).  The output
+    /// is byte-identical for every worker count.
+    std::size_t workers = 0;
+    /// Border handling: kHalo defers fingerprints near a foreign tile to
+    /// the reconciliation pass; kNone keeps everything in its home shard.
+    shard::BorderPolicy border = shard::BorderPolicy::kHalo;
+    /// Border strip width for kHalo, metres.
+    double halo_m = 1'000.0;
+  } sharded;
 
   struct IncrementalSection {
     /// The already-published k-anonymized release; the run's input dataset

@@ -119,6 +119,7 @@ Result<RunReport> Engine::run(const cdr::FingerprintDataset& data,
             .count();
     report.config = echo_config(config);
     report.extra_metrics = std::move(outcome.extra_metrics);
+    report.shard_timings = std::move(outcome.shard_timings);
     return report;
   } catch (const util::CancelledError&) {
     return Error{ErrorCode::kCancelled, "run cancelled by its token"};

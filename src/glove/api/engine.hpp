@@ -9,11 +9,11 @@
 //   const glove::api::RunReport& report = result.value();
 //
 // One `run(dataset, RunConfig) -> Result<RunReport>` call drives every
-// registered Anonymizer strategy (full GLOVE, chunked, pruned, incremental
-// updates, the W4M baseline, and anything registered later) behind a
-// uniform validated config, progress callback, cooperative cancellation
-// and a serializable run report.  The pre-Engine free functions
-// (core::anonymize & friends) remain as deprecated shims.
+// registered Anonymizer strategy (full GLOVE, chunked, pruned, sharded,
+// incremental updates, the W4M baseline, and anything registered later)
+// behind a uniform validated config, progress callback, cooperative
+// cancellation and a serializable run report.  The pre-Engine free
+// functions (core::anonymize & friends) remain as deprecated shims.
 
 #ifndef GLOVE_API_ENGINE_HPP
 #define GLOVE_API_ENGINE_HPP
@@ -33,8 +33,8 @@ namespace glove::api {
 
 class Engine {
  public:
-  /// Constructs an Engine with the five built-in strategies registered:
-  /// full, chunked, pruned-kgap, incremental, w4m-baseline.
+  /// Constructs an Engine with the six built-in strategies registered:
+  /// full, chunked, pruned-kgap, sharded, incremental, w4m-baseline.
   Engine();
 
   Engine(Engine&&) noexcept = default;

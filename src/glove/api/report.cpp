@@ -25,6 +25,14 @@ std::string fmt_double(double value) {
   return buffer;
 }
 
+std::string_view border_policy_name(shard::BorderPolicy policy) {
+  switch (policy) {
+    case shard::BorderPolicy::kHalo: return "halo";
+    case shard::BorderPolicy::kNone: return "none";
+  }
+  return "halo";
+}
+
 }  // namespace
 
 double find_metric(const RunReport& report, std::string_view name,
@@ -51,6 +59,11 @@ ConfigEcho echo_config(const RunConfig& config) {
   echo.reshape = config.reshape;
   echo.leftover_policy = leftover_policy_name(config.leftover_policy);
   echo.chunked_chunk_size = config.chunked.chunk_size;
+  echo.sharded_tile_size_m = config.sharded.tile_size_m;
+  echo.sharded_max_shard_users = config.sharded.max_shard_users;
+  echo.sharded_workers = config.sharded.workers;
+  echo.sharded_border = border_policy_name(config.sharded.border);
+  echo.sharded_halo_m = config.sharded.halo_m;
   echo.w4m_delta_m = config.w4m.delta_m;
   echo.w4m_trash_fraction = config.w4m.trash_fraction;
   echo.w4m_chunk_size = config.w4m.chunk_size;
@@ -82,6 +95,15 @@ stats::Json report_json(const RunReport& report) {
       .set("chunked",
            stats::Json::object().set(
                "chunk_size", static_cast<std::uint64_t>(echo.chunked_chunk_size)))
+      .set("sharded",
+           stats::Json::object()
+               .set("tile_size_m", echo.sharded_tile_size_m)
+               .set("max_shard_users",
+                    static_cast<std::uint64_t>(echo.sharded_max_shard_users))
+               .set("workers",
+                    static_cast<std::uint64_t>(echo.sharded_workers))
+               .set("border", echo.sharded_border)
+               .set("halo_m", echo.sharded_halo_m))
       .set("w4m", stats::Json::object()
                       .set("delta_m", echo.w4m_delta_m)
                       .set("trash_fraction", echo.w4m_trash_fraction)
@@ -113,13 +135,27 @@ stats::Json report_json(const RunReport& report) {
   }
 
   stats::Json doc = stats::Json::object();
-  doc.set("schema", "glove.run_report.v1")
+  doc.set("schema", "glove.run_report.v2")
       .set("strategy", report.strategy)
       .set("dataset", report.dataset_name)
       .set("config", std::move(config))
       .set("counters", std::move(counters))
       .set("timings", std::move(timings))
       .set("metrics", std::move(metrics));
+  if (!report.shard_timings.empty()) {
+    stats::Json shards = stats::Json::array();
+    for (const ShardTimingRow& row : report.shard_timings) {
+      shards.push(stats::Json::object()
+                      .set("shard", row.shard)
+                      .set("input_fingerprints", row.input_fingerprints)
+                      .set("deferred", row.deferred)
+                      .set("output_groups", row.output_groups)
+                      .set("init_seconds", row.init_seconds)
+                      .set("merge_seconds", row.merge_seconds)
+                      .set("total_seconds", row.total_seconds));
+    }
+    doc.set("shards", std::move(shards));
+  }
   return doc;
 }
 

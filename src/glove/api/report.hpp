@@ -38,6 +38,18 @@ struct RunTimings {
   double total_seconds = 0.0;  ///< wall clock of Engine::run
 };
 
+/// Per-shard accounting of the `sharded` strategy, serialized as the
+/// report's "shards" array (absent for single-matrix strategies).
+struct ShardTimingRow {
+  std::uint64_t shard = 0;
+  std::uint64_t input_fingerprints = 0;  ///< anonymized inside the shard
+  std::uint64_t deferred = 0;            ///< handed to reconciliation
+  std::uint64_t output_groups = 0;
+  double init_seconds = 0.0;
+  double merge_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
 /// Scalar echo of the validated configuration the run actually used.
 struct ConfigEcho {
   std::string strategy;
@@ -52,6 +64,11 @@ struct ConfigEcho {
   bool reshape = true;
   std::string leftover_policy;
   std::size_t chunked_chunk_size = 0;
+  double sharded_tile_size_m = 0.0;
+  std::size_t sharded_max_shard_users = 0;
+  std::size_t sharded_workers = 0;
+  std::string sharded_border;
+  double sharded_halo_m = 0.0;
   double w4m_delta_m = 0.0;
   double w4m_trash_fraction = 0.0;
   std::size_t w4m_chunk_size = 0;
@@ -70,6 +87,9 @@ struct RunReport {
   /// Strategy-specific scalar metrics (e.g. W4M mean errors, incremental
   /// join counts), serialized under "metrics" in declaration order.
   std::vector<std::pair<std::string, double>> extra_metrics;
+  /// Per-shard timings (sharded strategy only; empty otherwise).
+  /// Serialized as "shards" when non-empty.
+  std::vector<ShardTimingRow> shard_timings;
 };
 
 /// Looks up a strategy-specific metric by name; `fallback` when absent.

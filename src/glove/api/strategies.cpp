@@ -1,13 +1,15 @@
-// The five built-in Anonymizer strategies, each a thin adapter from the
-// uniform RunConfig onto the corresponding core/baseline algorithm.  The
-// algorithms themselves are unchanged — the parity test locks every
-// strategy's output to the pre-Engine free function byte for byte.
+// The built-in Anonymizer strategies, each a thin adapter from the
+// uniform RunConfig onto the corresponding core/shard/baseline algorithm.
+// The algorithms themselves are unchanged — the parity test locks every
+// single-matrix strategy's output to the pre-Engine free function byte
+// for byte.
 
 #include "glove/api/engine.hpp"
 #include "glove/baseline/w4m.hpp"
 #include "glove/core/glove.hpp"
 #include "glove/core/incremental.hpp"
 #include "glove/core/scalability.hpp"
+#include "glove/shard/shard.hpp"
 
 namespace glove::api {
 
@@ -182,6 +184,81 @@ class IncrementalStrategy final : public Anonymizer {
   }
 };
 
+class ShardedStrategy final : public Anonymizer {
+ public:
+  std::string_view name() const noexcept override { return kStrategySharded; }
+  std::string_view description() const noexcept override {
+    return "spatially-sharded parallel GLOVE: tiled partition, per-shard "
+           "exact pipeline, deterministic cross-shard reconciliation";
+  }
+  std::optional<Error> validate(const cdr::FingerprintDataset& data,
+                                const RunConfig& config) const override {
+    if (config.sharded.tile_size_m <= 0.0) {
+      return Error{ErrorCode::kInvalidConfig,
+                   "sharded.tile_size_m must be positive"};
+    }
+    if (config.sharded.halo_m < 0.0) {
+      return Error{ErrorCode::kInvalidConfig,
+                   "sharded.halo_m must be non-negative"};
+    }
+    if (config.sharded.max_shard_users < config.k) {
+      return Error{ErrorCode::kInvalidConfig,
+                   "sharded.max_shard_users must be at least k"};
+    }
+    // The scheduler spawns this many threads; an absurd value is a config
+    // mistake (e.g. an integer wrap), not a parallelism request.
+    if (config.sharded.workers > 4'096) {
+      return Error{ErrorCode::kInvalidConfig,
+                   "sharded.workers must be at most 4096 (0 = hardware "
+                   "concurrency)"};
+    }
+    return require_at_least_k(data, config);
+  }
+  StrategyOutcome run(const cdr::FingerprintDataset& data,
+                      const RunConfig& config,
+                      const RunContext& context) const override {
+    shard::ShardConfig sharded;
+    sharded.glove = to_glove_config(config);
+    sharded.tile_size_m = config.sharded.tile_size_m;
+    sharded.max_shard_users = config.sharded.max_shard_users;
+    sharded.workers = config.sharded.workers;
+    sharded.border = config.sharded.border;
+    sharded.halo_m = config.sharded.halo_m;
+    shard::ShardedResult result =
+        shard::anonymize_sharded(data, sharded, context.hooks);
+
+    StrategyOutcome outcome;
+    outcome.counters = from_glove_stats(result.stats.glove);
+    outcome.init_seconds = result.stats.glove.init_seconds;
+    outcome.merge_seconds = result.stats.glove.merge_seconds;
+    outcome.extra_metrics = {
+        {"tiles", static_cast<double>(result.stats.tiles)},
+        {"shards", static_cast<double>(result.stats.shards)},
+        {"deferred_fingerprints",
+         static_cast<double>(result.stats.deferred_fingerprints)},
+        {"reconciled_groups",
+         static_cast<double>(result.stats.reconciled_groups)},
+        {"absorbed_leftovers",
+         static_cast<double>(result.stats.absorbed_leftovers)},
+        {"plan_seconds", result.stats.plan_seconds},
+        {"reconcile_seconds", result.stats.reconcile_seconds}};
+    outcome.shard_timings.reserve(result.shard_timings.size());
+    for (const shard::ShardTiming& t : result.shard_timings) {
+      ShardTimingRow row;
+      row.shard = t.shard;
+      row.input_fingerprints = t.input_fingerprints;
+      row.deferred = t.deferred;
+      row.output_groups = t.output_groups;
+      row.init_seconds = t.init_seconds;
+      row.merge_seconds = t.merge_seconds;
+      row.total_seconds = t.total_seconds;
+      outcome.shard_timings.push_back(row);
+    }
+    outcome.anonymized = std::move(result.anonymized);
+    return outcome;
+  }
+};
+
 class W4MStrategy final : public Anonymizer {
  public:
   std::string_view name() const noexcept override { return kStrategyW4M; }
@@ -240,6 +317,7 @@ void register_builtin_strategies(Engine& engine) {
   engine.register_strategy(std::make_unique<FullStrategy>());
   engine.register_strategy(std::make_unique<ChunkedStrategy>());
   engine.register_strategy(std::make_unique<PrunedStrategy>());
+  engine.register_strategy(std::make_unique<ShardedStrategy>());
   engine.register_strategy(std::make_unique<IncrementalStrategy>());
   engine.register_strategy(std::make_unique<W4MStrategy>());
 }

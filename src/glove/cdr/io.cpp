@@ -64,28 +64,30 @@ void write_cdr_csv(std::ostream& out, const std::vector<CdrEvent>& events) {
   }
 }
 
-std::vector<CdrEvent> read_cdr_csv(std::istream& in) {
-  util::CsvReader reader{in};
-  std::vector<CdrEvent> events;
-  std::vector<std::string_view> fields;
-  while (reader.next(fields)) {
-    const std::string context =
-        "CDR row at line " + std::to_string(reader.line_number());
-    if (fields.size() != 4) {
-      throw std::invalid_argument{context + ": expected 4 fields, got " +
-                                  std::to_string(fields.size())};
-    }
-    CdrEvent ev;
-    const long long user = util::parse_int(fields[0], context);
-    if (user < 0) {
-      throw std::invalid_argument{context + ": negative user id"};
-    }
-    ev.user = static_cast<UserId>(user);
-    ev.time_min = util::parse_double(fields[1], context);
-    ev.antenna.lat_deg = util::parse_double(fields[2], context);
-    ev.antenna.lon_deg = util::parse_double(fields[3], context);
-    events.push_back(ev);
+bool CdrEventReader::next(CdrEvent& event) {
+  if (!reader_.next(fields_)) return false;
+  const std::string context =
+      "CDR row at line " + std::to_string(reader_.line_number());
+  if (fields_.size() != 4) {
+    throw std::invalid_argument{context + ": expected 4 fields, got " +
+                                std::to_string(fields_.size())};
   }
+  const long long user = util::parse_int(fields_[0], context);
+  if (user < 0) {
+    throw std::invalid_argument{context + ": negative user id"};
+  }
+  event.user = static_cast<UserId>(user);
+  event.time_min = util::parse_double(fields_[1], context);
+  event.antenna.lat_deg = util::parse_double(fields_[2], context);
+  event.antenna.lon_deg = util::parse_double(fields_[3], context);
+  return true;
+}
+
+std::vector<CdrEvent> read_cdr_csv(std::istream& in) {
+  CdrEventReader reader{in};
+  std::vector<CdrEvent> events;
+  CdrEvent event;
+  while (reader.next(event)) events.push_back(event);
   return events;
 }
 
@@ -105,39 +107,88 @@ void write_dataset_csv(std::ostream& out, const FingerprintDataset& data) {
   }
 }
 
-FingerprintDataset read_dataset_csv(std::istream& in) {
-  util::CsvReader reader{in};
-  std::vector<std::string_view> fields;
-  // Preserve first-seen order of groups.
-  std::map<std::string, std::size_t> group_index;
-  std::vector<std::vector<UserId>> group_members;
-  std::vector<std::vector<Sample>> group_samples;
-  while (reader.next(fields)) {
+bool DatasetStreamReader::next_run(std::string& key,
+                                   std::vector<UserId>& members,
+                                   std::vector<Sample>& samples) {
+  key.clear();
+  members.clear();
+  samples.clear();
+  if (have_pending_) {
+    key = std::move(pending_key_);
+    members = std::move(pending_members_);
+    samples = std::move(pending_samples_);
+    have_pending_ = false;
+  }
+  while (reader_.next(fields_)) {
     const std::string context =
-        "dataset row at line " + std::to_string(reader.line_number());
-    if (fields.size() != 8) {
+        "dataset row at line " + std::to_string(reader_.line_number());
+    if (fields_.size() != 8) {
       throw std::invalid_argument{context + ": expected 8 fields, got " +
-                                  std::to_string(fields.size())};
-    }
-    const std::string key{fields[0]};
-    auto [it, inserted] = group_index.try_emplace(key, group_members.size());
-    if (inserted) {
-      group_members.push_back(parse_members(fields[0], reader.line_number()));
-      group_samples.emplace_back();
+                                  std::to_string(fields_.size())};
     }
     Sample s;
-    s.sigma.x = util::parse_double(fields[1], context);
-    s.sigma.dx = util::parse_double(fields[2], context);
-    s.sigma.y = util::parse_double(fields[3], context);
-    s.sigma.dy = util::parse_double(fields[4], context);
-    s.tau.t = util::parse_double(fields[5], context);
-    s.tau.dt = util::parse_double(fields[6], context);
-    const long long contributors = util::parse_int(fields[7], context);
+    s.sigma.x = util::parse_double(fields_[1], context);
+    s.sigma.dx = util::parse_double(fields_[2], context);
+    s.sigma.y = util::parse_double(fields_[3], context);
+    s.sigma.dy = util::parse_double(fields_[4], context);
+    s.tau.t = util::parse_double(fields_[5], context);
+    s.tau.dt = util::parse_double(fields_[6], context);
+    const long long contributors = util::parse_int(fields_[7], context);
     if (contributors <= 0) {
       throw std::invalid_argument{context + ": contributors must be >= 1"};
     }
     s.contributors = static_cast<std::uint32_t>(contributors);
-    group_samples[it->second].push_back(s);
+
+    if (members.empty()) {
+      // First row of this run.
+      key.assign(fields_[0]);
+      members = parse_members(fields_[0], reader_.line_number());
+      samples.push_back(s);
+      continue;
+    }
+    if (key == fields_[0]) {
+      samples.push_back(s);
+      continue;
+    }
+    // A new key starts the next run; buffer its first row for later.
+    pending_key_.assign(fields_[0]);
+    pending_members_ = parse_members(fields_[0], reader_.line_number());
+    pending_samples_.assign(1, s);
+    have_pending_ = true;
+    return true;
+  }
+  return !members.empty();
+}
+
+bool DatasetStreamReader::next(Fingerprint& fingerprint) {
+  std::string key;
+  std::vector<UserId> members;
+  std::vector<Sample> samples;
+  if (!next_run(key, members, samples)) return false;
+  fingerprint = Fingerprint{std::move(members), std::move(samples)};
+  return true;
+}
+
+FingerprintDataset read_dataset_csv(std::istream& in) {
+  // Stream runs and coalesce non-contiguous runs of the same key,
+  // preserving the first-seen group order (and the file's sample row
+  // order within each group) of the historical whole-file reader.
+  DatasetStreamReader reader{in};
+  std::map<std::string, std::size_t> group_index;
+  std::vector<std::vector<UserId>> group_members;
+  std::vector<std::vector<Sample>> group_samples;
+  std::string key;
+  std::vector<UserId> members;
+  std::vector<Sample> samples;
+  while (reader.next_run(key, members, samples)) {
+    auto [it, inserted] = group_index.try_emplace(key, group_members.size());
+    if (inserted) {
+      group_members.push_back(std::move(members));
+      group_samples.push_back(std::move(samples));
+    } else {
+      std::vector<Sample>& existing = group_samples[it->second];
+      existing.insert(existing.end(), samples.begin(), samples.end());
+    }
   }
   std::vector<Fingerprint> fingerprints;
   fingerprints.reserve(group_members.size());

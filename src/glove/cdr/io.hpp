@@ -16,11 +16,34 @@
 
 #include "glove/cdr/builder.hpp"
 #include "glove/cdr/dataset.hpp"
+#include "glove/util/csv.hpp"
 
 namespace glove::cdr {
 
 /// Writes raw CDR events as CSV rows "user,time_min,lat,lon".
 void write_cdr_csv(std::ostream& out, const std::vector<CdrEvent>& events);
+
+/// Streaming CDR trace reader: decodes one event per data row, holding
+/// O(1 row) memory, so traces larger than RAM can be consumed
+/// incrementally (e.g. to feed shard inputs or the incremental strategy).
+/// The bulk `read_cdr_csv` below is a thin collect-all wrapper over this.
+class CdrEventReader {
+ public:
+  explicit CdrEventReader(std::istream& in) : reader_{in} {}
+
+  /// Decodes the next event.  Returns false at end of input; throws
+  /// std::invalid_argument on malformed rows.
+  bool next(CdrEvent& event);
+
+  /// Number of events returned so far.
+  [[nodiscard]] std::size_t rows_read() const noexcept {
+    return reader_.rows_read();
+  }
+
+ private:
+  util::CsvReader reader_;
+  std::vector<std::string_view> fields_;
+};
 
 /// Reads raw CDR events; throws std::invalid_argument on malformed rows.
 [[nodiscard]] std::vector<CdrEvent> read_cdr_csv(std::istream& in);
@@ -29,6 +52,37 @@ void write_cdr_csv(std::ostream& out, const std::vector<CdrEvent>& events);
 /// "members,x,dx,y,dy,t,dt,contributors" where members is a '+'-joined list
 /// of user ids sharing the (generalized) fingerprint.
 void write_dataset_csv(std::ostream& out, const FingerprintDataset& data);
+
+/// Streaming fingerprint reader: yields one fingerprint per contiguous
+/// run of rows sharing a members key, holding O(1 fingerprint) memory.
+/// Files written by `write_dataset_csv` keep each group's rows contiguous,
+/// so streaming over them is lossless; inputs that interleave group rows
+/// yield one fingerprint per run (the bulk `read_dataset_csv` coalesces
+/// such runs and preserves the historical first-seen group order).
+class DatasetStreamReader {
+ public:
+  explicit DatasetStreamReader(std::istream& in) : reader_{in} {}
+
+  /// Reads the next fingerprint.  Returns false at end of input; throws
+  /// std::invalid_argument on malformed rows.
+  bool next(Fingerprint& fingerprint);
+
+  /// Raw-run variant: the members key (e.g. "3+7"), parsed member ids and
+  /// samples in file row order, without constructing a Fingerprint (and
+  /// hence without its time-sort).  `read_dataset_csv` coalesces runs
+  /// through this so its sample ordering stays byte-identical to the
+  /// historical whole-file reader.
+  bool next_run(std::string& key, std::vector<UserId>& members,
+                std::vector<Sample>& samples);
+
+ private:
+  util::CsvReader reader_;
+  std::vector<std::string_view> fields_;
+  std::string pending_key_;  ///< key of the buffered next run
+  std::vector<UserId> pending_members_;
+  std::vector<Sample> pending_samples_;
+  bool have_pending_ = false;
+};
 
 /// Reads a fingerprint dataset written by `write_dataset_csv`.
 [[nodiscard]] FingerprintDataset read_dataset_csv(std::istream& in);

@@ -54,6 +54,19 @@ struct GloveStats {
   std::uint64_t stretch_evaluations = 0;
   double init_seconds = 0.0;   ///< initial |M|^2/2 stretch matrix
   double merge_seconds = 0.0;  ///< greedy loop
+
+  /// Adds `part`'s per-run cost counters (merges, deletions, discards,
+  /// stretch evaluations, phase times) into this one.  Dataset-shape
+  /// fields (input/output sizes) are left alone — aggregating runs
+  /// (chunked, sharded) set those from their own totals.
+  void accumulate_costs(const GloveStats& part) {
+    merges += part.merges;
+    deleted_samples += part.deleted_samples;
+    discarded_fingerprints += part.discarded_fingerprints;
+    stretch_evaluations += part.stretch_evaluations;
+    init_seconds += part.init_seconds;
+    merge_seconds += part.merge_seconds;
+  }
 };
 
 /// Result of an anonymization run: the k-anonymized dataset plus counters.

@@ -80,6 +80,12 @@ cdr::Fingerprint merge_fingerprints(const cdr::Fingerprint& a,
                             {source.begin(), source.end()}};
   }
 
+  // The population weights of eq. 4/7 depend only on the two group sizes:
+  // they are cached here once per merged pair instead of being recomputed
+  // for each of the O(m_a * m_b) sample pairs the two stages evaluate.
+  const PairWeights long_to_short = pair_weights(n_long, n_short);
+  const PairWeights short_to_long = pair_weights(n_short, n_long);
+
   // Stage 1: match each sample of the longer fingerprint to the
   // minimum-stretch sample of the shorter one; samples pointing at the same
   // target are unioned together with it (Fig. 6a, top).
@@ -90,7 +96,7 @@ cdr::Fingerprint merge_fingerprints(const cdr::Fingerprint& a,
     double best = std::numeric_limits<double>::infinity();
     for (std::size_t j = 0; j < short_samples.size(); ++j) {
       const double d =
-          sample_stretch(sl, n_long, short_samples[j], n_short, options.limits)
+          sample_stretch(sl, short_samples[j], long_to_short, options.limits)
               .total();
       if (d < best) {
         best = d;
@@ -126,7 +132,7 @@ cdr::Fingerprint merge_fingerprints(const cdr::Fingerprint& a,
     double best = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < result.size(); ++i) {
       const double d =
-          sample_stretch(ss, n_short, result[i], n_long, options.limits)
+          sample_stretch(ss, result[i], short_to_long, options.limits)
               .total();
       if (d < best) {
         best = d;

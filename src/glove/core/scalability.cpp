@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "glove/geo/geo.hpp"
 #include "glove/util/parallel.hpp"
 
 namespace glove::core {
@@ -162,13 +163,7 @@ GloveResult anonymize_chunked(const cdr::FingerprintDataset& data,
     };
     const std::uint32_t qx = quantize(b.box.x + b.box.dx / 2);
     const std::uint32_t qy = quantize(b.box.y + b.box.dy / 2);
-    std::uint64_t morton = 0;
-    for (int bit = 0; bit < 32; ++bit) {
-      morton |= (static_cast<std::uint64_t>((qx >> bit) & 1U) << (2 * bit));
-      morton |=
-          (static_cast<std::uint64_t>((qy >> bit) & 1U) << (2 * bit + 1));
-    }
-    keys.push_back(Key{morton, i});
+    keys.push_back(Key{geo::morton_interleave(qx, qy), i});
   }
   std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
     if (a.morton != b.morton) return a.morton < b.morton;
@@ -198,17 +193,14 @@ GloveResult anonymize_chunked(const cdr::FingerprintDataset& data,
     for (std::size_t i = begin; i < end; ++i) {
       chunk.push_back(data[keys[i].index]);
     }
-    const GloveResult part = anonymize(
-        cdr::FingerprintDataset{std::move(chunk)}, config.glove, inner);
+    const cdr::FingerprintDataset chunk_data{std::move(chunk)};
+    const GloveResult part =
+        config.pruned ? anonymize_pruned(chunk_data, config.glove, inner)
+                      : anonymize(chunk_data, config.glove, inner);
     for (const cdr::Fingerprint& fp : part.anonymized.fingerprints()) {
       output.push_back(fp);
     }
-    total.stats.merges += part.stats.merges;
-    total.stats.deleted_samples += part.stats.deleted_samples;
-    total.stats.discarded_fingerprints += part.stats.discarded_fingerprints;
-    total.stats.stretch_evaluations += part.stats.stretch_evaluations;
-    total.stats.init_seconds += part.stats.init_seconds;
-    total.stats.merge_seconds += part.stats.merge_seconds;
+    total.stats.accumulate_costs(part.stats);
     begin = end;
     hooks.report(begin, keys.size());
   }

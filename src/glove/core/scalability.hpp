@@ -50,6 +50,13 @@ struct ChunkedConfig {
   /// Users per chunk; each chunk is anonymized independently.  Must be
   /// >= glove.k.
   std::size_t chunk_size = 2'000;
+  /// Run each chunk through the lazy-lower-bound `anonymize_pruned`
+  /// variant instead of the all-exact initialization.  Output is
+  /// byte-identical either way (pruned is exact); only the evaluation
+  /// counters and timings differ.  The sharded backend's reconciliation
+  /// pass enables this because its input is geographically spread — the
+  /// case bounding-box pruning is strongest on.
+  bool pruned = false;
 };
 
 /// Runs GLOVE independently on locality-sorted chunks and concatenates the

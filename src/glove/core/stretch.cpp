@@ -23,40 +23,52 @@ inline double right_stretch(const cdr::SpatialExtent& a,
 
 }  // namespace
 
+double raw_spatial_stretch_m(const cdr::SpatialExtent& a,
+                             const cdr::SpatialExtent& b,
+                             PairWeights weights) noexcept {
+  return (left_stretch(a, b) + right_stretch(a, b)) * weights.wa +
+         (left_stretch(b, a) + right_stretch(b, a)) * weights.wb;
+}
+
 double raw_spatial_stretch_m(const cdr::SpatialExtent& a, std::uint32_t na,
                              const cdr::SpatialExtent& b,
                              std::uint32_t nb) noexcept {
-  const double n = static_cast<double>(na) + static_cast<double>(nb);
-  const double wa = static_cast<double>(na) / n;
-  const double wb = static_cast<double>(nb) / n;
-  return (left_stretch(a, b) + right_stretch(a, b)) * wa +
-         (left_stretch(b, a) + right_stretch(b, a)) * wb;
+  return raw_spatial_stretch_m(a, b, pair_weights(na, nb));
+}
+
+double raw_temporal_stretch_min(const cdr::TemporalExtent& a,
+                                const cdr::TemporalExtent& b,
+                                PairWeights weights) noexcept {
+  // l_tau (eq. 8) and r_tau (eq. 9) for both directions.
+  const double l_ab = a.t - std::min(a.t, b.t);
+  const double r_ab = std::max(a.t_end(), b.t_end()) - a.t_end();
+  const double l_ba = b.t - std::min(a.t, b.t);
+  const double r_ba = std::max(a.t_end(), b.t_end()) - b.t_end();
+  return (l_ab + r_ab) * weights.wa + (l_ba + r_ba) * weights.wb;
 }
 
 double raw_temporal_stretch_min(const cdr::TemporalExtent& a,
                                 std::uint32_t na,
                                 const cdr::TemporalExtent& b,
                                 std::uint32_t nb) noexcept {
-  const double n = static_cast<double>(na) + static_cast<double>(nb);
-  const double wa = static_cast<double>(na) / n;
-  const double wb = static_cast<double>(nb) / n;
-  // l_tau (eq. 8) and r_tau (eq. 9) for both directions.
-  const double l_ab = a.t - std::min(a.t, b.t);
-  const double r_ab = std::max(a.t_end(), b.t_end()) - a.t_end();
-  const double l_ba = b.t - std::min(a.t, b.t);
-  const double r_ba = std::max(a.t_end(), b.t_end()) - b.t_end();
-  return (l_ab + r_ab) * wa + (l_ba + r_ba) * wb;
+  return raw_temporal_stretch_min(a, b, pair_weights(na, nb));
+}
+
+SampleStretch sample_stretch(const cdr::Sample& a, const cdr::Sample& b,
+                             PairWeights weights,
+                             const StretchLimits& limits) noexcept {
+  const double raw_sigma = raw_spatial_stretch_m(a.sigma, b.sigma, weights);
+  const double raw_tau = raw_temporal_stretch_min(a.tau, b.tau, weights);
+  // eq. 2-3: linear in the granularity loss, saturating at 1.
+  const double phi_sigma = std::min(raw_sigma / limits.phi_max_sigma_m, 1.0);
+  const double phi_tau = std::min(raw_tau / limits.phi_max_tau_min, 1.0);
+  return SampleStretch{limits.w_sigma * phi_sigma, limits.w_tau * phi_tau};
 }
 
 SampleStretch sample_stretch(const cdr::Sample& a, std::uint32_t na,
                              const cdr::Sample& b, std::uint32_t nb,
                              const StretchLimits& limits) noexcept {
-  const double raw_sigma = raw_spatial_stretch_m(a.sigma, na, b.sigma, nb);
-  const double raw_tau = raw_temporal_stretch_min(a.tau, na, b.tau, nb);
-  // eq. 2-3: linear in the granularity loss, saturating at 1.
-  const double phi_sigma = std::min(raw_sigma / limits.phi_max_sigma_m, 1.0);
-  const double phi_tau = std::min(raw_tau / limits.phi_max_tau_min, 1.0);
-  return SampleStretch{limits.w_sigma * phi_sigma, limits.w_tau * phi_tau};
+  return sample_stretch(a, b, pair_weights(na, nb), limits);
 }
 
 namespace {
@@ -66,16 +78,18 @@ namespace {
 double directed_stretch(const cdr::Fingerprint& outer,
                         const cdr::Fingerprint& inner,
                         const StretchLimits& limits) noexcept {
-  const std::uint32_t n_outer = outer.group_size();
-  const std::uint32_t n_inner = inner.group_size();
+  // The population weights are constant across the whole fingerprint pair;
+  // computing them once here instead of per sample pair keeps the inner
+  // O(m_a * m_b) loop divide-free.
+  const PairWeights weights =
+      pair_weights(outer.group_size(), inner.group_size());
   const auto outer_samples = outer.samples();
   const auto inner_samples = inner.samples();
   double total = 0.0;
   for (const cdr::Sample& so : outer_samples) {
     double best = 2.0;  // delta is bounded by 1
     for (const cdr::Sample& si : inner_samples) {
-      const double d =
-          sample_stretch(so, n_outer, si, n_inner, limits).total();
+      const double d = sample_stretch(so, si, weights, limits).total();
       if (d < best) best = d;
     }
     total += best;

@@ -46,9 +46,28 @@ struct SampleStretch {
   }
 };
 
+/// Population weights of eq. 4/7 for one fingerprint pair.  They depend
+/// only on the two group sizes, so hot loops that evaluate many sample
+/// pairs of the same fingerprint pair (merge matching, eq. 10) compute
+/// them once instead of per sample pair.
+struct PairWeights {
+  double wa = 0.5;
+  double wb = 0.5;
+};
+
+[[nodiscard]] inline PairWeights pair_weights(std::uint32_t na,
+                                              std::uint32_t nb) noexcept {
+  const double n = static_cast<double>(na) + static_cast<double>(nb);
+  return PairWeights{static_cast<double>(na) / n,
+                     static_cast<double>(nb) / n};
+}
+
 /// Raw (unnormalized) spatial stretch phi*_sigma of eq. 4, in metres:
 /// the population-weighted sum of left+right expansions each rectangle
 /// needs to cover the other, along both axes.
+[[nodiscard]] double raw_spatial_stretch_m(const cdr::SpatialExtent& a,
+                                           const cdr::SpatialExtent& b,
+                                           PairWeights weights) noexcept;
 [[nodiscard]] double raw_spatial_stretch_m(const cdr::SpatialExtent& a,
                                            std::uint32_t na,
                                            const cdr::SpatialExtent& b,
@@ -56,9 +75,19 @@ struct SampleStretch {
 
 /// Raw temporal stretch phi*_tau of eq. 7, in minutes.
 [[nodiscard]] double raw_temporal_stretch_min(const cdr::TemporalExtent& a,
+                                              const cdr::TemporalExtent& b,
+                                              PairWeights weights) noexcept;
+[[nodiscard]] double raw_temporal_stretch_min(const cdr::TemporalExtent& a,
                                               std::uint32_t na,
                                               const cdr::TemporalExtent& b,
                                               std::uint32_t nb) noexcept;
+
+/// Sample stretch effort delta_ab(i, j) (eq. 1-3) split into components,
+/// with the per-group weights precomputed by the caller.
+[[nodiscard]] SampleStretch sample_stretch(const cdr::Sample& a,
+                                           const cdr::Sample& b,
+                                           PairWeights weights,
+                                           const StretchLimits& limits) noexcept;
 
 /// Sample stretch effort delta_ab(i, j) (eq. 1-3) split into components.
 /// `na` and `nb` are the group sizes of the fingerprints the samples belong

@@ -65,6 +65,15 @@ LatLon LambertAzimuthalEqualArea::inverse(PlanarPoint p) const noexcept {
   return LatLon{lat * kRadToDeg, lon * kRadToDeg};
 }
 
+std::uint64_t morton_interleave(std::uint32_t x, std::uint32_t y) noexcept {
+  std::uint64_t code = 0;
+  for (int bit = 0; bit < 32; ++bit) {
+    code |= static_cast<std::uint64_t>((x >> bit) & 1U) << (2 * bit);
+    code |= static_cast<std::uint64_t>((y >> bit) & 1U) << (2 * bit + 1);
+  }
+  return code;
+}
+
 Grid::Grid(double cell_size_m) : cell_m_{cell_size_m} {
   if (!(cell_size_m > 0.0)) {
     throw std::invalid_argument{"Grid cell size must be positive"};

@@ -60,6 +60,13 @@ class LambertAzimuthalEqualArea {
   double lon0_rad_;
 };
 
+/// Interleaves the bits of `x` (even positions) and `y` (odd positions)
+/// into one 64-bit Morton (Z-curve) code.  Shared by the locality sorts
+/// (chunked anonymization, shard tiling): nearby (x, y) pairs map to
+/// nearby codes, so sorting by code keeps geographic neighbours together.
+[[nodiscard]] std::uint64_t morton_interleave(std::uint32_t x,
+                                              std::uint32_t y) noexcept;
+
 /// A cell index on the regular discretization grid.
 struct GridCell {
   std::int32_t ix = 0;

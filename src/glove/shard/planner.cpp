@@ -1,0 +1,60 @@
+#include "glove/shard/planner.hpp"
+
+#include <stdexcept>
+
+namespace glove::shard {
+
+ShardPlan ShardPlanner::plan(const Tiling& tiling) const {
+  const std::size_t k = config_.glove.k;
+  std::size_t total = 0;
+  for (const Tile& tile : tiling.tiles) total += tile.members.size();
+  if (total < k) {
+    throw std::invalid_argument{
+        "dataset smaller than the target anonymity level k"};
+  }
+
+  ShardPlan plan;
+  plan.tiles = tiling.tiles.size();
+
+  // Greedy packing over the Morton order: close the current shard when it
+  // already satisfies the >= k floor and the next tile would break the
+  // budget.  A tile alone larger than the budget becomes its own shard.
+  PlannedShard current;
+  const auto flush = [&] {
+    if (current.members.empty()) return;
+    plan.shards.push_back(std::move(current));
+    current = PlannedShard{};
+  };
+  for (const Tile& tile : tiling.tiles) {
+    if (!current.members.empty() && current.members.size() >= k &&
+        current.members.size() + tile.members.size() >
+            config_.max_shard_users) {
+      flush();
+    }
+    current.cells.push_back(tile.cell);
+    current.members.insert(current.members.end(), tile.members.begin(),
+                           tile.members.end());
+  }
+  flush();
+
+  // The tail shard may have been left under the >= k floor (the budget
+  // closed its predecessor first); fold it into that predecessor.
+  if (plan.shards.size() >= 2 && plan.shards.back().members.size() < k) {
+    PlannedShard tail = std::move(plan.shards.back());
+    plan.shards.pop_back();
+    PlannedShard& previous = plan.shards.back();
+    previous.cells.insert(previous.cells.end(), tail.cells.begin(),
+                          tail.cells.end());
+    previous.members.insert(previous.members.end(), tail.members.begin(),
+                            tail.members.end());
+  }
+
+  for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+    for (const geo::GridCell cell : plan.shards[s].cells) {
+      plan.shard_of_cell.emplace(cell, s);
+    }
+  }
+  return plan;
+}
+
+}  // namespace glove::shard

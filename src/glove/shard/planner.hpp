@@ -1,0 +1,50 @@
+// ShardPlanner: packs Morton-ordered tiles into load-balanced shards.
+//
+// Invariants of a plan (for any dataset with >= k fingerprints):
+//   * every fingerprint belongs to exactly one shard;
+//   * every shard holds at least k fingerprints (so per-shard GLOVE can
+//     run), built from whole tiles so the border test stays tile-local;
+//   * shards respect the max_shard_users budget except when forced over it
+//     by the >= k floor or by a single oversized tile.
+
+#ifndef GLOVE_SHARD_PLANNER_HPP
+#define GLOVE_SHARD_PLANNER_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "glove/shard/config.hpp"
+#include "glove/shard/tiling.hpp"
+
+namespace glove::shard {
+
+/// One planned shard: the fingerprints it anonymizes (dataset indices, in
+/// tile-Morton-then-index order) and the tiles it owns.
+struct PlannedShard {
+  std::vector<std::uint32_t> members;
+  std::vector<geo::GridCell> cells;
+};
+
+struct ShardPlan {
+  std::vector<PlannedShard> shards;
+  /// Owning shard of every occupied cell (the runner's border test).
+  std::unordered_map<geo::GridCell, std::size_t> shard_of_cell;
+  std::size_t tiles = 0;
+};
+
+class ShardPlanner {
+ public:
+  explicit ShardPlanner(const ShardConfig& config) : config_{config} {}
+
+  /// Deterministic for a given tiling and configuration.  Requires the
+  /// tiling to hold at least config.glove.k fingerprints.
+  [[nodiscard]] ShardPlan plan(const Tiling& tiling) const;
+
+ private:
+  ShardConfig config_;
+};
+
+}  // namespace glove::shard
+
+#endif  // GLOVE_SHARD_PLANNER_HPP

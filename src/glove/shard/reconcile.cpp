@@ -1,0 +1,145 @@
+#include "glove/shard/reconcile.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "glove/core/merge.hpp"
+#include "glove/core/scalability.hpp"
+#include "glove/util/parallel.hpp"
+
+namespace glove::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Merges one sub-k leftover into the minimum-stretch group of
+/// `anonymized`, pruning the scan with the cached group bounds (exactly
+/// the lazy-lower-bound trick of `anonymize_pruned`, applied to the
+/// absorb scan).
+void absorb_into_nearest(cdr::Fingerprint leftover,
+                         std::vector<cdr::Fingerprint>& anonymized,
+                         std::vector<core::FingerprintBounds>& group_bounds,
+                         const ShardConfig& config, ReconcileStats& stats) {
+  const core::FingerprintBounds bounds = core::fingerprint_bounds(leftover);
+  std::vector<std::pair<double, std::size_t>> order;
+  order.reserve(anonymized.size());
+  for (std::size_t g = 0; g < anonymized.size(); ++g) {
+    order.emplace_back(core::stretch_lower_bound(bounds, group_bounds[g],
+                                                 config.glove.limits),
+                       g);
+  }
+  std::sort(order.begin(), order.end());
+
+  std::size_t best_g = order.front().second;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [lb, g] : order) {
+    if (lb >= best) break;  // sorted: no later candidate can win
+    const double d = core::fingerprint_stretch(leftover, anonymized[g],
+                                               config.glove.limits);
+    ++stats.glove.stretch_evaluations;
+    if (d < best) {
+      best = d;
+      best_g = g;
+    }
+  }
+
+  core::MergeOptions options;
+  options.limits = config.glove.limits;
+  options.reshape = config.glove.reshape;
+  options.suppression = config.glove.suppression;
+  core::MergeStats merge_stats;
+  anonymized[best_g] = core::merge_fingerprints(leftover, anonymized[best_g],
+                                                options, &merge_stats);
+  group_bounds[best_g] = core::fingerprint_bounds(anonymized[best_g]);
+  stats.glove.deleted_samples += merge_stats.suppressed_original_samples;
+  ++stats.glove.merges;
+  ++stats.absorbed;
+}
+
+}  // namespace
+
+ReconcileStats reconcile_leftovers(std::vector<cdr::Fingerprint> leftovers,
+                                   std::vector<cdr::Fingerprint>& anonymized,
+                                   const ShardConfig& config,
+                                   const util::RunHooks& hooks) {
+  ReconcileStats stats;
+  const auto start = Clock::now();
+  const std::uint32_t k = config.glove.k;
+
+  // Deferred groups already hiding >= k users (possible when the input is
+  // a re-anonymization) need no further work.
+  std::vector<cdr::Fingerprint> subk;
+  for (cdr::Fingerprint& fp : leftovers) {
+    if (fp.group_size() >= k) {
+      anonymized.push_back(std::move(fp));
+    } else {
+      subk.push_back(std::move(fp));
+    }
+  }
+
+  if (subk.size() >= k) {
+    // Enough deferred fingerprints to anonymize among themselves: run
+    // GLOVE over locality-sorted chunks so far-apart border strips do not
+    // blow the pair matrix up, with pruned (exact) per-chunk
+    // initialization.  Border fingerprints from adjacent tiles sort next
+    // to each other here, restoring the cross-tile candidate pairs.
+    core::ChunkedConfig chunked;
+    chunked.glove = config.glove;
+    chunked.chunk_size =
+        std::max<std::size_t>(config.max_shard_users, config.glove.k);
+    chunked.pruned = true;
+    util::RunHooks inner;
+    inner.cancel = hooks.cancel;
+    core::GloveResult result = core::anonymize_chunked(
+        cdr::FingerprintDataset{std::move(subk)}, chunked, inner);
+    stats.glove = result.stats;
+    stats.reconciled_groups = result.anonymized.size();
+    for (cdr::Fingerprint& fp : result.anonymized.mutable_fingerprints()) {
+      anonymized.push_back(std::move(fp));
+    }
+  } else if (!subk.empty()) {
+    // Fewer than k deferred fingerprints: the configured leftover policy
+    // decides, mirroring the core greedy loop's tail handling.
+    switch (config.glove.leftover_policy) {
+      case core::LeftoverPolicy::kMergeIntoNearest: {
+        if (anonymized.empty()) {
+          // Unreachable for validated inputs: an empty shard output means
+          // every fingerprint was deferred, i.e. subk.size() >= k.
+          throw std::logic_error{"no shard output to absorb leftovers into"};
+        }
+        std::vector<core::FingerprintBounds> group_bounds(anonymized.size());
+        util::parallel_for(
+            anonymized.size(),
+            [&](std::size_t begin, std::size_t end) {
+              for (std::size_t g = begin; g < end; ++g) {
+                group_bounds[g] = core::fingerprint_bounds(anonymized[g]);
+              }
+            },
+            /*min_chunk=*/64);
+        for (cdr::Fingerprint& fp : subk) {
+          hooks.throw_if_cancelled();
+          absorb_into_nearest(std::move(fp), anonymized, group_bounds,
+                              config, stats);
+        }
+        break;
+      }
+      case core::LeftoverPolicy::kSuppress: {
+        for (const cdr::Fingerprint& fp : subk) {
+          stats.glove.discarded_fingerprints += fp.group_size();
+          stats.glove.deleted_samples += fp.total_contributors();
+        }
+        break;
+      }
+    }
+  }
+
+  stats.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return stats;
+}
+
+}  // namespace glove::shard

@@ -1,0 +1,47 @@
+// Cross-shard reconciliation: the deterministic final pass that makes the
+// sharded output k-anonymous as a whole.
+//
+// Its input is every fingerprint the runner deferred (border fingerprints
+// under BorderPolicy::kHalo plus whole shards whose kept set fell below
+// k).  Groups already at or above k pass straight through; the sub-k rest
+// is anonymized together over locality-sorted chunks (so cross-tile
+// candidate pairs — the reason the fingerprints were deferred — are merge
+// candidates again).  A remainder smaller than k falls back to the
+// configured leftover policy: absorbed into the nearest finalized group,
+// or suppressed.
+
+#ifndef GLOVE_SHARD_RECONCILE_HPP
+#define GLOVE_SHARD_RECONCILE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "glove/cdr/fingerprint.hpp"
+#include "glove/shard/config.hpp"
+#include "glove/util/hooks.hpp"
+
+namespace glove::shard {
+
+struct ReconcileStats {
+  /// Groups produced by the reconciliation GLOVE run.
+  std::size_t reconciled_groups = 0;
+  /// Leftovers merged into an existing shard-output group.
+  std::size_t absorbed = 0;
+  /// Inner GLOVE counters of the reconciliation run.
+  core::GloveStats glove;
+  double seconds = 0.0;
+};
+
+/// Reconciles `leftovers` against the shard outputs in `anonymized`
+/// (modified in place: reconciled groups are appended, absorbing groups
+/// are replaced).  Deterministic: leftovers keep their (shard, member)
+/// order and absorption scans groups in stable order with strict-minimum
+/// tie-breaking.
+[[nodiscard]] ReconcileStats reconcile_leftovers(
+    std::vector<cdr::Fingerprint> leftovers,
+    std::vector<cdr::Fingerprint>& anonymized, const ShardConfig& config,
+    const util::RunHooks& hooks);
+
+}  // namespace glove::shard
+
+#endif  // GLOVE_SHARD_RECONCILE_HPP

@@ -1,0 +1,67 @@
+// Per-shard execution: every planned shard runs the exact GLOVE pipeline
+// (the lazy-lower-bound `anonymize_pruned` variant — byte-identical output
+// to `full` on the same input) as an independent job on a dedicated worker
+// pool, while the inner stretch loops keep using the shared pool like the
+// non-sharded strategies.  Border fingerprints are split off first, per
+// the configured BorderPolicy, and handed to the reconciliation pass.
+//
+// Determinism: shard jobs are data-independent and each is deterministic,
+// results are concatenated in shard order, and the kept/deferred split is
+// computed serially — so the output is byte-stable for any worker count.
+
+#ifndef GLOVE_SHARD_RUNNER_HPP
+#define GLOVE_SHARD_RUNNER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "glove/cdr/dataset.hpp"
+#include "glove/shard/planner.hpp"
+#include "glove/util/hooks.hpp"
+
+namespace glove::shard {
+
+/// Wall-clock and size accounting of one shard job (surfaced in the
+/// Engine's RunReport as the "shards" array).
+struct ShardTiming {
+  std::size_t shard = 0;
+  std::size_t input_fingerprints = 0;  ///< anonymized inside this shard
+  std::size_t deferred = 0;            ///< handed to reconciliation
+  std::size_t output_groups = 0;
+  double init_seconds = 0.0;
+  double merge_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+struct ShardRunOutcome {
+  /// k-anonymous groups produced by the shards, concatenated in shard
+  /// order.
+  std::vector<cdr::Fingerprint> anonymized;
+  /// Fingerprints deferred to reconciliation, in (shard, member) order.
+  std::vector<cdr::Fingerprint> leftovers;
+  /// Aggregated inner GLOVE counters (merges, deleted samples, stretch
+  /// evaluations, phase times summed across shards).
+  core::GloveStats stats;
+  std::vector<ShardTiming> timings;
+};
+
+/// True when `bounds`, inflated by `halo_m`, touches a tile owned by a
+/// shard other than `home_shard` — the deferral test of
+/// BorderPolicy::kHalo.  Exposed for tests.
+[[nodiscard]] bool crosses_shard_border(const core::FingerprintBounds& bounds,
+                                        std::size_t home_shard,
+                                        const ShardPlan& plan,
+                                        double tile_size_m, double halo_m);
+
+/// Runs every planned shard.  Progress units are input fingerprints plus
+/// one trailing unit reserved for reconciliation; cancellation is polled
+/// between and inside shard jobs.
+[[nodiscard]] ShardRunOutcome run_shards(const cdr::FingerprintDataset& data,
+                                         const Tiling& tiling,
+                                         const ShardPlan& plan,
+                                         const ShardConfig& config,
+                                         const util::RunHooks& hooks);
+
+}  // namespace glove::shard
+
+#endif  // GLOVE_SHARD_RUNNER_HPP

@@ -1,0 +1,57 @@
+#include "glove/shard/tiling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "glove/util/parallel.hpp"
+
+namespace glove::shard {
+
+std::uint64_t morton_code(geo::GridCell cell) noexcept {
+  // Bias to unsigned so the per-axis order survives the interleave:
+  // INT32_MIN maps to 0, INT32_MAX to UINT32_MAX.
+  const auto bias = [](std::int32_t v) {
+    return static_cast<std::uint32_t>(v) ^ 0x8000'0000U;
+  };
+  return geo::morton_interleave(bias(cell.ix), bias(cell.iy));
+}
+
+Tiling build_tiling(const cdr::FingerprintDataset& data, double tile_size_m) {
+  if (tile_size_m <= 0.0) {
+    throw std::invalid_argument{"shard tile size must be positive"};
+  }
+
+  Tiling tiling;
+  tiling.tile_size_m = tile_size_m;
+  tiling.bounds.resize(data.size());
+  util::parallel_for(
+      data.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          tiling.bounds[i] = core::fingerprint_bounds(data[i]);
+        }
+      },
+      /*min_chunk=*/64);
+
+  const geo::Grid grid{tile_size_m};
+  std::unordered_map<geo::GridCell, std::size_t> tile_of_cell;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const core::FingerprintBounds& b = tiling.bounds[i];
+    const geo::PlanarPoint anchor{b.box.x + b.box.dx / 2.0,
+                                  b.box.y + b.box.dy / 2.0};
+    const geo::GridCell cell = grid.cell_of(anchor);
+    const auto [it, inserted] = tile_of_cell.try_emplace(cell,
+                                                         tiling.tiles.size());
+    if (inserted) tiling.tiles.push_back(Tile{cell, {}});
+    tiling.tiles[it->second].members.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  std::sort(tiling.tiles.begin(), tiling.tiles.end(),
+            [](const Tile& a, const Tile& b) {
+              return morton_code(a.cell) < morton_code(b.cell);
+            });
+  return tiling;
+}
+
+}  // namespace glove::shard

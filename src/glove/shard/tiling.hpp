@@ -1,0 +1,50 @@
+// Spatial tiling of a fingerprint dataset: every fingerprint is anchored
+// at its bounding-box centre and bucketed into the square grid tile
+// containing that anchor.  Tiles are emitted in Morton (Z-curve) order of
+// their cell coordinates so downstream packing keeps geographic neighbours
+// together — the same locality idea as `chunked`, but on an explicit grid
+// the border policy can reason about.
+
+#ifndef GLOVE_SHARD_TILING_HPP
+#define GLOVE_SHARD_TILING_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "glove/cdr/dataset.hpp"
+#include "glove/core/scalability.hpp"
+#include "glove/geo/geo.hpp"
+
+namespace glove::shard {
+
+/// One occupied tile: its grid cell and the fingerprints anchored in it
+/// (dataset indices, ascending).
+struct Tile {
+  geo::GridCell cell;
+  std::vector<std::uint32_t> members;
+};
+
+/// The tiling of one dataset.  The per-fingerprint bounds cache is kept
+/// because the runner's border test reuses it (and merged-node bounds in
+/// the per-shard pruned runs derive from the same computation).
+struct Tiling {
+  double tile_size_m = 0.0;
+  /// Occupied tiles in Morton order of their cells (deterministic).
+  std::vector<Tile> tiles;
+  /// Per-fingerprint bounding geometry (index-aligned with the dataset).
+  std::vector<core::FingerprintBounds> bounds;
+};
+
+/// Order-preserving Morton code of a grid cell (negative coordinates are
+/// bias-mapped so the interleave stays monotone per axis).
+[[nodiscard]] std::uint64_t morton_code(geo::GridCell cell) noexcept;
+
+/// Builds the tiling.  Bounds are computed in parallel on the shared
+/// pool; everything else is deterministic single-threaded bookkeeping.
+/// Requires tile_size_m > 0 (std::invalid_argument otherwise).
+[[nodiscard]] Tiling build_tiling(const cdr::FingerprintDataset& data,
+                                  double tile_size_m);
+
+}  // namespace glove::shard
+
+#endif  // GLOVE_SHARD_TILING_HPP

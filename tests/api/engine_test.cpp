@@ -44,11 +44,12 @@ TEST(Engine, RejectsDatasetSmallerThanK) {
 TEST(Engine, RejectsUnknownStrategyListingRegisteredNames) {
   const Engine engine;
   RunConfig config;
-  config.strategy = "sharded";  // the next PR's backend, not this one's
+  config.strategy = "distributed";  // a future backend, not yet registered
   const auto result = engine.run(test::paired_dataset(), config);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.error().code, ErrorCode::kUnknownStrategy);
   EXPECT_NE(result.error().message.find("full"), std::string::npos);
+  EXPECT_NE(result.error().message.find("sharded"), std::string::npos);
   EXPECT_NE(result.error().message.find("w4m-baseline"), std::string::npos);
 }
 
@@ -114,12 +115,15 @@ TEST(Engine, CancellationMidMergeLeavesNoPartialOutput) {
 TEST(Engine, ProgressIsMonotoneAndCompletes) {
   const Engine engine;
   // "incremental" matters here: its decision phase reports from
-  // parallel_for worker threads, the hardest case for monotonicity.
-  for (const char* strategy : {"full", "chunked", "pruned-kgap",
+  // parallel_for worker threads, the hardest case for monotonicity —
+  // as does "sharded", whose shard jobs complete on scheduler workers.
+  for (const char* strategy : {"full", "chunked", "pruned-kgap", "sharded",
                                "incremental", "w4m-baseline"}) {
     RunConfig config;
     config.strategy = strategy;
     config.chunked.chunk_size = 16;
+    config.sharded.max_shard_users = 16;
+    config.sharded.tile_size_m = 2'000.0;
     std::vector<std::pair<std::uint64_t, std::uint64_t>> observed;
     config.progress = [&](std::uint64_t done, std::uint64_t total) {
       observed.emplace_back(done, total);

@@ -119,5 +119,84 @@ TEST(DatasetIo, SerializationMatchesGoldenFile) {
                               test::dataset_to_csv(test::grouped_io_dataset()));
 }
 
+TEST(StreamingIo, CdrEventReaderMatchesBulkReader) {
+  const std::vector<CdrEvent> events{
+      {0u, 12.5, geo::LatLon{5.345, -4.024}},
+      {3u, 999.0, geo::LatLon{14.69, -17.44}},
+      {0u, 1001.0, geo::LatLon{5.350, -4.030}},
+  };
+  std::ostringstream trace;
+  write_cdr_csv(trace, events);
+
+  std::istringstream bulk_in{trace.str()};
+  const std::vector<CdrEvent> bulk = read_cdr_csv(bulk_in);
+
+  std::istringstream stream_in{trace.str()};
+  CdrEventReader reader{stream_in};
+  std::vector<CdrEvent> streamed;
+  CdrEvent event;
+  while (reader.next(event)) streamed.push_back(event);
+
+  ASSERT_EQ(streamed.size(), bulk.size());
+  EXPECT_EQ(reader.rows_read(), bulk.size());
+  for (std::size_t i = 0; i < bulk.size(); ++i) {
+    EXPECT_EQ(streamed[i].user, bulk[i].user);
+    EXPECT_DOUBLE_EQ(streamed[i].time_min, bulk[i].time_min);
+  }
+}
+
+TEST(StreamingIo, DatasetStreamReaderYieldsOneFingerprintPerRun) {
+  // Files written by write_dataset_csv keep group rows contiguous, so the
+  // streaming reader reproduces the bulk reader exactly — while holding
+  // only one fingerprint at a time.
+  const FingerprintDataset data = test::small_synth_dataset(10);
+  std::ostringstream out;
+  write_dataset_csv(out, data);
+
+  std::istringstream bulk_in{out.str()};
+  const FingerprintDataset bulk = read_dataset_csv(bulk_in);
+
+  std::istringstream stream_in{out.str()};
+  DatasetStreamReader reader{stream_in};
+  std::vector<Fingerprint> streamed;
+  Fingerprint fp;
+  while (reader.next(fp)) streamed.push_back(std::move(fp));
+
+  ASSERT_EQ(streamed.size(), bulk.size());
+  EXPECT_EQ(test::dataset_to_csv(FingerprintDataset{std::move(streamed)}),
+            test::dataset_to_csv(bulk));
+}
+
+TEST(StreamingIo, BulkReaderCoalescesInterleavedRuns) {
+  // Interleaved group rows: the streaming reader reports one fingerprint
+  // per contiguous run, while the bulk reader preserves the historical
+  // merge-by-key-in-first-seen-order behaviour.
+  const std::string text =
+      "7,0,100,0,100,10,1,1\n"
+      "9,500,100,500,100,20,1,1\n"
+      "7,0,100,0,100,30,1,1\n";
+
+  std::istringstream stream_in{text};
+  DatasetStreamReader reader{stream_in};
+  Fingerprint fp;
+  std::size_t runs = 0;
+  while (reader.next(fp)) ++runs;
+  EXPECT_EQ(runs, 3u);
+
+  std::istringstream bulk_in{text};
+  const FingerprintDataset bulk = read_dataset_csv(bulk_in);
+  ASSERT_EQ(bulk.size(), 2u);
+  EXPECT_EQ(bulk[0].members()[0], 7u);
+  EXPECT_EQ(bulk[0].size(), 2u);  // both runs of user 7 coalesced
+  EXPECT_EQ(bulk[1].members()[0], 9u);
+}
+
+TEST(StreamingIo, StreamReaderRejectsMalformedRows) {
+  std::istringstream in{"7,0,100,0,100,10,1,0\n"};  // contributors < 1
+  DatasetStreamReader reader{in};
+  Fingerprint fp;
+  EXPECT_THROW((void)reader.next(fp), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace glove::cdr

@@ -1,0 +1,194 @@
+// The sharded backend's externally-visible guarantees: k-anonymity of the
+// whole output, no user lost, byte-stable determinism across worker
+// counts, bounded accuracy cost versus the single-matrix `full` run, and
+// the Engine integration (validation, metrics, per-shard timing rows).
+
+#include "glove/shard/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/fixtures.hpp"
+#include "common/golden.hpp"
+#include "glove/api/engine.hpp"
+#include "glove/core/accuracy.hpp"
+#include "glove/core/glove.hpp"
+
+namespace glove::shard {
+namespace {
+
+/// Config that splits the ~50 km-wide synthetic population into several
+/// small shards, so every phase (halo deferral, parallel shard runs,
+/// reconciliation) is exercised.
+ShardConfig small_shard_config(std::uint32_t k = 2) {
+  ShardConfig config;
+  config.glove.k = k;
+  config.tile_size_m = 5'000.0;
+  config.max_shard_users = 16;
+  config.halo_m = 500.0;
+  return config;
+}
+
+std::vector<cdr::UserId> sorted_members(const cdr::FingerprintDataset& data) {
+  std::vector<cdr::UserId> users;
+  for (const cdr::Fingerprint& fp : data.fingerprints()) {
+    users.insert(users.end(), fp.members().begin(), fp.members().end());
+  }
+  std::sort(users.begin(), users.end());
+  return users;
+}
+
+TEST(Sharded, OutputIsKAnonymousAndLosesNoUser) {
+  const cdr::FingerprintDataset data = test::small_synth_dataset(60);
+  for (const std::uint32_t k : {2u, 3u, 5u}) {
+    for (const BorderPolicy border : {BorderPolicy::kHalo,
+                                      BorderPolicy::kNone}) {
+      ShardConfig config = small_shard_config(k);
+      config.border = border;
+      const ShardedResult result = anonymize_sharded(data, config);
+      EXPECT_TRUE(core::is_k_anonymous(result.anonymized, k))
+          << "k=" << k << " border=" << static_cast<int>(border);
+      EXPECT_EQ(sorted_members(result.anonymized), sorted_members(data))
+          << "k=" << k;
+      EXPECT_GE(result.stats.shards, 2u);
+    }
+  }
+}
+
+TEST(Sharded, ByteStableAcrossWorkerCounts) {
+  const cdr::FingerprintDataset data = test::small_synth_dataset(80);
+  std::string reference;
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    ShardConfig config = small_shard_config();
+    config.workers = workers;
+    const ShardedResult result = anonymize_sharded(data, config);
+    const std::string csv = test::dataset_to_csv(result.anonymized);
+    if (reference.empty()) {
+      reference = csv;
+    } else {
+      EXPECT_EQ(csv, reference) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(Sharded, SuppressLeftoverPolicyIsHonoured) {
+  const cdr::FingerprintDataset data = test::small_synth_dataset(50);
+  ShardConfig config = small_shard_config(3);
+  config.glove.leftover_policy = core::LeftoverPolicy::kSuppress;
+  const ShardedResult result = anonymize_sharded(data, config);
+  EXPECT_TRUE(core::is_k_anonymous(result.anonymized, 3));
+  // Users either survive in a group or are counted as discarded.
+  EXPECT_EQ(sorted_members(result.anonymized).size() +
+                result.stats.glove.discarded_fingerprints,
+            data.size());
+}
+
+/// Parity vs the single-matrix run: tiling confines merges to shards, so
+/// the sharded output pays extra stretch for border users.  This test
+/// documents the expected delta: the median published position/time
+/// accuracy stays within a small factor of the `full` run's, and never
+/// collapses (both datasets remain k-anonymous partitions of the same
+/// users).  The factor below is intentionally loose — it is a regression
+/// tripwire for gross quality loss (e.g. a broken border policy), not a
+/// tight quality spec.
+TEST(Sharded, AccuracyStaysWithinToleranceOfFull) {
+  const cdr::FingerprintDataset data = test::small_synth_dataset(80);
+
+  core::GloveConfig full_config;
+  full_config.k = 2;
+  const core::GloveResult full = core::anonymize(data, full_config);
+  const auto full_summary =
+      core::summarize_accuracy(core::measure_accuracy(full.anonymized));
+
+  ShardConfig config = small_shard_config(2);
+  const ShardedResult sharded = anonymize_sharded(data, config);
+  const auto sharded_summary =
+      core::summarize_accuracy(core::measure_accuracy(sharded.anonymized));
+
+  EXPECT_TRUE(core::is_k_anonymous(sharded.anonymized, 2));
+  // Tiling cost: allow up to 3x the full run's median accuracy loss plus
+  // one grid cell / one minute of slack for quantization noise.
+  EXPECT_LE(sharded_summary.median_position_m,
+            3.0 * full_summary.median_position_m + 100.0);
+  EXPECT_LE(sharded_summary.median_time_min,
+            3.0 * full_summary.median_time_min + 1.0);
+}
+
+TEST(Sharded, EngineRunProducesMetricsAndShardTimings) {
+  const glove::Engine engine;
+  api::RunConfig config;
+  config.strategy = api::kStrategySharded;
+  config.k = 2;
+  config.sharded.tile_size_m = 5'000.0;
+  config.sharded.max_shard_users = 16;
+  const auto result = engine.run(test::small_synth_dataset(60), config);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const api::RunReport& report = result.value();
+
+  EXPECT_TRUE(core::is_k_anonymous(report.anonymized, 2));
+  EXPECT_GE(api::find_metric(report, "shards"), 2.0);
+  EXPECT_GE(api::find_metric(report, "tiles"),
+            api::find_metric(report, "shards"));
+  ASSERT_GE(report.shard_timings.size(), 2u);
+  std::uint64_t covered = 0;
+  for (const api::ShardTimingRow& row : report.shard_timings) {
+    covered += row.input_fingerprints + row.deferred;
+  }
+  EXPECT_EQ(covered, report.counters.input_users);
+
+  // The timing rows serialize under "shards" in the JSON report.
+  const std::string json = api::to_json(report);
+  EXPECT_NE(json.find("\"shards\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"input_fingerprints\""), std::string::npos);
+}
+
+TEST(Sharded, EngineValidatesConfig) {
+  const glove::Engine engine;
+  const cdr::FingerprintDataset data = test::small_synth_dataset(30);
+
+  api::RunConfig bad_tile;
+  bad_tile.strategy = api::kStrategySharded;
+  bad_tile.sharded.tile_size_m = 0.0;
+  EXPECT_EQ(engine.run(data, bad_tile).error().code,
+            api::ErrorCode::kInvalidConfig);
+
+  api::RunConfig bad_budget;
+  bad_budget.strategy = api::kStrategySharded;
+  bad_budget.k = 5;
+  bad_budget.sharded.max_shard_users = 3;
+  EXPECT_EQ(engine.run(data, bad_budget).error().code,
+            api::ErrorCode::kInvalidConfig);
+
+  api::RunConfig bad_halo;
+  bad_halo.strategy = api::kStrategySharded;
+  bad_halo.sharded.halo_m = -1.0;
+  EXPECT_EQ(engine.run(data, bad_halo).error().code,
+            api::ErrorCode::kInvalidConfig);
+
+  // A wrapped negative (e.g. --shard-workers=-1 cast to size_t) must be
+  // rejected before it drives thread creation.
+  api::RunConfig bad_workers;
+  bad_workers.strategy = api::kStrategySharded;
+  bad_workers.sharded.workers = static_cast<std::size_t>(-1);
+  EXPECT_EQ(engine.run(data, bad_workers).error().code,
+            api::ErrorCode::kInvalidConfig);
+}
+
+TEST(Sharded, CancellationAbortsWithoutOutput) {
+  const glove::Engine engine;
+  api::RunConfig config;
+  config.strategy = api::kStrategySharded;
+  config.sharded.tile_size_m = 5'000.0;
+  config.sharded.max_shard_users = 16;
+  config.cancel = util::CancellationToken{};
+  config.cancel->request_cancel();
+  const auto result = engine.run(test::small_synth_dataset(40), config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, api::ErrorCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace glove::shard
