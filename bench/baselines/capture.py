@@ -56,25 +56,30 @@ def run_text_bench(binary: pathlib.Path) -> dict:
 
 def run_throughput(binary: pathlib.Path) -> dict:
     # Median of repeated runs: single-shot items/sec swings far more than
-    # the 15% regression tolerance on small kernels, medians do not.
+    # the 15% regression tolerance on small kernels, medians do not.  The
+    # raw per-rep values ride along so check.py can tell a persistent
+    # speedup (every rep above the baseline) from a lucky run.
     result = subprocess.run(
         [str(binary), "--benchmark_format=json",
-         "--benchmark_repetitions=5",
-         "--benchmark_report_aggregates_only=true"],
+         "--benchmark_repetitions=5"],
         capture_output=True, text=True, env=bench_env(), timeout=1800,
         check=True)
     doc = json.loads(result.stdout)
     items = {}
+    reps = {}
     for bench in doc.get("benchmarks", []):
-        if bench.get("aggregate_name") != "median":
-            continue
         ips = bench.get("items_per_second")
-        if ips is not None:
+        if ips is None:
+            continue
+        if bench.get("run_type") == "iteration":
+            reps.setdefault(bench["run_name"], []).append(ips)
+        elif bench.get("aggregate_name") == "median":
             items[bench["run_name"]] = ips
     return {
         "bench": binary.name,
         "env": FIXED_ENV,
         "items_per_second": items,
+        "items_per_second_reps": reps,
     }
 
 

@@ -18,6 +18,12 @@ Caveat: a change that speeds up the reference kernel itself makes every
 normalized ratio look slower — re-capture baselines when touching
 sample_stretch.
 
+The gate also ratchets upward: when a kernel runs more than the
+tolerance *faster* than its baseline in every repetition (not just the
+median — a lucky rep must not move the floor), it prints a re-capture
+suggestion so the checked-in performance floor keeps rising.  The
+suggestion never fails the run (exit 0).
+
 Usage:
   python3 bench/baselines/check.py --build-dir build [--tolerance 0.15]
                                    [--reference-tolerance 0.5] [--absolute]
@@ -70,12 +76,22 @@ def main() -> int:
         print(f"error: {binary} not found (build with google-benchmark)",
               file=sys.stderr)
         return 2
-    current = capture.run_throughput(binary)["items_per_second"]
+    run = capture.run_throughput(binary)
+    current = run["items_per_second"]
+    current_reps = run["items_per_second_reps"]
     raw_current = dict(current)
 
     failures = []
     unit = "items/s"
     if not args.absolute:
+        # Per-rep values in the same (normalized) domain as the gate:
+        # each rep divided by the run's reference-kernel median.
+        ref_median = current.get(REFERENCE_KERNEL)
+        if ref_median:
+            current_reps = {
+                name: [ips / ref_median for ips in reps]
+                for name, reps in current_reps.items()
+                if name != REFERENCE_KERNEL}
         # Normalization hides a slowdown that hits the reference kernel
         # too; gate the reference absolutely (loosely) to keep that
         # failure mode visible.
@@ -111,6 +127,28 @@ def main() -> int:
     for name in sorted(set(current) - set(baseline)):
         print(f"note: new kernel without baseline: {name} "
               f"({raw_current[name]:,.0f} items/s) — re-capture to pin it")
+
+    # Upward ratchet: a kernel whose every rep beats the baseline by more
+    # than the tolerance has genuinely gotten faster — suggest moving the
+    # floor up so the gain cannot silently erode later.
+    ratchet = []
+    for name, base_ips in sorted(baseline.items()):
+        reps = current_reps.get(name)
+        if not reps:
+            continue
+        ceiling = base_ips * (1.0 + args.tolerance)
+        if min(reps) > ceiling:
+            gain = (min(reps) / base_ips - 1.0) * 100
+            ratchet.append(f"{name}: all {len(reps)} reps >= "
+                           f"{min(reps):,.4g} {unit} "
+                           f"({gain:.1f}% above baseline)")
+    if ratchet and not failures:
+        print(f"\npersistent speedup (> {args.tolerance:.0%} above baseline "
+              "in every rep) — consider ratcheting the floor:")
+        for line in ratchet:
+            print(f"  {line}")
+        print("  re-capture with: python3 bench/baselines/capture.py "
+              "--only throughput  (then review the diff)")
 
     if failures:
         print("\nthroughput regression detected:", file=sys.stderr)

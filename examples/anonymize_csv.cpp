@@ -6,8 +6,21 @@
 //       [--strategy=full|chunked|pruned-kgap|sharded|incremental|w4m-baseline]
 //       [--origin-lat=6.82 --origin-lon=-5.28] [--suppress-km=15]
 //       [--suppress-hours=6] [--report=run.json]
-//       [--tile-km=25 --shard-users=2000 --shard-workers=0
+//       [--tile-km=0 --shard-users=2000 --shard-workers=0
 //        --halo-km=1 --border=halo]     (sharded strategy knobs)
+//
+// Streaming mode — for fingerprint-dataset CSVs larger than RAM.  The
+// Engine pulls from a CsvFileSource and pushes finalized groups to a
+// CsvFileSink; with --strategy=sharded peak memory stays O(largest shard
+// batch) instead of O(dataset):
+//
+//   ./build/examples/example_anonymize_csv --input=dataset.csv
+//       --output=anonymized.csv --strategy=sharded
+//
+// Generate a synthetic fingerprint-dataset CSV to stream (then exit):
+//
+//   ./build/examples/example_anonymize_csv --synth-dataset=dataset.csv
+//       --users=50000 --days=2 --seed=7
 //
 // Holders of the actual D4D challenge files can run the paper's exact
 // pipeline with:
@@ -18,7 +31,9 @@
 // Without an input file the example writes a demo trace first (so it is
 // runnable out of the box) and anonymizes that.
 
+#include <filesystem>
 #include <iostream>
+#include <system_error>
 
 #include "glove/api/cli.hpp"
 #include "glove/cdr/io.hpp"
@@ -27,26 +42,105 @@
 #include "glove/stats/table.hpp"
 #include "glove/synth/generator.hpp"
 
+namespace {
+
+/// Streams the published file once more and verifies every group hides at
+/// least k users — the safety check of the in-memory path, kept O(1 group)
+/// so it works on outputs larger than RAM.
+bool streamed_output_is_k_anonymous(const std::string& path,
+                                    std::uint32_t k) {
+  glove::api::CsvFileSource check{path};
+  glove::cdr::Fingerprint fp;
+  while (check.next(fp)) {
+    if (fp.group_size() < k) return false;
+  }
+  return true;
+}
+
+int run_streaming(const glove::Engine& engine, const glove::util::Flags& flags) {
+  using namespace glove;
+  const std::string input = flags.get("input");
+  const std::string output = flags.get("output").empty()
+                                 ? "anonymized.csv"
+                                 : flags.get("output");
+  // The sink truncates its path on construction — writing onto the input
+  // would destroy the dataset before the first read.
+  std::error_code ec;
+  if (input == output ||
+      std::filesystem::equivalent(input, output, ec)) {
+    std::cerr << "error: --output must not be the input file (" << input
+              << ")\n";
+    return 1;
+  }
+  const api::RunConfig config = api::run_config_from_flags(flags);
+
+  api::CsvFileSource source{input};
+  api::CsvFileSink sink{output};
+  const RunReport report =
+      api::run_streaming_or_exit(engine, source, sink, config);
+
+  if (!streamed_output_is_k_anonymous(output, config.k)) {
+    std::cerr << "ERROR: output is not k-anonymous\n";
+    return 1;
+  }
+  std::cout << "streamed " << input << " -> " << output << ": "
+            << api::summarize_report(report) << "\npasses over the source:";
+  for (const std::uint64_t count : report.pass_fingerprints) {
+    std::cout << ' ' << count;
+  }
+  std::cout << " fingerprints; peak rss "
+            << report.peak_rss_bytes / (1024 * 1024) << " MiB\n";
+  api::maybe_write_report(flags, report, std::cout);
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace glove;
   const Engine engine;
   util::Flags flags{
       "anonymize_csv: raw CDR csv -> glove::Engine -> anonymized dataset csv\n"
-      "usage: anonymize_csv [input.csv [output.csv]] [flags]"};
+      "usage: anonymize_csv [input.csv [output.csv]] [flags]\n"
+      "       anonymize_csv --input=dataset.csv --output=anon.csv  (streaming)"};
   api::define_run_flags(flags, engine);
   api::define_input_flags(flags);
+  api::define_synth_flags(flags, /*default_users=*/1'000);
   flags.define("demo-users", "80", "users in the generated demo trace");
+  flags.define("input", "",
+               "stream an existing fingerprint-dataset CSV through the "
+               "Source/Sink Engine boundary (file-to-file; skips the "
+               "trace-building stage)");
+  flags.define("output", "",
+               "streaming output path (default anonymized.csv; only with "
+               "--input)");
+  flags.define("synth-dataset", "",
+               "write a synthetic fingerprint-dataset CSV (sized by "
+               "--users/--days/--seed/--preset) to this path and exit");
   int exit_code = 0;
   if (!api::parse_cli(flags, argc - 1, argv + 1, exit_code)) return exit_code;
 
-  const std::string input = flags.positional().size() > 0
-                                ? flags.positional()[0]
-                                : "demo_cdr.csv";
-  const std::string output = flags.positional().size() > 1
-                                 ? flags.positional()[1]
-                                 : "demo_anonymized.csv";
-
   try {
+    if (!flags.get("synth-dataset").empty()) {
+      const std::string path = flags.get("synth-dataset");
+      cdr::FingerprintDataset data = api::synth_dataset_from_flags(flags);
+      cdr::write_dataset_file(path, data);
+      std::cout << "wrote synthetic dataset: " << path << " (" << data.size()
+                << " fingerprints, " << data.total_samples()
+                << " samples)\n";
+      return 0;
+    }
+    if (!flags.get("input").empty()) {
+      return run_streaming(engine, flags);
+    }
+
+    const std::string input = flags.positional().size() > 0
+                                  ? flags.positional()[0]
+                                  : "demo_cdr.csv";
+    const std::string output = flags.positional().size() > 1
+                                   ? flags.positional()[1]
+                                   : "demo_anonymized.csv";
+
     // Generate a demo trace when no input exists.
     if (flags.positional().empty()) {
       synth::SynthConfig config = synth::civ_like(

@@ -1,16 +1,27 @@
 // Anonymizer: the common abstract interface every anonymization strategy
-// (GLOVE full/chunked/pruned, incremental updates, the W4M baseline, and
-// future sharded/streaming backends) implements to plug into the Engine.
+// (GLOVE full/chunked/pruned, incremental updates, the W4M baseline, the
+// sharded backend) implements to plug into the Engine.
+//
+// Two run shapes exist.  Every strategy implements the dataset-in shape
+// (`run`); strategies that can consume a rewindable DatasetSource without
+// materializing it whole additionally set `supports_streaming()` and
+// implement `run_streaming` — the Engine routes streaming runs there and
+// transparently falls back to collect-then-run for everything else, so
+// strategies opt in gradually.
 
 #ifndef GLOVE_API_ANONYMIZER_HPP
 #define GLOVE_API_ANONYMIZER_HPP
 
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "glove/api/config.hpp"
 #include "glove/api/error.hpp"
 #include "glove/api/report.hpp"
+#include "glove/api/sink.hpp"
+#include "glove/api/source.hpp"
 #include "glove/cdr/dataset.hpp"
 #include "glove/util/hooks.hpp"
 
@@ -23,9 +34,11 @@ struct RunContext {
   util::RunHooks hooks;
 };
 
-/// What a strategy produces: the anonymized dataset, uniform counters,
-/// phase timings, and optional strategy-specific metrics.  The Engine
-/// wraps this into the final RunReport.
+/// What a strategy produces: uniform counters, phase timings, optional
+/// strategy-specific metrics, and — for the dataset-in shape — the
+/// anonymized dataset itself (streaming runs deliver groups to the sink
+/// instead and leave it empty).  The Engine wraps this into the final
+/// RunReport.
 struct StrategyOutcome {
   cdr::FingerprintDataset anonymized;
   RunCounters counters;
@@ -35,6 +48,9 @@ struct StrategyOutcome {
   /// Per-shard rows for strategies that decompose the run (sharded);
   /// leave empty otherwise.
   std::vector<ShardTimingRow> shard_timings;
+  /// Fingerprints read from the source on each pass over it (streaming
+  /// runs; the Engine records {dataset size} on the collect path).
+  std::vector<std::uint64_t> pass_fingerprints;
 };
 
 class Anonymizer {
@@ -47,9 +63,20 @@ class Anonymizer {
   /// One-line description for --help output and strategy listings.
   [[nodiscard]] virtual std::string_view description() const noexcept = 0;
 
-  /// Strategy-specific validation beyond the Engine's shared checks
-  /// (k >= 2, non-empty dataset).  Returns the error to surface, or
-  /// nullopt when the configuration is acceptable.
+  /// Strategy-specific *configuration* validation beyond the Engine's
+  /// shared checks (k >= 2, positive limits).  Runs before any data is
+  /// touched, for streaming and dataset runs alike.  Returns the error to
+  /// surface, or nullopt when the configuration is acceptable.
+  [[nodiscard]] virtual std::optional<Error> validate_config(
+      const RunConfig& config) const {
+    (void)config;
+    return std::nullopt;
+  }
+
+  /// Strategy-specific *dataset* validation (enough fingerprints, right
+  /// shape).  Only callable when the dataset is materialized — the
+  /// collect path and the legacy overload; streaming strategies enforce
+  /// the same constraints mid-stream via util::DatasetError.
   [[nodiscard]] virtual std::optional<Error> validate(
       const cdr::FingerprintDataset& data, const RunConfig& config) const {
     (void)data;
@@ -57,13 +84,37 @@ class Anonymizer {
     return std::nullopt;
   }
 
-  /// Runs the strategy.  May throw util::CancelledError (mapped to
-  /// kCancelled by the Engine), std::invalid_argument (kInvalidConfig) or
-  /// any std::exception (kInternal); the Engine owns the mapping so
-  /// strategies can lean on the legacy throwing core.
+  /// Runs the strategy on a materialized dataset.  May throw
+  /// util::CancelledError (mapped to kCancelled by the Engine),
+  /// util::DatasetError (kInvalidDataset), std::invalid_argument
+  /// (kInvalidConfig) or any std::exception (kInternal); the Engine owns
+  /// the mapping so strategies can lean on the legacy throwing core.
   [[nodiscard]] virtual StrategyOutcome run(const cdr::FingerprintDataset& data,
                                             const RunConfig& config,
                                             const RunContext& context) const = 0;
+
+  /// True when `run_streaming` consumes the source incrementally (bounded
+  /// memory) instead of needing the dataset whole.  The Engine collects
+  /// the source and calls `run` otherwise.
+  [[nodiscard]] virtual bool supports_streaming() const noexcept {
+    return false;
+  }
+
+  /// Streaming entry: pull fingerprints from `source` (rewinding for
+  /// additional passes), push finalized groups to `sink` (begin() with
+  /// the output name first, finish() after the last group), and return
+  /// the outcome with `anonymized` empty.  Only called when
+  /// `supports_streaming()`; the same exception mapping as `run` applies.
+  [[nodiscard]] virtual StrategyOutcome run_streaming(
+      DatasetSource& source, const RunConfig& config,
+      const RunContext& context, DatasetSink& sink) const {
+    (void)source;
+    (void)config;
+    (void)context;
+    (void)sink;
+    throw std::logic_error{"strategy '" + std::string{name()} +
+                           "' does not implement streaming runs"};
+  }
 };
 
 }  // namespace glove::api

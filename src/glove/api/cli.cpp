@@ -41,8 +41,9 @@ void define_run_flags(util::Flags& flags, const Engine& engine,
                "temporal suppression threshold in hours (0 = off)");
   flags.define("chunk-size", "2000",
                "users per chunk for --strategy=chunked");
-  flags.define("tile-km", "25",
-               "spatial tile edge in km for --strategy=sharded");
+  flags.define("tile-km", "0",
+               "spatial tile edge in km for --strategy=sharded (0 = "
+               "adaptive from the observed anchor density)");
   flags.define("shard-users", "2000",
                "max fingerprints per shard for --strategy=sharded");
   flags.define("shard-workers", "0",
@@ -147,16 +148,28 @@ cdr::FingerprintDataset load_dataset(const std::string& path,
   return data;
 }
 
-RunReport run_or_exit(const Engine& engine,
-                      const cdr::FingerprintDataset& data,
-                      const RunConfig& config) {
-  Result<RunReport> result = engine.run(data, config);
+namespace {
+
+RunReport value_or_exit(Result<RunReport> result) {
   if (!result.ok()) {
     std::cerr << "error [" << to_string(result.error().code)
               << "]: " << result.error().message << '\n';
     std::exit(1);
   }
   return std::move(result).value();
+}
+
+}  // namespace
+
+RunReport run_or_exit(const Engine& engine,
+                      const cdr::FingerprintDataset& data,
+                      const RunConfig& config) {
+  return value_or_exit(engine.run(data, config));
+}
+
+RunReport run_streaming_or_exit(const Engine& engine, DatasetSource& source,
+                                DatasetSink& sink, const RunConfig& config) {
+  return value_or_exit(engine.run(source, sink, config));
 }
 
 void maybe_write_report(const util::Flags& flags, const RunReport& report,

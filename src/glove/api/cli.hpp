@@ -57,6 +57,13 @@ void define_input_flags(util::Flags& flags);
                                     const cdr::FingerprintDataset& data,
                                     const RunConfig& config);
 
+/// Streaming variant: source in, sink out (file-to-file runs).  Same
+/// fatal-error contract as run_or_exit.
+[[nodiscard]] RunReport run_streaming_or_exit(const Engine& engine,
+                                              DatasetSource& source,
+                                              DatasetSink& sink,
+                                              const RunConfig& config);
+
 /// Writes the --report file when the flag is non-empty, logging the path.
 void maybe_write_report(const util::Flags& flags, const RunReport& report,
                         std::ostream& out);

@@ -58,6 +58,10 @@ struct RunConfig {
 
   struct ShardedSection {
     /// Edge length of the spatial tiles fingerprints are bucketed into.
+    /// 0 = adaptive: derived from the anchor density observed during the
+    /// planning pass (targets a fingerprints-per-tile band and shrinks
+    /// until the densest tile fits max_shard_users).  The resolved value
+    /// is reported as the "tile_size_m" run metric.
     double tile_size_m = 25'000.0;
     /// Load-balancing target: fingerprints per shard; must be >= k.
     std::size_t max_shard_users = 2'000;

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "glove/util/mem.hpp"
+
 namespace glove::api {
 
 namespace {
@@ -56,7 +58,7 @@ const Anonymizer* Engine::find(std::string_view name) const {
   return it == registry_.end() ? nullptr : it->second.get();
 }
 
-Result<RunReport> Engine::run(const cdr::FingerprintDataset& data,
+Result<RunReport> Engine::run(DatasetSource& source, DatasetSink& sink,
                               const RunConfig& config) const {
   // --- Resolve the strategy.
   const Anonymizer* strategy = find(config.strategy);
@@ -68,7 +70,9 @@ Result<RunReport> Engine::run(const cdr::FingerprintDataset& data,
     return Error{ErrorCode::kUnknownStrategy, message.str()};
   }
 
-  // --- Shared validation; strategies add their own checks.
+  // --- Shared configuration validation; strategies add their own checks.
+  // Dataset-shaped validation happens once the data is in reach: upfront
+  // on the collect path, mid-stream (util::DatasetError) when streaming.
   if (config.k < 2) {
     return Error{ErrorCode::kInvalidConfig,
                  "k must be >= 2 (got " + std::to_string(config.k) + ")"};
@@ -84,10 +88,7 @@ Result<RunReport> Engine::run(const cdr::FingerprintDataset& data,
     return Error{ErrorCode::kInvalidConfig,
                  "suppression thresholds must be positive"};
   }
-  if (data.empty()) {
-    return Error{ErrorCode::kInvalidDataset, "input dataset is empty"};
-  }
-  if (std::optional<Error> error = strategy->validate(data, config)) {
+  if (std::optional<Error> error = strategy->validate_config(config)) {
     return *std::move(error);
   }
 
@@ -105,12 +106,37 @@ Result<RunReport> Engine::run(const cdr::FingerprintDataset& data,
 
   const auto start = std::chrono::steady_clock::now();
   try {
-    StrategyOutcome outcome = strategy->run(data, config, context);
+    StrategyOutcome outcome;
+    if (strategy->supports_streaming()) {
+      outcome = strategy->run_streaming(source, config, context, sink);
+    } else {
+      // Collect-then-run fallback: materialize the source (or borrow the
+      // dataset an in-memory source already wraps — no copy), run the
+      // dataset-shaped strategy, drain its output into the sink.
+      const cdr::FingerprintDataset* inmem = source.materialized();
+      cdr::FingerprintDataset collected;
+      if (inmem == nullptr) collected = collect(source);
+      const cdr::FingerprintDataset& data = inmem != nullptr ? *inmem
+                                                             : collected;
+      if (data.empty()) {
+        return Error{ErrorCode::kInvalidDataset, "input dataset is empty"};
+      }
+      if (std::optional<Error> error = strategy->validate(data, config)) {
+        return *std::move(error);
+      }
+      outcome = strategy->run(data, config, context);
+      outcome.pass_fingerprints = {data.size()};
+      sink.begin(outcome.anonymized.name());
+      for (cdr::Fingerprint& fp : outcome.anonymized.mutable_fingerprints()) {
+        sink.write(std::move(fp));
+      }
+      sink.finish();
+      outcome.anonymized = cdr::FingerprintDataset{};
+    }
 
     RunReport report;
     report.strategy = config.strategy;
-    report.dataset_name = data.name();
-    report.anonymized = std::move(outcome.anonymized);
+    report.dataset_name = source.name();
     report.counters = outcome.counters;
     report.timings.init_seconds = outcome.init_seconds;
     report.timings.merge_seconds = outcome.merge_seconds;
@@ -120,14 +146,31 @@ Result<RunReport> Engine::run(const cdr::FingerprintDataset& data,
     report.config = echo_config(config);
     report.extra_metrics = std::move(outcome.extra_metrics);
     report.shard_timings = std::move(outcome.shard_timings);
+    report.source_kind = source.kind();
+    report.sink_kind = sink.kind();
+    report.pass_fingerprints = std::move(outcome.pass_fingerprints);
+    report.peak_rss_bytes = util::peak_rss_bytes();
     return report;
   } catch (const util::CancelledError&) {
     return Error{ErrorCode::kCancelled, "run cancelled by its token"};
+  } catch (const util::DatasetError& e) {
+    return Error{ErrorCode::kInvalidDataset, e.what()};
   } catch (const std::invalid_argument& e) {
     return Error{ErrorCode::kInvalidConfig, e.what()};
   } catch (const std::exception& e) {
     return Error{ErrorCode::kInternal, e.what()};
   }
+}
+
+Result<RunReport> Engine::run(const cdr::FingerprintDataset& data,
+                              const RunConfig& config) const {
+  MemorySource source{data};
+  MemorySink sink;
+  Result<RunReport> result = run(source, sink, config);
+  if (!result.ok()) return result;
+  RunReport report = std::move(result).value();
+  report.anonymized = std::move(sink).take_dataset();
+  return report;
 }
 
 }  // namespace glove::api

@@ -1,19 +1,25 @@
-// glove::Engine — the single entry point for anonymization runs:
+// glove::Engine — the single entry point for anonymization runs.  The
+// primary boundary is streaming — source in, sink out — so datasets
+// larger than RAM flow file-to-file:
 //
 //   glove::Engine engine;
 //   glove::api::RunConfig config;
-//   config.strategy = "chunked";
+//   config.strategy = "sharded";
 //   config.k = 5;
-//   auto result = engine.run(dataset, config);
-//   if (!result.ok()) { /* typed error, no partial output */ }
-//   const glove::api::RunReport& report = result.value();
+//   glove::api::CsvFileSource source{"trace.csv"};
+//   glove::api::CsvFileSink sink{"anonymized.csv"};
+//   auto result = engine.run(source, sink, config);
+//   if (!result.ok()) { /* typed error */ }
+//   // result.value().pass_fingerprints: fingerprints streamed per pass
 //
-// One `run(dataset, RunConfig) -> Result<RunReport>` call drives every
-// registered Anonymizer strategy (full GLOVE, chunked, pruned, sharded,
-// incremental updates, the W4M baseline, and anything registered later)
-// behind a uniform validated config, progress callback, cooperative
-// cancellation and a serializable run report.  The pre-Engine free
-// functions (core::anonymize & friends) remain as deprecated shims.
+// The classic dataset-in/dataset-out overload is a thin
+// MemorySource/MemorySink wrapper over the same path.  Strategies that
+// support streaming (sharded) consume the source in bounded memory;
+// everything else transparently collects the source first.  One call
+// drives every registered Anonymizer behind a uniform validated config,
+// progress callback, cooperative cancellation and a serializable run
+// report.  The pre-Engine free functions (core::anonymize & friends)
+// remain as deprecated shims.
 
 #ifndef GLOVE_API_ENGINE_HPP
 #define GLOVE_API_ENGINE_HPP
@@ -27,6 +33,8 @@
 #include "glove/api/config.hpp"
 #include "glove/api/error.hpp"
 #include "glove/api/report.hpp"
+#include "glove/api/sink.hpp"
+#include "glove/api/source.hpp"
 #include "glove/cdr/dataset.hpp"
 
 namespace glove::api {
@@ -40,10 +48,21 @@ class Engine {
   Engine(Engine&&) noexcept = default;
   Engine& operator=(Engine&&) noexcept = default;
 
-  /// Runs the configured strategy on `data`.  Never throws on bad input or
-  /// cancellation — those come back as typed errors; a cancelled or failed
-  /// run produces no dataset.  `config.progress` observes monotone
-  /// (done, total) updates ending at done == total on success.
+  /// Primary run boundary: streams fingerprints from `source` and pushes
+  /// finalized groups to `sink`.  Never throws on bad input or
+  /// cancellation — those come back as typed errors; the returned
+  /// report's `anonymized` dataset is empty (the sink owns the output)
+  /// and its source/sink kinds and per-pass counts describe the data
+  /// plane.  On error the sink may hold partial output (a file sink's
+  /// bytes stay on disk); treat it as invalid unless the run succeeded.
+  /// `config.progress` observes monotone (done, total) updates ending at
+  /// done == total on success.
+  [[nodiscard]] Result<RunReport> run(DatasetSource& source, DatasetSink& sink,
+                                      const RunConfig& config) const;
+
+  /// Classic dataset-in/dataset-out overload: a MemorySource/MemorySink
+  /// wrapper over the streaming boundary.  The report's `anonymized`
+  /// holds the output dataset; a cancelled or failed run produces none.
   [[nodiscard]] Result<RunReport> run(const cdr::FingerprintDataset& data,
                                       const RunConfig& config) const;
 

@@ -134,13 +134,24 @@ stats::Json report_json(const RunReport& report) {
     metrics.set(name, value);
   }
 
+  stats::Json passes = stats::Json::array();
+  for (const std::uint64_t count : report.pass_fingerprints) {
+    passes.push(count);
+  }
+  stats::Json io = stats::Json::object();
+  io.set("source", report.source_kind)
+      .set("sink", report.sink_kind)
+      .set("pass_fingerprints", std::move(passes))
+      .set("peak_rss_bytes", report.peak_rss_bytes);
+
   stats::Json doc = stats::Json::object();
-  doc.set("schema", "glove.run_report.v2")
+  doc.set("schema", "glove.run_report.v3")
       .set("strategy", report.strategy)
       .set("dataset", report.dataset_name)
       .set("config", std::move(config))
       .set("counters", std::move(counters))
       .set("timings", std::move(timings))
+      .set("io", std::move(io))
       .set("metrics", std::move(metrics));
   if (!report.shard_timings.empty()) {
     stats::Json shards = stats::Json::array();

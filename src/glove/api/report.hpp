@@ -80,6 +80,9 @@ struct ConfigEcho {
 struct RunReport {
   std::string strategy;
   std::string dataset_name;
+  /// The anonymized dataset for dataset-out runs (the legacy Engine
+  /// overload).  Streaming runs deliver groups to the DatasetSink instead
+  /// and leave this empty.
   cdr::FingerprintDataset anonymized;
   RunCounters counters;
   RunTimings timings;
@@ -90,6 +93,17 @@ struct RunReport {
   /// Per-shard timings (sharded strategy only; empty otherwise).
   /// Serialized as "shards" when non-empty.
   std::vector<ShardTimingRow> shard_timings;
+  /// Data-plane echo of the run boundary: the source/sink transports
+  /// ("memory", "csv-file"), how many fingerprints each pass over the
+  /// source streamed (one entry for collect-then-run strategies and for
+  /// in-memory sources, which are never re-read; planning + batch passes
+  /// for true streams), and the process's peak resident set size when
+  /// the run finished (0 when the platform hides it) — together the
+  /// evidence that a streaming run stayed out-of-core.
+  std::string source_kind;
+  std::string sink_kind;
+  std::vector<std::uint64_t> pass_fingerprints;
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 /// Looks up a strategy-specific metric by name; `fallback` when absent.

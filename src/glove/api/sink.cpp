@@ -1,0 +1,26 @@
+#include "glove/api/sink.hpp"
+
+#include <stdexcept>
+
+namespace glove::api {
+
+CsvFileSink::CsvFileSink(std::string path)
+    : path_{std::move(path)}, out_{path_}, writer_{out_} {
+  if (!out_) throw std::runtime_error{"cannot open for writing: " + path_};
+}
+
+void CsvFileSink::begin(const std::string& dataset_name) {
+  writer_.begin(dataset_name);
+}
+
+void CsvFileSink::do_write(cdr::Fingerprint group) {
+  writer_.write(group);
+  if (!out_) throw std::runtime_error{"failed writing: " + path_};
+}
+
+void CsvFileSink::finish() {
+  out_.flush();
+  if (!out_) throw std::runtime_error{"failed writing: " + path_};
+}
+
+}  // namespace glove::api

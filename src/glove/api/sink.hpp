@@ -1,0 +1,114 @@
+// DatasetSink: the push side of the Engine's streaming run boundary.
+//
+// Strategies (or the Engine's collect-then-run fallback) announce the
+// output dataset's name once via begin(), then push finalized k-anonymous
+// groups in output order; finish() flushes.  MemorySink collects groups
+// back into a dataset — the legacy dataset-out Engine overload reads it —
+// and CsvFileSink appends each group to a fingerprint-dataset CSV as it
+// arrives, so file-to-file runs never hold the output in memory.
+//
+// Failure caveat: a sink may have consumed groups when a run fails (the
+// Engine returns a typed error and the legacy overload discards its
+// MemorySink, but a file sink's partial output stays on disk — callers
+// should treat the file as invalid unless the run succeeded).
+
+#ifndef GLOVE_API_SINK_HPP
+#define GLOVE_API_SINK_HPP
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "glove/cdr/dataset.hpp"
+#include "glove/cdr/io.hpp"
+
+namespace glove::api {
+
+class DatasetSink {
+ public:
+  virtual ~DatasetSink() = default;
+
+  /// Stable identifier of the sink's transport ("memory", "csv-file"),
+  /// recorded in the run report.
+  [[nodiscard]] virtual std::string_view kind() const noexcept = 0;
+
+  /// Announces the output dataset's name.  Called once, before the first
+  /// group.
+  virtual void begin(const std::string& dataset_name) { (void)dataset_name; }
+
+  /// Accepts the next finalized group (counts, then forwards to the
+  /// implementation).
+  void write(cdr::Fingerprint group) {
+    do_write(std::move(group));
+    ++groups_written_;
+  }
+
+  /// Completes the output (flush, final validity check).  Called once,
+  /// after the last group.
+  virtual void finish() {}
+
+  [[nodiscard]] std::uint64_t groups_written() const noexcept {
+    return groups_written_;
+  }
+
+ protected:
+  virtual void do_write(cdr::Fingerprint group) = 0;
+
+ private:
+  std::uint64_t groups_written_ = 0;
+};
+
+/// Collects groups into an in-memory dataset, named by begin().
+class MemorySink final : public DatasetSink {
+ public:
+  [[nodiscard]] std::string_view kind() const noexcept override {
+    return "memory";
+  }
+  void begin(const std::string& dataset_name) override {
+    name_ = dataset_name;
+  }
+
+  /// Hands the collected dataset out (call once, after the run).
+  [[nodiscard]] cdr::FingerprintDataset take_dataset() && {
+    return cdr::FingerprintDataset{std::move(groups_), std::move(name_)};
+  }
+
+ protected:
+  void do_write(cdr::Fingerprint group) override {
+    groups_.push_back(std::move(group));
+  }
+
+ private:
+  std::vector<cdr::Fingerprint> groups_;
+  std::string name_;
+};
+
+/// Appends groups to a fingerprint-dataset CSV incrementally, producing
+/// byte-identical files to cdr::write_dataset_file on the same groups.
+/// Throws std::runtime_error (with the path) when the file cannot be
+/// opened or a write fails.
+class CsvFileSink final : public DatasetSink {
+ public:
+  explicit CsvFileSink(std::string path);
+
+  [[nodiscard]] std::string_view kind() const noexcept override {
+    return "csv-file";
+  }
+  void begin(const std::string& dataset_name) override;
+  void finish() override;
+
+ protected:
+  void do_write(cdr::Fingerprint group) override;
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  cdr::DatasetStreamWriter writer_;
+};
+
+}  // namespace glove::api
+
+#endif  // GLOVE_API_SINK_HPP

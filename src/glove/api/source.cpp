@@ -1,0 +1,51 @@
+#include "glove/api/source.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "glove/util/hooks.hpp"
+
+namespace glove::api {
+
+bool MemorySource::next(cdr::Fingerprint& fingerprint) {
+  if (cursor_ >= data_->size()) return false;
+  fingerprint = (*data_)[cursor_++];
+  return true;
+}
+
+CsvFileSource::CsvFileSource(std::string path)
+    : path_{std::move(path)}, in_{path_}, reader_{in_} {
+  if (!in_) throw std::runtime_error{"cannot open for reading: " + path_};
+}
+
+bool CsvFileSource::next(cdr::Fingerprint& fingerprint) {
+  try {
+    return reader_.next(fingerprint);
+  } catch (const std::invalid_argument& e) {
+    // A malformed row is a *data* problem: surface it as DatasetError so
+    // the Engine reports kInvalidDataset (with path and line), matching
+    // the empty/too-small cases, not kInvalidConfig.
+    throw util::DatasetError{path_ + ": " + e.what()};
+  }
+}
+
+void CsvFileSource::rewind() {
+  try {
+    reader_.rewind();
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error{path_ + ": " + e.what()};
+  }
+}
+
+cdr::FingerprintDataset collect(DatasetSource& source) {
+  std::vector<cdr::Fingerprint> fingerprints;
+  if (const auto hint = source.size_hint()) {
+    fingerprints.reserve(static_cast<std::size_t>(*hint));
+  }
+  cdr::Fingerprint fp;
+  while (source.next(fp)) fingerprints.push_back(std::move(fp));
+  return cdr::FingerprintDataset{std::move(fingerprints), source.name()};
+}
+
+}  // namespace glove::api

@@ -1,0 +1,120 @@
+// DatasetSource: the pull side of the Engine's streaming run boundary.
+//
+// A source yields fingerprints one at a time and can be rewound, so
+// two-pass strategies (the sharded backend plans on a first pass and
+// materializes shard batches on later ones) never need the whole dataset
+// in memory.  MemorySource adapts an existing in-memory dataset — the
+// legacy dataset-in/dataset-out Engine overload is a thin wrapper around
+// it — and CsvFileSource streams a fingerprint-dataset CSV straight off
+// disk through cdr::DatasetStreamReader.
+
+#ifndef GLOVE_API_SOURCE_HPP
+#define GLOVE_API_SOURCE_HPP
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "glove/cdr/dataset.hpp"
+#include "glove/cdr/io.hpp"
+
+namespace glove::api {
+
+class DatasetSource {
+ public:
+  virtual ~DatasetSource() = default;
+
+  /// Stable identifier of the source's transport ("memory", "csv-file"),
+  /// recorded in the run report.
+  [[nodiscard]] virtual std::string_view kind() const noexcept = 0;
+
+  /// Dataset name carried into reports and output naming (the in-memory
+  /// dataset's name, or the file path).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Yields the next fingerprint.  Returns false at end of input; may
+  /// throw (e.g. std::invalid_argument on malformed rows).
+  virtual bool next(cdr::Fingerprint& fingerprint) = 0;
+
+  /// Restarts the sequence from the first fingerprint, including after
+  /// EOF.  Every pass must yield the same fingerprints in the same order;
+  /// streaming strategies abort with a dataset error when the count
+  /// changes between passes.
+  virtual void rewind() = 0;
+
+  /// Fingerprint count when the source knows it upfront (memory sources
+  /// do, file sources do not).
+  [[nodiscard]] virtual std::optional<std::uint64_t> size_hint() const {
+    return std::nullopt;
+  }
+
+  /// Zero-copy escape hatch: the backing dataset when this source is an
+  /// adapter over one already in memory, else nullptr.  Streaming
+  /// strategies then read fingerprints by index instead of copy-yielding
+  /// the whole sequence once per pass; the output is identical either
+  /// way.
+  [[nodiscard]] virtual const cdr::FingerprintDataset* materialized()
+      const noexcept {
+    return nullptr;
+  }
+};
+
+/// Streams an existing in-memory dataset (copies on yield; the dataset
+/// must outlive the source).
+class MemorySource final : public DatasetSource {
+ public:
+  explicit MemorySource(const cdr::FingerprintDataset& data) noexcept
+      : data_{&data} {}
+
+  [[nodiscard]] std::string_view kind() const noexcept override {
+    return "memory";
+  }
+  [[nodiscard]] std::string name() const override { return data_->name(); }
+  bool next(cdr::Fingerprint& fingerprint) override;
+  void rewind() override { cursor_ = 0; }
+  [[nodiscard]] std::optional<std::uint64_t> size_hint() const override {
+    return data_->size();
+  }
+  [[nodiscard]] const cdr::FingerprintDataset* materialized()
+      const noexcept override {
+    return data_;
+  }
+
+ private:
+  const cdr::FingerprintDataset* data_;
+  std::size_t cursor_ = 0;
+};
+
+/// Streams a fingerprint-dataset CSV (the write_dataset_csv format) from
+/// a file, holding O(1 fingerprint) memory.  Throws std::runtime_error
+/// when the file cannot be opened; parse failures carry the path and row
+/// number and surface as util::DatasetError (kInvalidDataset at the
+/// Engine boundary).  `rewind()` seeks back to the start, so the file
+/// can be consumed any number of times.
+class CsvFileSource final : public DatasetSource {
+ public:
+  explicit CsvFileSource(std::string path);
+
+  [[nodiscard]] std::string_view kind() const noexcept override {
+    return "csv-file";
+  }
+  [[nodiscard]] std::string name() const override { return path_; }
+  bool next(cdr::Fingerprint& fingerprint) override;
+  void rewind() override;
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  cdr::DatasetStreamReader reader_;
+};
+
+/// Materializes everything the source still holds into a dataset named
+/// after the source — the collect-then-run fallback for strategies that
+/// need the full pair matrix.
+[[nodiscard]] cdr::FingerprintDataset collect(DatasetSource& source);
+
+}  // namespace glove::api
+
+#endif  // GLOVE_API_SOURCE_HPP

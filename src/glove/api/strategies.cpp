@@ -10,6 +10,7 @@
 #include "glove/core/incremental.hpp"
 #include "glove/core/scalability.hpp"
 #include "glove/shard/shard.hpp"
+#include "glove/shard/stream.hpp"
 
 namespace glove::api {
 
@@ -103,12 +104,15 @@ class ChunkedStrategy final : public Anonymizer {
   std::string_view description() const noexcept override {
     return "GLOVE over locality-sorted chunks (W4M-LC-style scaling)";
   }
-  std::optional<Error> validate(const cdr::FingerprintDataset& data,
-                                const RunConfig& config) const override {
+  std::optional<Error> validate_config(const RunConfig& config) const override {
     if (config.chunked.chunk_size < config.k) {
       return Error{ErrorCode::kInvalidConfig,
                    "chunked.chunk_size must be at least k"};
     }
+    return std::nullopt;
+  }
+  std::optional<Error> validate(const cdr::FingerprintDataset& data,
+                                const RunConfig& config) const override {
     return require_at_least_k(data, config);
   }
   StrategyOutcome run(const cdr::FingerprintDataset& data,
@@ -191,11 +195,11 @@ class ShardedStrategy final : public Anonymizer {
     return "spatially-sharded parallel GLOVE: tiled partition, per-shard "
            "exact pipeline, deterministic cross-shard reconciliation";
   }
-  std::optional<Error> validate(const cdr::FingerprintDataset& data,
-                                const RunConfig& config) const override {
-    if (config.sharded.tile_size_m <= 0.0) {
+  std::optional<Error> validate_config(const RunConfig& config) const override {
+    if (config.sharded.tile_size_m < 0.0) {
       return Error{ErrorCode::kInvalidConfig,
-                   "sharded.tile_size_m must be positive"};
+                   "sharded.tile_size_m must be positive (or 0 for an "
+                   "adaptive, density-derived tile size)"};
     }
     if (config.sharded.halo_m < 0.0) {
       return Error{ErrorCode::kInvalidConfig,
@@ -212,11 +216,60 @@ class ShardedStrategy final : public Anonymizer {
                    "sharded.workers must be at most 4096 (0 = hardware "
                    "concurrency)"};
     }
-    return require_at_least_k(data, config);
+    return std::nullopt;
   }
+  bool supports_streaming() const noexcept override { return true; }
+
   StrategyOutcome run(const cdr::FingerprintDataset& data,
                       const RunConfig& config,
                       const RunContext& context) const override {
+    shard::ShardedResult result = shard::anonymize_sharded(
+        data, to_shard_config(config), context.hooks);
+    StrategyOutcome outcome =
+        outcome_from_stats(result.stats, result.shard_timings);
+    outcome.anonymized = std::move(result.anonymized);
+    return outcome;
+  }
+
+  StrategyOutcome run_streaming(DatasetSource& source, const RunConfig& config,
+                                const RunContext& context,
+                                DatasetSink& sink) const override {
+    // The sharded pipeline is the first true streaming consumer: tile
+    // histogram and border split from a bounds-only first pass, shard
+    // batches materialized on later passes, groups pushed to the sink as
+    // shards finish.
+    sink.begin(shard::sharded_output_name(source.name(), config.k));
+    SourceStream stream{source};
+    shard::StreamShardedResult result = shard::anonymize_sharded_stream(
+        stream, to_shard_config(config),
+        [&sink](cdr::Fingerprint&& group) { sink.write(std::move(group)); },
+        context.hooks);
+    sink.finish();
+    StrategyOutcome outcome =
+        outcome_from_stats(result.stats, result.shard_timings);
+    outcome.pass_fingerprints = std::move(result.pass_fingerprints);
+    return outcome;
+  }
+
+ private:
+  /// Adapts the api-level source to the shard subsystem's stream concept
+  /// (the shard layer stays independent of the api layer).
+  class SourceStream final : public shard::FingerprintStream {
+   public:
+    explicit SourceStream(DatasetSource& source) noexcept : source_{source} {}
+    bool next(cdr::Fingerprint& fingerprint) override {
+      return source_.next(fingerprint);
+    }
+    void rewind() override { source_.rewind(); }
+    const cdr::FingerprintDataset* materialized() const noexcept override {
+      return source_.materialized();
+    }
+
+   private:
+    DatasetSource& source_;
+  };
+
+  static shard::ShardConfig to_shard_config(const RunConfig& config) {
     shard::ShardConfig sharded;
     sharded.glove = to_glove_config(config);
     sharded.tile_size_m = config.sharded.tile_size_m;
@@ -224,26 +277,28 @@ class ShardedStrategy final : public Anonymizer {
     sharded.workers = config.sharded.workers;
     sharded.border = config.sharded.border;
     sharded.halo_m = config.sharded.halo_m;
-    shard::ShardedResult result =
-        shard::anonymize_sharded(data, sharded, context.hooks);
+    return sharded;
+  }
 
+  static StrategyOutcome outcome_from_stats(
+      const shard::ShardedStats& stats,
+      const std::vector<shard::ShardTiming>& timings) {
     StrategyOutcome outcome;
-    outcome.counters = from_glove_stats(result.stats.glove);
-    outcome.init_seconds = result.stats.glove.init_seconds;
-    outcome.merge_seconds = result.stats.glove.merge_seconds;
+    outcome.counters = from_glove_stats(stats.glove);
+    outcome.init_seconds = stats.glove.init_seconds;
+    outcome.merge_seconds = stats.glove.merge_seconds;
     outcome.extra_metrics = {
-        {"tiles", static_cast<double>(result.stats.tiles)},
-        {"shards", static_cast<double>(result.stats.shards)},
+        {"tiles", static_cast<double>(stats.tiles)},
+        {"shards", static_cast<double>(stats.shards)},
         {"deferred_fingerprints",
-         static_cast<double>(result.stats.deferred_fingerprints)},
-        {"reconciled_groups",
-         static_cast<double>(result.stats.reconciled_groups)},
-        {"absorbed_leftovers",
-         static_cast<double>(result.stats.absorbed_leftovers)},
-        {"plan_seconds", result.stats.plan_seconds},
-        {"reconcile_seconds", result.stats.reconcile_seconds}};
-    outcome.shard_timings.reserve(result.shard_timings.size());
-    for (const shard::ShardTiming& t : result.shard_timings) {
+         static_cast<double>(stats.deferred_fingerprints)},
+        {"reconciled_groups", static_cast<double>(stats.reconciled_groups)},
+        {"absorbed_leftovers", static_cast<double>(stats.absorbed_leftovers)},
+        {"tile_size_m", stats.tile_size_m},
+        {"plan_seconds", stats.plan_seconds},
+        {"reconcile_seconds", stats.reconcile_seconds}};
+    outcome.shard_timings.reserve(timings.size());
+    for (const shard::ShardTiming& t : timings) {
       ShardTimingRow row;
       row.shard = t.shard;
       row.input_fingerprints = t.input_fingerprints;
@@ -254,7 +309,6 @@ class ShardedStrategy final : public Anonymizer {
       row.total_seconds = t.total_seconds;
       outcome.shard_timings.push_back(row);
     }
-    outcome.anonymized = std::move(result.anonymized);
     return outcome;
   }
 };
@@ -266,8 +320,7 @@ class W4MStrategy final : public Anonymizer {
     return "W4M-LC baseline: cluster-and-perturb (fabricates samples; for "
            "comparison, not PPDP-truthful)";
   }
-  std::optional<Error> validate(const cdr::FingerprintDataset& data,
-                                const RunConfig& config) const override {
+  std::optional<Error> validate_config(const RunConfig& config) const override {
     if (config.w4m.delta_m <= 0.0) {
       return Error{ErrorCode::kInvalidConfig, "w4m.delta_m must be positive"};
     }
@@ -279,6 +332,10 @@ class W4MStrategy final : public Anonymizer {
       return Error{ErrorCode::kInvalidConfig,
                    "w4m.chunk_size must be at least k"};
     }
+    return std::nullopt;
+  }
+  std::optional<Error> validate(const cdr::FingerprintDataset& data,
+                                const RunConfig& config) const override {
     return require_at_least_k(data, config);
   }
   StrategyOutcome run(const cdr::FingerprintDataset& data,

@@ -91,20 +91,27 @@ std::vector<CdrEvent> read_cdr_csv(std::istream& in) {
   return events;
 }
 
-void write_dataset_csv(std::ostream& out, const FingerprintDataset& data) {
-  util::CsvWriter writer{out};
-  writer.comment("glove fingerprint dataset: " +
-                 (data.name().empty() ? std::string{"unnamed"} : data.name()));
-  writer.comment("members,x,dx,y,dy,t,dt,contributors");
-  for (const Fingerprint& fp : data.fingerprints()) {
-    const std::string members = join_members(fp.members());
-    for (const Sample& s : fp.samples()) {
-      writer.row({members, format_double(s.sigma.x), format_double(s.sigma.dx),
-                  format_double(s.sigma.y), format_double(s.sigma.dy),
-                  format_double(s.tau.t), format_double(s.tau.dt),
-                  std::to_string(s.contributors)});
-    }
+void DatasetStreamWriter::begin(const std::string& dataset_name) {
+  writer_.comment("glove fingerprint dataset: " +
+                  (dataset_name.empty() ? std::string{"unnamed"}
+                                        : dataset_name));
+  writer_.comment("members,x,dx,y,dy,t,dt,contributors");
+}
+
+void DatasetStreamWriter::write(const Fingerprint& fingerprint) {
+  const std::string members = join_members(fingerprint.members());
+  for (const Sample& s : fingerprint.samples()) {
+    writer_.row({members, format_double(s.sigma.x), format_double(s.sigma.dx),
+                 format_double(s.sigma.y), format_double(s.sigma.dy),
+                 format_double(s.tau.t), format_double(s.tau.dt),
+                 std::to_string(s.contributors)});
   }
+}
+
+void write_dataset_csv(std::ostream& out, const FingerprintDataset& data) {
+  DatasetStreamWriter writer{out};
+  writer.begin(data.name());
+  for (const Fingerprint& fp : data.fingerprints()) writer.write(fp);
 }
 
 bool DatasetStreamReader::next_run(std::string& key,
@@ -160,6 +167,14 @@ bool DatasetStreamReader::next_run(std::string& key,
   return !members.empty();
 }
 
+void DatasetStreamReader::rewind() {
+  reader_.rewind();
+  pending_key_.clear();
+  pending_members_.clear();
+  pending_samples_.clear();
+  have_pending_ = false;
+}
+
 bool DatasetStreamReader::next(Fingerprint& fingerprint) {
   std::string key;
   std::vector<UserId> members;
@@ -199,17 +214,42 @@ FingerprintDataset read_dataset_csv(std::istream& in) {
   return FingerprintDataset{std::move(fingerprints)};
 }
 
+namespace {
+
+/// Runs a parse callback, rethrowing its failures with the offending path
+/// prefixed — parser messages carry the row's line number but not which
+/// file it came from, which is what a caller juggling several traces
+/// needs first.
+template <typename Fn>
+auto with_path_context(const std::string& path, Fn&& fn) {
+  try {
+    return std::forward<Fn>(fn)();
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument{path + ": " + e.what()};
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error{path + ": " + e.what()};
+  }
+}
+
+void require_writable(std::ostream& out, const std::string& path) {
+  out.flush();
+  if (!out) throw std::runtime_error{"failed writing: " + path};
+}
+
+}  // namespace
+
 void write_cdr_file(const std::string& path,
                     const std::vector<CdrEvent>& events) {
   std::ofstream out{path};
   if (!out) throw std::runtime_error{"cannot open for writing: " + path};
   write_cdr_csv(out, events);
+  require_writable(out, path);
 }
 
 std::vector<CdrEvent> read_cdr_file(const std::string& path) {
   std::ifstream in{path};
   if (!in) throw std::runtime_error{"cannot open for reading: " + path};
-  return read_cdr_csv(in);
+  return with_path_context(path, [&] { return read_cdr_csv(in); });
 }
 
 void write_dataset_file(const std::string& path,
@@ -217,12 +257,13 @@ void write_dataset_file(const std::string& path,
   std::ofstream out{path};
   if (!out) throw std::runtime_error{"cannot open for writing: " + path};
   write_dataset_csv(out, data);
+  require_writable(out, path);
 }
 
 FingerprintDataset read_dataset_file(const std::string& path) {
   std::ifstream in{path};
   if (!in) throw std::runtime_error{"cannot open for reading: " + path};
-  return read_dataset_csv(in);
+  return with_path_context(path, [&] { return read_dataset_csv(in); });
 }
 
 }  // namespace glove::cdr

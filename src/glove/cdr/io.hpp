@@ -53,6 +53,24 @@ class CdrEventReader {
 /// of user ids sharing the (generalized) fingerprint.
 void write_dataset_csv(std::ostream& out, const FingerprintDataset& data);
 
+/// Streaming fingerprint writer: emits the dataset header once, then one
+/// group at a time, producing byte-identical files to `write_dataset_csv`
+/// (which is a thin loop over this) while holding O(1 group) memory — the
+/// emit side of file-to-file anonymization runs.
+class DatasetStreamWriter {
+ public:
+  explicit DatasetStreamWriter(std::ostream& out) : writer_{out} {}
+
+  /// Writes the two header comment lines.  Call once, before any group.
+  void begin(const std::string& dataset_name);
+
+  /// Appends one fingerprint's sample rows.
+  void write(const Fingerprint& fingerprint);
+
+ private:
+  util::CsvWriter writer_;
+};
+
 /// Streaming fingerprint reader: yields one fingerprint per contiguous
 /// run of rows sharing a members key, holding O(1 fingerprint) memory.
 /// Files written by `write_dataset_csv` keep each group's rows contiguous,
@@ -75,6 +93,12 @@ class DatasetStreamReader {
   bool next_run(std::string& key, std::vector<UserId>& members,
                 std::vector<Sample>& samples);
 
+  /// Restarts from the beginning of the stream, including after EOF, so
+  /// two-pass consumers (shard planning, then shard materialization) can
+  /// re-read the same seekable stream.  Throws std::runtime_error when the
+  /// stream cannot seek.
+  void rewind();
+
  private:
   util::CsvReader reader_;
   std::vector<std::string_view> fields_;
@@ -88,7 +112,9 @@ class DatasetStreamReader {
 [[nodiscard]] FingerprintDataset read_dataset_csv(std::istream& in);
 
 /// File-path convenience wrappers; throw std::runtime_error when the file
-/// cannot be opened.
+/// cannot be opened or written, and rethrow parse failures with the
+/// offending path prefixed (row numbers are already in the parser
+/// messages), so callers reading several files can tell which one failed.
 void write_cdr_file(const std::string& path,
                     const std::vector<CdrEvent>& events);
 [[nodiscard]] std::vector<CdrEvent> read_cdr_file(const std::string& path);

@@ -16,6 +16,8 @@
 #include "glove/api/engine.hpp"
 #include "glove/api/error.hpp"
 #include "glove/api/report.hpp"
+#include "glove/api/sink.hpp"
+#include "glove/api/source.hpp"
 #include "glove/attack/linkage.hpp"
 #include "glove/baseline/w4m.hpp"
 #include "glove/cdr/builder.hpp"
@@ -41,6 +43,7 @@
 #include "glove/util/csv.hpp"
 #include "glove/util/flags.hpp"
 #include "glove/util/hooks.hpp"
+#include "glove/util/mem.hpp"
 #include "glove/util/parallel.hpp"
 #include "glove/util/rng.hpp"
 #include "glove/util/thread_pool.hpp"

@@ -37,7 +37,9 @@ struct ShardConfig {
 
   /// Edge length of the square spatial tiles fingerprints are bucketed
   /// into (by bounding-box centre).  Smaller tiles mean more, smaller
-  /// shards: faster but with more border traffic.
+  /// shards: faster but with more border traffic.  0 = adaptive
+  /// (choose_tile_size derives the edge from the observed anchor
+  /// density).
   double tile_size_m = 25'000.0;
 
   /// Load-balancing target: the planner packs whole tiles into shards of

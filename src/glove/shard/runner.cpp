@@ -1,22 +1,12 @@
 #include "glove/shard/runner.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <mutex>
 
 #include "glove/core/scalability.hpp"
-#include "glove/util/parallel.hpp"
-#include "glove/util/thread_pool.hpp"
 
 namespace glove::shard {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 /// Above this many overlapped tiles the fingerprint is a wide wanderer
 /// whose geometry spans a large part of the map; defer it outright rather
@@ -48,96 +38,36 @@ bool crosses_shard_border(const core::FingerprintBounds& bounds,
   return false;
 }
 
-ShardRunOutcome run_shards(const cdr::FingerprintDataset& data,
-                           const Tiling& tiling, const ShardPlan& plan,
-                           const ShardConfig& config,
-                           const util::RunHooks& hooks) {
-  ShardRunOutcome outcome;
+BorderSplit split_borders(const Tiling& tiling, const ShardPlan& plan,
+                          const ShardConfig& config) {
   const std::size_t shard_count = plan.shards.size();
-  outcome.timings.resize(shard_count);
+  BorderSplit split;
+  split.kept.resize(shard_count);
+  split.deferred.resize(shard_count);
 
-  // --- Serial kept/deferred split (determinism does not depend on the
-  // worker count).  A single shard has no borders; a shard whose kept set
-  // dropped below k cannot run GLOVE and defers everything.
-  std::vector<std::vector<std::uint32_t>> kept(shard_count);
+  // A single shard has no borders; a shard whose kept set dropped below k
+  // cannot run GLOVE and defers everything.
   const bool halo = config.border == BorderPolicy::kHalo && shard_count > 1;
   for (std::size_t s = 0; s < shard_count; ++s) {
     const PlannedShard& shard = plan.shards[s];
-    std::vector<std::uint32_t> deferred;
-    kept[s].reserve(shard.members.size());
+    std::vector<std::uint32_t>& kept = split.kept[s];
+    std::vector<std::uint32_t>& deferred = split.deferred[s];
+    kept.reserve(shard.members.size());
     for (const std::uint32_t id : shard.members) {
       if (halo && crosses_shard_border(tiling.bounds[id], s, plan,
-                                       config.tile_size_m, config.halo_m)) {
+                                       tiling.tile_size_m, config.halo_m)) {
         deferred.push_back(id);
       } else {
-        kept[s].push_back(id);
+        kept.push_back(id);
       }
     }
-    if (kept[s].size() < config.glove.k) {
-      deferred.insert(deferred.end(), kept[s].begin(), kept[s].end());
+    if (kept.size() < config.glove.k) {
+      deferred.insert(deferred.end(), kept.begin(), kept.end());
       std::sort(deferred.begin(), deferred.end());
-      kept[s].clear();
-    }
-    outcome.timings[s].shard = s;
-    outcome.timings[s].input_fingerprints = kept[s].size();
-    outcome.timings[s].deferred = deferred.size();
-    for (const std::uint32_t id : deferred) {
-      outcome.leftovers.push_back(data[id]);
+      kept.clear();
     }
   }
-
-  // --- Parallel shard execution on a dedicated scheduler pool.  Inner
-  // loops (pair matrix, fresh-pair evaluation) still run on the shared
-  // pool, so nesting cannot deadlock the scheduler.
-  const std::uint64_t total_work = data.size() + 1;  // +1: reconciliation
-  hooks.report(0, total_work);
-  std::vector<core::GloveResult> results(shard_count);
-  std::mutex progress_mutex;
-  std::uint64_t done = 0;
-
-  // workers == 0 follows the same default as the shared pool (GLOVE_THREADS
-  // when set, else hardware concurrency), and the pool is never bigger than
-  // the number of shards to run — a small plan on a big machine would
-  // otherwise spawn mostly idle workers for 1-2 tasks.
-  std::size_t requested = config.workers;
-  if (requested == 0) {
-    requested = util::ThreadPool::shared().size();
-  }
-  util::ThreadPool scheduler{
-      std::min(std::max<std::size_t>(requested, 1), shard_count)};
-  util::RunHooks inner;
-  inner.cancel = hooks.cancel;
-  util::parallel_for(
-      scheduler, shard_count,
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t s = begin; s < end; ++s) {
-          hooks.throw_if_cancelled();
-          if (kept[s].empty()) continue;
-          const auto start = Clock::now();
-          std::vector<cdr::Fingerprint> members;
-          members.reserve(kept[s].size());
-          for (const std::uint32_t id : kept[s]) members.push_back(data[id]);
-          results[s] = core::anonymize_pruned(
-              cdr::FingerprintDataset{std::move(members)}, config.glove,
-              inner);
-          outcome.timings[s].init_seconds = results[s].stats.init_seconds;
-          outcome.timings[s].merge_seconds = results[s].stats.merge_seconds;
-          outcome.timings[s].total_seconds = seconds_since(start);
-          outcome.timings[s].output_groups = results[s].anonymized.size();
-          const std::lock_guard lock{progress_mutex};
-          done += kept[s].size();
-          hooks.report(done, total_work);
-        }
-      },
-      /*min_chunk=*/1);
-
-  for (std::size_t s = 0; s < shard_count; ++s) {
-    outcome.stats.accumulate_costs(results[s].stats);
-    for (const cdr::Fingerprint& fp : results[s].anonymized.fingerprints()) {
-      outcome.anonymized.push_back(fp);
-    }
-  }
-  return outcome;
+  return split;
 }
 
 }  // namespace glove::shard

@@ -1,23 +1,20 @@
-// Per-shard execution: every planned shard runs the exact GLOVE pipeline
-// (the lazy-lower-bound `anonymize_pruned` variant — byte-identical output
-// to `full` on the same input) as an independent job on a dedicated worker
-// pool, while the inner stretch loops keep using the shared pool like the
-// non-sharded strategies.  Border fingerprints are split off first, per
-// the configured BorderPolicy, and handed to the reconciliation pass.
-//
-// Determinism: shard jobs are data-independent and each is deterministic,
-// results are concatenated in shard order, and the kept/deferred split is
-// computed serially — so the output is byte-stable for any worker count.
+// Border handling of the sharded backend: which fingerprints a shard
+// anonymizes itself and which it defers to the cross-shard reconciliation
+// pass, per the configured BorderPolicy.  Both decisions depend only on
+// the per-fingerprint bounding geometry, never on the samples themselves,
+// so the streaming pipeline computes the full split from its first
+// (bounds-only) pass before any fingerprint is materialized.  Shard
+// execution itself lives in stream.cpp (the batched two-pass runner that
+// both the in-memory and the file-backed entry points share).
 
 #ifndef GLOVE_SHARD_RUNNER_HPP
 #define GLOVE_SHARD_RUNNER_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
-#include "glove/cdr/dataset.hpp"
 #include "glove/shard/planner.hpp"
-#include "glove/util/hooks.hpp"
 
 namespace glove::shard {
 
@@ -33,18 +30,6 @@ struct ShardTiming {
   double total_seconds = 0.0;
 };
 
-struct ShardRunOutcome {
-  /// k-anonymous groups produced by the shards, concatenated in shard
-  /// order.
-  std::vector<cdr::Fingerprint> anonymized;
-  /// Fingerprints deferred to reconciliation, in (shard, member) order.
-  std::vector<cdr::Fingerprint> leftovers;
-  /// Aggregated inner GLOVE counters (merges, deleted samples, stretch
-  /// evaluations, phase times summed across shards).
-  core::GloveStats stats;
-  std::vector<ShardTiming> timings;
-};
-
 /// True when `bounds`, inflated by `halo_m`, touches a tile owned by a
 /// shard other than `home_shard` — the deferral test of
 /// BorderPolicy::kHalo.  Exposed for tests.
@@ -53,14 +38,23 @@ struct ShardRunOutcome {
                                         const ShardPlan& plan,
                                         double tile_size_m, double halo_m);
 
-/// Runs every planned shard.  Progress units are input fingerprints plus
-/// one trailing unit reserved for reconciliation; cancellation is polled
-/// between and inside shard jobs.
-[[nodiscard]] ShardRunOutcome run_shards(const cdr::FingerprintDataset& data,
-                                         const Tiling& tiling,
-                                         const ShardPlan& plan,
-                                         const ShardConfig& config,
-                                         const util::RunHooks& hooks);
+/// The serial kept/deferred split of a plan: per shard, the fingerprints
+/// it anonymizes itself and the ones handed to reconciliation (border
+/// fingerprints under BorderPolicy::kHalo, or the whole shard when its
+/// kept set would fall below k).  A single-shard plan has no borders.
+/// Deterministic for a given tiling and plan, independent of workers.
+struct BorderSplit {
+  /// Per shard: dataset indices anonymized inside the shard, in planned
+  /// member order.
+  std::vector<std::vector<std::uint32_t>> kept;
+  /// Per shard: dataset indices deferred to reconciliation (member order;
+  /// sorted ascending when a collapsed shard defers everything).
+  std::vector<std::vector<std::uint32_t>> deferred;
+};
+
+[[nodiscard]] BorderSplit split_borders(const Tiling& tiling,
+                                        const ShardPlan& plan,
+                                        const ShardConfig& config);
 
 }  // namespace glove::shard
 

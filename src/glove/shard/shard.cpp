@@ -1,76 +1,34 @@
 #include "glove/shard/shard.hpp"
 
-#include <chrono>
-#include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "glove/shard/stream.hpp"
+
 namespace glove::shard {
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
+std::string sharded_output_name(std::string_view base, std::uint32_t k) {
+  return std::string{base} + "-sharded-k" + std::to_string(k);
 }
-
-}  // namespace
 
 ShardedResult anonymize_sharded(const cdr::FingerprintDataset& data,
                                 const ShardConfig& config,
                                 const util::RunHooks& hooks) {
-  if (config.glove.k < 2) {
-    throw std::invalid_argument{"GLOVE requires k >= 2"};
-  }
-  if (data.size() < config.glove.k) {
-    throw std::invalid_argument{
-        "dataset smaller than the target anonymity level k"};
-  }
-  if (config.tile_size_m <= 0.0) {
-    throw std::invalid_argument{"sharded.tile_size_m must be positive"};
-  }
-  if (config.halo_m < 0.0) {
-    throw std::invalid_argument{"sharded.halo_m must be non-negative"};
-  }
-  if (config.max_shard_users < config.glove.k) {
-    throw std::invalid_argument{"sharded.max_shard_users must be at least k"};
-  }
+  // One pipeline, two front doors: wrap the in-memory dataset in a
+  // rewindable stream and collect the emitted groups.  The streaming core
+  // is the source of truth; this wrapper only restores the dataset-shaped
+  // result (including its name) the legacy callers expect.
+  DatasetStream stream{data};
+  std::vector<cdr::Fingerprint> groups;
+  StreamShardedResult streamed = anonymize_sharded_stream(
+      stream, config,
+      [&](cdr::Fingerprint&& fp) { groups.push_back(std::move(fp)); }, hooks);
 
   ShardedResult result;
-  result.stats.glove.input_users = data.total_users();
-  result.stats.glove.input_samples = data.total_samples();
-
-  // --- Tile and plan (serial, cheap: O(n log n)).
-  const auto plan_start = Clock::now();
-  const Tiling tiling = build_tiling(data, config.tile_size_m);
-  const ShardPlan plan = ShardPlanner{config}.plan(tiling);
-  result.stats.tiles = plan.tiles;
-  result.stats.shards = plan.shards.size();
-  result.stats.plan_seconds = seconds_since(plan_start);
-  hooks.throw_if_cancelled();
-
-  // --- Run every shard (parallel; deterministic concatenation).
-  ShardRunOutcome run = run_shards(data, tiling, plan, config, hooks);
-  result.stats.glove.accumulate_costs(run.stats);
-  result.stats.deferred_fingerprints = run.leftovers.size();
-  result.shard_timings = std::move(run.timings);
-
-  // --- Reconcile cross-shard leftovers.
-  hooks.throw_if_cancelled();
-  const ReconcileStats reconcile = reconcile_leftovers(
-      std::move(run.leftovers), run.anonymized, config, hooks);
-  result.stats.glove.accumulate_costs(reconcile.glove);
-  result.stats.reconciled_groups = reconcile.reconciled_groups;
-  result.stats.absorbed_leftovers = reconcile.absorbed;
-  result.stats.reconcile_seconds = reconcile.seconds;
-
   result.anonymized = cdr::FingerprintDataset{
-      std::move(run.anonymized),
-      data.name() + "-sharded-k" + std::to_string(config.glove.k)};
-  result.stats.glove.output_groups = result.anonymized.size();
-  result.stats.glove.output_samples = result.anonymized.total_samples();
-  hooks.report(data.size() + 1, data.size() + 1);
+      std::move(groups), sharded_output_name(data.name(), config.glove.k)};
+  result.stats = streamed.stats;
+  result.shard_timings = std::move(streamed.shard_timings);
   return result;
 }
 

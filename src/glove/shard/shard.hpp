@@ -13,6 +13,8 @@
 #ifndef GLOVE_SHARD_SHARD_HPP
 #define GLOVE_SHARD_SHARD_HPP
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "glove/cdr/dataset.hpp"
@@ -34,7 +36,10 @@ struct ShardedStats {
   std::size_t deferred_fingerprints = 0;
   std::size_t reconciled_groups = 0;
   std::size_t absorbed_leftovers = 0;
-  double plan_seconds = 0.0;       ///< tiling + planning
+  /// Tile edge actually used: the configured tile_size_m, or the
+  /// density-derived choice when the config asked for adaptive (0).
+  double tile_size_m = 0.0;
+  double plan_seconds = 0.0;       ///< streaming scan + tiling + planning
   double reconcile_seconds = 0.0;  ///< cross-shard reconciliation pass
 };
 
@@ -45,12 +50,20 @@ struct ShardedResult {
   std::vector<ShardTiming> shard_timings;
 };
 
-/// Runs the sharded pipeline.  Requires data.size() >= glove.k >= 2,
-/// tile_size_m > 0, halo_m >= 0 and max_shard_users >= glove.k
-/// (std::invalid_argument otherwise).  Deterministic for a given input
-/// and configuration, independent of `workers` and of the shared pool
-/// size.  Progress units are input fingerprints plus one reconciliation
-/// unit; cancellation aborts with util::CancelledError and no output.
+/// Canonical name of a sharded run's output dataset ("<base>-sharded-k<k>").
+/// Shared by the in-memory wrapper and the streaming Engine strategy so
+/// the two paths stay byte-identical down to the CSV header comment.
+[[nodiscard]] std::string sharded_output_name(std::string_view base,
+                                              std::uint32_t k);
+
+/// Runs the sharded pipeline on an in-memory dataset (a thin wrapper over
+/// the streaming core in stream.hpp).  Requires data.size() >= glove.k >=
+/// 2, tile_size_m >= 0 (0 = adaptive), halo_m >= 0 and max_shard_users >=
+/// glove.k (std::invalid_argument otherwise).  Deterministic for a given
+/// input and configuration, independent of `workers` and of the shared
+/// pool size.  Progress units are input fingerprints plus one
+/// reconciliation unit; cancellation aborts with util::CancelledError and
+/// no output.
 [[nodiscard]] ShardedResult anonymize_sharded(
     const cdr::FingerprintDataset& data, const ShardConfig& config,
     const util::RunHooks& hooks = {});

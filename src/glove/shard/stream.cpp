@@ -1,0 +1,334 @@
+#include "glove/shard/stream.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "glove/core/scalability.hpp"
+#include "glove/shard/reconcile.hpp"
+#include "glove/util/parallel.hpp"
+#include "glove/util/thread_pool.hpp"
+
+namespace glove::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// What pass 1 keeps per fingerprint: bounding geometry for tiling and
+/// the border split, group size for the leftover accounting — never the
+/// samples.
+struct StreamScan {
+  std::vector<core::FingerprintBounds> bounds;
+  std::vector<std::uint32_t> group_sizes;
+  std::uint64_t users = 0;
+  std::uint64_t samples = 0;
+};
+
+StreamScan scan_stream(FingerprintStream& source,
+                       const util::RunHooks& hooks) {
+  StreamScan scan;
+  if (const cdr::FingerprintDataset* data = source.materialized()) {
+    // Materialized sources are scanned by index with parallel bounds
+    // computation — the pre-streaming runner's exact setup, no copies.
+    scan.bounds.resize(data->size());
+    util::parallel_for(
+        data->size(),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            scan.bounds[i] = core::fingerprint_bounds((*data)[i]);
+          }
+        },
+        /*min_chunk=*/64);
+    scan.group_sizes.reserve(data->size());
+    for (const cdr::Fingerprint& fp : data->fingerprints()) {
+      scan.group_sizes.push_back(fp.group_size());
+    }
+    scan.users = data->total_users();
+    scan.samples = data->total_samples();
+    return scan;
+  }
+  cdr::Fingerprint fp;
+  while (source.next(fp)) {
+    if ((scan.bounds.size() & 0x3FFu) == 0) hooks.throw_if_cancelled();
+    scan.bounds.push_back(core::fingerprint_bounds(fp));
+    scan.group_sizes.push_back(fp.group_size());
+    scan.users += fp.group_size();
+    scan.samples += fp.size();
+  }
+  return scan;
+}
+
+/// Re-reads the whole stream, materializing only the fingerprints whose
+/// dataset index appears in `slot_of_id` (into `store`, slot-addressed).
+/// Returns the number of fingerprints the pass yielded.
+std::uint64_t materialize_pass(
+    FingerprintStream& source,
+    const std::unordered_map<std::uint32_t, std::uint32_t>& slot_of_id,
+    std::vector<cdr::Fingerprint>& store, std::size_t expected,
+    const util::RunHooks& hooks) {
+  source.rewind();
+  cdr::Fingerprint fp;
+  std::uint64_t index = 0;
+  while (source.next(fp)) {
+    if ((index & 0x3FFu) == 0) hooks.throw_if_cancelled();
+    if (index < expected) {
+      const auto it = slot_of_id.find(static_cast<std::uint32_t>(index));
+      if (it != slot_of_id.end()) store[it->second] = std::move(fp);
+    }
+    ++index;
+    if (index > expected) break;  // grew — diagnosed below
+  }
+  if (index != expected) {
+    throw util::DatasetError{
+        "streaming source yielded a different number of fingerprints after "
+        "rewind (got " + std::to_string(index) +
+        (index > expected ? "+" : "") + ", planned " +
+        std::to_string(expected) + ")"};
+  }
+  return index;
+}
+
+}  // namespace
+
+StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
+                                             const ShardConfig& config,
+                                             const GroupEmitter& emit,
+                                             const util::RunHooks& hooks) {
+  if (config.glove.k < 2) {
+    throw std::invalid_argument{"GLOVE requires k >= 2"};
+  }
+  if (config.tile_size_m < 0.0) {
+    throw std::invalid_argument{
+        "sharded.tile_size_m must be positive (or 0 for adaptive)"};
+  }
+  if (config.halo_m < 0.0) {
+    throw std::invalid_argument{"sharded.halo_m must be non-negative"};
+  }
+  if (config.max_shard_users < config.glove.k) {
+    throw std::invalid_argument{"sharded.max_shard_users must be at least k"};
+  }
+  hooks.throw_if_cancelled();
+
+  StreamShardedResult result;
+
+  // --- Pass 1: bounds-only scan, tile, plan, split borders.
+  const auto plan_start = Clock::now();
+  StreamScan scan = scan_stream(source, hooks);
+  const std::size_t n = scan.bounds.size();
+  result.pass_fingerprints.push_back(n);
+  if (n == 0) throw util::DatasetError{"input dataset is empty"};
+  if (n < config.glove.k) {
+    throw util::DatasetError{
+        "dataset smaller than the target anonymity level k"};
+  }
+  result.stats.glove.input_users = scan.users;
+  result.stats.glove.input_samples = scan.samples;
+
+  const Tiling tiling = build_tiling_from_bounds(
+      std::move(scan.bounds), config.tile_size_m, config.max_shard_users);
+  // Downstream phases (border test, reconcile chunking) read the resolved
+  // tile size from the config they are handed.
+  ShardConfig resolved = config;
+  resolved.tile_size_m = tiling.tile_size_m;
+  result.stats.tile_size_m = tiling.tile_size_m;
+
+  const ShardPlan plan = ShardPlanner{resolved}.plan(tiling);
+  const BorderSplit split = split_borders(tiling, plan, resolved);
+  const std::size_t shard_count = plan.shards.size();
+  result.stats.tiles = plan.tiles;
+  result.stats.shards = shard_count;
+  result.stats.plan_seconds = seconds_since(plan_start);
+  hooks.throw_if_cancelled();
+
+  result.shard_timings.resize(shard_count);
+  std::size_t deferred_total = 0;
+  std::size_t subk_deferred = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    result.shard_timings[s].shard = s;
+    result.shard_timings[s].input_fingerprints = split.kept[s].size();
+    result.shard_timings[s].deferred = split.deferred[s].size();
+    deferred_total += split.deferred[s].size();
+    for (const std::uint32_t id : split.deferred[s]) {
+      if (scan.group_sizes[id] < resolved.glove.k) ++subk_deferred;
+    }
+  }
+  result.stats.deferred_fingerprints = deferred_total;
+
+  // Absorbing a sub-k tail (fewer than k deferred singles under
+  // kMergeIntoNearest) rewrites the nearest already-finalized group, so
+  // nothing may leave before reconciliation; that rare case buffers the
+  // output groups instead of streaming them out.  Every other tail shape
+  // only appends, so groups flow to the emitter as shards complete.
+  const bool buffered =
+      resolved.glove.leftover_policy == core::LeftoverPolicy::kMergeIntoNearest &&
+      subk_deferred > 0 && subk_deferred < resolved.glove.k;
+
+  std::uint64_t emitted_groups = 0;
+  std::uint64_t emitted_samples = 0;
+  std::vector<cdr::Fingerprint> held;  // buffered mode only
+  const auto deliver = [&](cdr::Fingerprint&& fp) {
+    if (buffered) {
+      held.push_back(std::move(fp));
+      return;
+    }
+    ++emitted_groups;
+    emitted_samples += fp.size();
+    emit(std::move(fp));
+  };
+
+  // --- Passes 2..: materialize and run contiguous shard batches.  The
+  // batch budget caps resident fingerprints at roughly one shard per
+  // scheduler worker, which also keeps the pool busy.
+  std::size_t requested = resolved.workers;
+  if (requested == 0) requested = util::ThreadPool::shared().size();
+  util::ThreadPool scheduler{
+      std::min(std::max<std::size_t>(requested, 1),
+               std::max<std::size_t>(shard_count, 1))};
+  const std::size_t batch_budget = std::max<std::size_t>(
+      resolved.max_shard_users * scheduler.size(), 1);
+
+  const std::uint64_t total_work = n + 1;  // +1: reconciliation
+  hooks.report(0, total_work);
+  std::vector<cdr::Fingerprint> leftovers;
+  leftovers.reserve(deferred_total);
+  std::mutex progress_mutex;
+  std::uint64_t done = 0;
+  util::RunHooks inner;
+  inner.cancel = hooks.cancel;
+
+  for (std::size_t first = 0; first < shard_count;) {
+    // Close the batch before the budget breaks; a single oversized shard
+    // still forms its own batch.
+    std::size_t last = first;
+    std::size_t batch_members = 0;
+    while (last < shard_count) {
+      const std::size_t members =
+          split.kept[last].size() + split.deferred[last].size();
+      if (last > first && batch_members + members > batch_budget) break;
+      batch_members += members;
+      ++last;
+    }
+
+    // Materialized sources hand fingerprints out by index (one copy per
+    // batch member, as the pre-streaming runner did); true streams are
+    // re-read whole, keeping only this batch's members.
+    const cdr::FingerprintDataset* inmem = source.materialized();
+    std::unordered_map<std::uint32_t, std::uint32_t> slot_of_id;
+    std::vector<cdr::Fingerprint> store;
+    if (inmem == nullptr) {
+      slot_of_id.reserve(batch_members);
+      store.resize(batch_members);
+      std::uint32_t next_slot = 0;
+      for (std::size_t s = first; s < last; ++s) {
+        for (const std::uint32_t id : split.kept[s]) {
+          slot_of_id[id] = next_slot++;
+        }
+        for (const std::uint32_t id : split.deferred[s]) {
+          slot_of_id[id] = next_slot++;
+        }
+      }
+      result.pass_fingerprints.push_back(
+          materialize_pass(source, slot_of_id, store, n, hooks));
+    }
+    const auto fetch = [&](std::uint32_t id) -> cdr::Fingerprint {
+      if (inmem != nullptr) return (*inmem)[id];
+      return std::move(store[slot_of_id.at(id)]);
+    };
+
+    // Leftovers keep their (shard, member) order across batches.
+    for (std::size_t s = first; s < last; ++s) {
+      for (const std::uint32_t id : split.deferred[s]) {
+        leftovers.push_back(fetch(id));
+      }
+    }
+
+    const std::size_t batch_size = last - first;
+    std::vector<std::vector<cdr::Fingerprint>> inputs(batch_size);
+    for (std::size_t s = first; s < last; ++s) {
+      std::vector<cdr::Fingerprint>& members = inputs[s - first];
+      members.reserve(split.kept[s].size());
+      for (const std::uint32_t id : split.kept[s]) {
+        members.push_back(fetch(id));
+      }
+    }
+    store.clear();
+    store.shrink_to_fit();
+
+    std::vector<core::GloveResult> results(batch_size);
+    util::parallel_for(
+        scheduler, batch_size,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t j = begin; j < end; ++j) {
+            hooks.throw_if_cancelled();
+            if (inputs[j].empty()) continue;
+            const std::size_t s = first + j;
+            const auto start = Clock::now();
+            results[j] = core::anonymize_pruned(
+                cdr::FingerprintDataset{std::move(inputs[j])}, resolved.glove,
+                inner);
+            result.shard_timings[s].init_seconds =
+                results[j].stats.init_seconds;
+            result.shard_timings[s].merge_seconds =
+                results[j].stats.merge_seconds;
+            result.shard_timings[s].total_seconds = seconds_since(start);
+            result.shard_timings[s].output_groups =
+                results[j].anonymized.size();
+            const std::lock_guard lock{progress_mutex};
+            done += split.kept[s].size();
+            hooks.report(done, total_work);
+          }
+        },
+        /*min_chunk=*/1);
+
+    for (std::size_t j = 0; j < batch_size; ++j) {
+      result.stats.glove.accumulate_costs(results[j].stats);
+      for (cdr::Fingerprint& fp :
+           results[j].anonymized.mutable_fingerprints()) {
+        deliver(std::move(fp));
+      }
+    }
+    first = last;
+  }
+
+  // --- Reconcile cross-shard leftovers.  Appended groups (deferred >= k
+  // pass-throughs, then the chunked reconciliation output) trail the
+  // shard groups exactly as in the buffered layout.
+  hooks.throw_if_cancelled();
+  if (buffered) {
+    const ReconcileStats reconcile =
+        reconcile_leftovers(std::move(leftovers), held, resolved, hooks);
+    result.stats.glove.accumulate_costs(reconcile.glove);
+    result.stats.reconciled_groups = reconcile.reconciled_groups;
+    result.stats.absorbed_leftovers = reconcile.absorbed;
+    result.stats.reconcile_seconds = reconcile.seconds;
+    for (cdr::Fingerprint& fp : held) {
+      ++emitted_groups;
+      emitted_samples += fp.size();
+      emit(std::move(fp));
+    }
+  } else {
+    std::vector<cdr::Fingerprint> tail;
+    const ReconcileStats reconcile =
+        reconcile_leftovers(std::move(leftovers), tail, resolved, hooks);
+    result.stats.glove.accumulate_costs(reconcile.glove);
+    result.stats.reconciled_groups = reconcile.reconciled_groups;
+    result.stats.absorbed_leftovers = reconcile.absorbed;
+    result.stats.reconcile_seconds = reconcile.seconds;
+    for (cdr::Fingerprint& fp : tail) deliver(std::move(fp));
+  }
+
+  result.stats.glove.output_groups = emitted_groups;
+  result.stats.glove.output_samples = emitted_samples;
+  hooks.report(total_work, total_work);
+  return result;
+}
+
+}  // namespace glove::shard

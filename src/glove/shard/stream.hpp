@@ -1,0 +1,114 @@
+// Streaming execution of the sharded backend: the run boundary for
+// datasets larger than RAM.
+//
+//   pass 1  — scan the stream once, keeping only per-fingerprint bounding
+//             geometry (+ group size): enough to tile, plan shards and
+//             compute the kept/deferred border split without ever holding
+//             the samples;
+//   pass 2+ — rewind and re-scan once per shard batch, materializing only
+//             the fingerprints of the shards currently running; finished
+//             groups are pushed to the emitter as each batch completes
+//             and freed immediately.
+//
+// Peak sample memory is O(largest batch) — bounded by max_shard_users x
+// scheduler workers — instead of O(dataset).  The output is byte-identical
+// to the in-memory pipeline (anonymize_sharded is now a thin wrapper over
+// this core), including the rare absorb-leftovers tail case, which falls
+// back to buffering the output groups because absorption may rewrite any
+// already-finalized group.
+
+#ifndef GLOVE_SHARD_STREAM_HPP
+#define GLOVE_SHARD_STREAM_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "glove/cdr/dataset.hpp"
+#include "glove/shard/shard.hpp"
+#include "glove/util/hooks.hpp"
+
+namespace glove::shard {
+
+/// Pull-based fingerprint stream the sharded backend consumes twice or
+/// more.  `rewind()` must restart the sequence from the beginning (also
+/// after EOF) and every pass must yield the same fingerprints in the same
+/// order — the pipeline throws util::DatasetError when the count changes
+/// between passes.
+class FingerprintStream {
+ public:
+  virtual ~FingerprintStream() = default;
+
+  /// Yields the next fingerprint.  Returns false at end of stream.
+  virtual bool next(cdr::Fingerprint& fingerprint) = 0;
+
+  /// Restarts from the first fingerprint.
+  virtual void rewind() = 0;
+
+  /// Zero-copy escape hatch: when the stream is backed by an already
+  /// materialized dataset, returns it and the pipeline reads fingerprints
+  /// by index (copying only the shard batches it runs, exactly like the
+  /// pre-streaming runner) instead of re-streaming the whole sequence per
+  /// batch.  Byte-identical output either way.  nullptr for true streams.
+  [[nodiscard]] virtual const cdr::FingerprintDataset* materialized()
+      const noexcept {
+    return nullptr;
+  }
+};
+
+/// In-memory adapter: streams an existing dataset (copies on yield), the
+/// bridge the legacy dataset-in/dataset-out API uses.
+class DatasetStream final : public FingerprintStream {
+ public:
+  explicit DatasetStream(const cdr::FingerprintDataset& data) noexcept
+      : data_{&data} {}
+
+  bool next(cdr::Fingerprint& fingerprint) override {
+    if (cursor_ >= data_->size()) return false;
+    fingerprint = (*data_)[cursor_++];
+    return true;
+  }
+
+  void rewind() override { cursor_ = 0; }
+
+  [[nodiscard]] const cdr::FingerprintDataset* materialized()
+      const noexcept override {
+    return data_;
+  }
+
+ private:
+  const cdr::FingerprintDataset* data_;
+  std::size_t cursor_ = 0;
+};
+
+/// Receives finalized k-anonymous groups in output order.
+using GroupEmitter = std::function<void(cdr::Fingerprint&&)>;
+
+struct StreamShardedResult {
+  ShardedStats stats;
+  /// Per-shard sizes and wall-clock, in shard order.
+  std::vector<ShardTiming> shard_timings;
+  /// Fingerprints read from the stream on each pass (the planning scan,
+  /// then one entry per shard-batch materialization pass).  A
+  /// materialized() source is never re-streamed, so it reports the single
+  /// scan pass.
+  std::vector<std::uint64_t> pass_fingerprints;
+};
+
+/// Runs the sharded pipeline over a restartable stream, emitting groups
+/// to `emit` as they are finalized.  Requires glove.k >= 2, tile_size_m
+/// >= 0 (0 = adaptive from observed anchor density), halo_m >= 0 and
+/// max_shard_users >= glove.k (std::invalid_argument otherwise); a stream
+/// holding fewer than k fingerprints raises util::DatasetError.
+/// Deterministic for a given stream content and configuration,
+/// independent of `workers` and of batch boundaries.  Progress units are
+/// streamed fingerprints plus one reconciliation unit; cancellation
+/// aborts with util::CancelledError (groups already emitted stay with the
+/// emitter — file sinks may hold a partial dataset on failure).
+[[nodiscard]] StreamShardedResult anonymize_sharded_stream(
+    FingerprintStream& source, const ShardConfig& config,
+    const GroupEmitter& emit, const util::RunHooks& hooks = {});
+
+}  // namespace glove::shard
+
+#endif  // GLOVE_SHARD_STREAM_HPP

@@ -1,6 +1,8 @@
 #include "glove/shard/tiling.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -17,26 +19,82 @@ std::uint64_t morton_code(geo::GridCell cell) noexcept {
   return geo::morton_interleave(bias(cell.ix), bias(cell.iy));
 }
 
-Tiling build_tiling(const cdr::FingerprintDataset& data, double tile_size_m) {
-  if (tile_size_m <= 0.0) {
-    throw std::invalid_argument{"shard tile size must be positive"};
+double choose_tile_size(std::span<const core::FingerprintBounds> bounds,
+                        std::size_t max_shard_users) {
+  constexpr double kFallbackM = 25'000.0;
+  constexpr double kMinM = 1'000.0;
+  constexpr double kMaxM = 200'000.0;
+  if (bounds.empty()) return kFallbackM;
+  const std::size_t budget = std::max<std::size_t>(max_shard_users, 1);
+
+  // First guess from mean density: aim for max_shard_users / 8
+  // fingerprints per tile, so a shard is built from ~8 tiles and the
+  // planner can still balance, but never fewer than 16 per tile (tiny
+  // tiles only create border traffic).
+  const double target =
+      static_cast<double>(std::max<std::size_t>(16, budget / 8));
+
+  std::vector<geo::PlanarPoint> anchors;
+  anchors.reserve(bounds.size());
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  for (const core::FingerprintBounds& b : bounds) {
+    const geo::PlanarPoint anchor{b.box.x + b.box.dx / 2.0,
+                                  b.box.y + b.box.dy / 2.0};
+    anchors.push_back(anchor);
+    min_x = std::min(min_x, anchor.x_m);
+    max_x = std::max(max_x, anchor.x_m);
+    min_y = std::min(min_y, anchor.y_m);
+    max_y = std::max(max_y, anchor.y_m);
   }
+  // A degenerate axis still spans one tile; flooring both at the minimum
+  // tile edge keeps the density estimate finite for linear or pointlike
+  // deployments (e.g. a highway corridor).
+  const double extent_x = std::max(max_x - min_x, kMinM);
+  const double extent_y = std::max(max_y - min_y, kMinM);
+  const double density =
+      static_cast<double>(bounds.size()) / (extent_x * extent_y);
+  double tile = std::sqrt(target / density);
+  if (!std::isfinite(tile)) return kFallbackM;
+  tile = std::clamp(tile, kMinM, kMaxM);
 
+  // Mean density lies about skewed deployments: one downtown tile can
+  // hold 50x the average and would become an oversized single-tile shard
+  // whose quadratic pair structures dwarf everything else.  Halve the
+  // edge until the densest occupied tile fits the shard budget (or the
+  // clamp floor is reached) — the histogram is O(n) over in-memory
+  // anchors, so refinement costs no extra pass over the data.
+  for (int step = 0; step < 16 && tile > kMinM; ++step) {
+    const geo::Grid grid{tile};
+    std::unordered_map<geo::GridCell, std::size_t> occupancy;
+    std::size_t densest = 0;
+    for (const geo::PlanarPoint& anchor : anchors) {
+      densest = std::max(densest, ++occupancy[grid.cell_of(anchor)]);
+    }
+    if (densest <= budget) break;
+    tile = std::max(tile / 2.0, kMinM);
+  }
+  return tile;
+}
+
+Tiling build_tiling_from_bounds(std::vector<core::FingerprintBounds> bounds,
+                                double tile_size_m,
+                                std::size_t max_shard_users) {
+  if (tile_size_m < 0.0) {
+    throw std::invalid_argument{
+        "shard tile size must be positive (or 0 for adaptive)"};
+  }
   Tiling tiling;
-  tiling.tile_size_m = tile_size_m;
-  tiling.bounds.resize(data.size());
-  util::parallel_for(
-      data.size(),
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          tiling.bounds[i] = core::fingerprint_bounds(data[i]);
-        }
-      },
-      /*min_chunk=*/64);
+  tiling.tile_size_m = tile_size_m > 0.0
+                           ? tile_size_m
+                           : choose_tile_size(bounds, max_shard_users);
+  tiling.bounds = std::move(bounds);
 
-  const geo::Grid grid{tile_size_m};
+  const geo::Grid grid{tiling.tile_size_m};
   std::unordered_map<geo::GridCell, std::size_t> tile_of_cell;
-  for (std::size_t i = 0; i < data.size(); ++i) {
+  for (std::size_t i = 0; i < tiling.bounds.size(); ++i) {
     const core::FingerprintBounds& b = tiling.bounds[i];
     const geo::PlanarPoint anchor{b.box.x + b.box.dx / 2.0,
                                   b.box.y + b.box.dy / 2.0};
@@ -52,6 +110,21 @@ Tiling build_tiling(const cdr::FingerprintDataset& data, double tile_size_m) {
               return morton_code(a.cell) < morton_code(b.cell);
             });
   return tiling;
+}
+
+Tiling build_tiling(const cdr::FingerprintDataset& data, double tile_size_m,
+                    std::size_t max_shard_users) {
+  std::vector<core::FingerprintBounds> bounds(data.size());
+  util::parallel_for(
+      data.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          bounds[i] = core::fingerprint_bounds(data[i]);
+        }
+      },
+      /*min_chunk=*/64);
+  return build_tiling_from_bounds(std::move(bounds), tile_size_m,
+                                  max_shard_users);
 }
 
 }  // namespace glove::shard

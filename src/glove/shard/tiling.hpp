@@ -9,6 +9,7 @@
 #define GLOVE_SHARD_TILING_HPP
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "glove/cdr/dataset.hpp"
@@ -39,11 +40,31 @@ struct Tiling {
 /// bias-mapped so the interleave stays monotone per axis).
 [[nodiscard]] std::uint64_t morton_code(geo::GridCell cell) noexcept;
 
-/// Builds the tiling.  Bounds are computed in parallel on the shared
-/// pool; everything else is deterministic single-threaded bookkeeping.
-/// Requires tile_size_m > 0 (std::invalid_argument otherwise).
+/// Adaptive tile edge from the observed anchor density: targets a
+/// fingerprints-per-tile band derived from `max_shard_users` (several
+/// tiles per shard, so the planner keeps packing granularity), assuming
+/// anchors spread roughly evenly over their bounding extent.  The result
+/// is clamped to [1 km, 200 km] and is deterministic in `bounds`; one
+/// config thereby scales from citywide to nationwide datasets.  Falls
+/// back to the 25 km default when the extent degenerates to a point.
+[[nodiscard]] double choose_tile_size(
+    std::span<const core::FingerprintBounds> bounds,
+    std::size_t max_shard_users);
+
+/// Builds the tiling from precomputed per-fingerprint bounds (the
+/// streaming path's first pass), taking ownership of them.  tile_size_m
+/// == 0 selects `choose_tile_size`; the size actually used is recorded in
+/// Tiling::tile_size_m.  Deterministic single-threaded bookkeeping;
+/// requires tile_size_m >= 0 (std::invalid_argument otherwise).
+[[nodiscard]] Tiling build_tiling_from_bounds(
+    std::vector<core::FingerprintBounds> bounds, double tile_size_m,
+    std::size_t max_shard_users);
+
+/// Builds the tiling of an in-memory dataset: computes bounds in parallel
+/// on the shared pool, then delegates to `build_tiling_from_bounds`.
 [[nodiscard]] Tiling build_tiling(const cdr::FingerprintDataset& data,
-                                  double tile_size_m);
+                                  double tile_size_m,
+                                  std::size_t max_shard_users = 2'000);
 
 }  // namespace glove::shard
 

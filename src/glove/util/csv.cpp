@@ -51,6 +51,16 @@ bool CsvReader::next(std::vector<std::string_view>& fields) {
   return false;
 }
 
+void CsvReader::rewind() {
+  in_.clear();
+  in_.seekg(0);
+  if (!in_) {
+    throw std::runtime_error{"CsvReader::rewind: stream is not seekable"};
+  }
+  rows_ = 0;
+  line_no_ = 0;
+}
+
 CsvWriter::CsvWriter(std::ostream& out, char separator)
     : out_{out}, separator_{separator} {}
 

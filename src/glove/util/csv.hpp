@@ -34,6 +34,12 @@ class CsvReader {
   /// 1-based line number of the row most recently returned.
   [[nodiscard]] std::size_t line_number() const noexcept { return line_no_; }
 
+  /// Restarts from the beginning of the stream (clearing an EOF state) and
+  /// resets the row/line counters, so multi-pass consumers can re-read a
+  /// seekable stream (files, string streams).  Throws std::runtime_error
+  /// when the underlying stream cannot seek.
+  void rewind();
+
  private:
   std::istream& in_;
   std::string buffer_;

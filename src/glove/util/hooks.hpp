@@ -42,6 +42,18 @@ class CancelledError : public std::runtime_error {
   CancelledError() : std::runtime_error{"operation cancelled"} {}
 };
 
+/// Thrown by streaming pipelines when the *data* (not the configuration)
+/// turns out to be unusable mid-stream — empty, smaller than the anonymity
+/// level, or changed size between passes.  Collect-first paths learn this
+/// from upfront validation; a streaming pass only learns it while
+/// consuming, so it surfaces as this exception and the glove::api::Engine
+/// maps it to ErrorCode::kInvalidDataset (plain std::invalid_argument
+/// stays kInvalidConfig).
+class DatasetError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
 /// Progress notification: `done` out of `total` abstract work units.  Both
 /// are loop-specific (pair evaluations, users closed, chunks finished);
 /// only the ratio and the monotonicity of `done` are meaningful.

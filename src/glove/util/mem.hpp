@@ -1,0 +1,21 @@
+// Process memory observability: the peak resident set size, recorded in
+// run reports so larger-than-RAM streaming runs can prove their memory
+// behavior (the CI gate compares it against the materialized dataset
+// size).
+
+#ifndef GLOVE_UTIL_MEM_HPP
+#define GLOVE_UTIL_MEM_HPP
+
+#include <cstdint>
+
+namespace glove::util {
+
+/// Peak resident set size of the calling process in bytes, or 0 when the
+/// platform does not expose it.  Monotone over the process lifetime (it
+/// never decreases), so a value taken at the end of a run bounds the
+/// whole run.
+[[nodiscard]] std::uint64_t peak_rss_bytes() noexcept;
+
+}  // namespace glove::util
+
+#endif  // GLOVE_UTIL_MEM_HPP

@@ -5,11 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/fixtures.hpp"
 #include "common/golden.hpp"
+#include "common/temp_dir.hpp"
 #include "glove/api/engine.hpp"
+#include "glove/cdr/io.hpp"
 #include "glove/baseline/w4m.hpp"
 #include "glove/core/glove.hpp"
 #include "glove/core/incremental.hpp"
@@ -111,6 +115,46 @@ TEST_P(ParityTest, IncrementalMatchesFreeFunction) {
 }
 
 INSTANTIATE_TEST_SUITE_P(KLevels, ParityTest, ::testing::Values(2u, 3u));
+
+TEST(Parity, StreamingBoundaryMatchesLegacyOverloadForEveryStrategy) {
+  // File-to-file runs must publish byte-identical datasets to the legacy
+  // dataset overload fed the same parsed input — for the sharded strategy
+  // that locks the whole two-pass streaming pipeline to the in-memory
+  // one, for the rest the collect-then-run fallback.
+  const Engine engine;
+  const test::TempDir dir;
+  const std::string in_path = dir.file("in.csv");
+  cdr::write_dataset_file(in_path, test::small_synth_dataset(50));
+  cdr::FingerprintDataset parsed = cdr::read_dataset_file(in_path);
+  parsed.set_name(in_path);  // a CsvFileSource names its dataset by path
+
+  for (const char* strategy :
+       {"full", "chunked", "pruned-kgap", "sharded", "w4m-baseline"}) {
+    RunConfig config;
+    config.strategy = strategy;
+    config.k = 2;
+    config.chunked.chunk_size = 16;
+    config.sharded.tile_size_m = 5'000.0;
+    config.sharded.max_shard_users = 16;
+
+    const auto legacy = engine.run(parsed, config);
+    ASSERT_TRUE(legacy.ok()) << strategy << ": " << legacy.error().message;
+
+    const std::string out_path =
+        dir.file(std::string{"out-"} + strategy + ".csv");
+    CsvFileSource source{in_path};
+    CsvFileSink sink{out_path};
+    const auto streamed = engine.run(source, sink, config);
+    ASSERT_TRUE(streamed.ok()) << strategy << ": "
+                               << streamed.error().message;
+
+    std::ifstream published{out_path};
+    std::stringstream bytes;
+    bytes << published.rdbuf();
+    EXPECT_EQ(bytes.str(), test::dataset_to_csv(legacy.value().anonymized))
+        << strategy;
+  }
+}
 
 TEST(Parity, FullMatchesOnCheckedInGoldenDataset) {
   // The checked-in golden file locks core::anonymize's output on the

@@ -17,8 +17,8 @@
 namespace glove::api {
 namespace {
 
-/// A real run with the timing fields zeroed, so serialization is
-/// deterministic and golden-comparable.
+/// A real run with the timing and memory fields zeroed, so serialization
+/// is deterministic and golden-comparable.
 RunReport deterministic_report() {
   const Engine engine;
   RunConfig config;
@@ -28,6 +28,7 @@ RunReport deterministic_report() {
   EXPECT_TRUE(result.ok());
   RunReport report = std::move(result).value();
   report.timings = RunTimings{};
+  report.peak_rss_bytes = 0;
   return report;
 }
 
@@ -55,7 +56,7 @@ TEST(RunReport, WriteReportFilePicksFormatByExtension) {
   std::ifstream json_in{json_path};
   std::stringstream json_text;
   json_text << json_in.rdbuf();
-  EXPECT_NE(json_text.str().find("\"schema\": \"glove.run_report.v2\""),
+  EXPECT_NE(json_text.str().find("\"schema\": \"glove.run_report.v3\""),
             std::string::npos);
 
   const std::string csv_path = dir.file("report.csv");

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <istream>
 #include <sstream>
 #include <stdexcept>
+#include <streambuf>
+#include <vector>
 
 #include "common/fixtures.hpp"
 #include "common/golden.hpp"
@@ -196,6 +200,139 @@ TEST(StreamingIo, StreamReaderRejectsMalformedRows) {
   DatasetStreamReader reader{in};
   Fingerprint fp;
   EXPECT_THROW((void)reader.next(fp), std::invalid_argument);
+}
+
+TEST(StreamingIo, StreamReaderRejectsTruncatedRows) {
+  // A row cut mid-write (fewer than 8 fields) is a hard error, not a
+  // silently shorter sample — truncation must never pass as data.
+  for (const char* text : {"7,0,100,0,100\n",                // truncated row
+                           "7,0,100,0,100,10,1,1\n7,0,100\n",  // mid-file
+                           "7,0,100,0,100,10,1\n"}) {          // one short
+    std::istringstream in{text};
+    DatasetStreamReader reader{in};
+    Fingerprint fp;
+    EXPECT_THROW(
+        {
+          while (reader.next(fp)) {
+          }
+        },
+        std::invalid_argument)
+        << text;
+  }
+}
+
+TEST(StreamingIo, HandlesCrlfLineEndings) {
+  // Windows-edited traces terminate rows with \r\n; the trailing \r must
+  // not leak into the last field of either reader.
+  std::istringstream dataset_in{
+      "# comment\r\n7,0,100,0,100,10,1,1\r\n7,0,100,0,100,20,1,1\r\n"};
+  DatasetStreamReader reader{dataset_in};
+  Fingerprint fp;
+  ASSERT_TRUE(reader.next(fp));
+  ASSERT_EQ(fp.size(), 2u);
+  EXPECT_EQ(fp.samples()[0].contributors, 1u);
+  EXPECT_FALSE(reader.next(fp));
+
+  std::istringstream cdr_in{"3,12.5,5.1,-4.2\r\n"};
+  CdrEventReader events{cdr_in};
+  CdrEvent event;
+  ASSERT_TRUE(events.next(event));
+  EXPECT_DOUBLE_EQ(event.antenna.lon_deg, -4.2);
+}
+
+TEST(StreamingIo, InterleavedGroupRunsStreamAsSeparateRuns) {
+  // Keys that alternate row-by-row (the worst interleaving) yield one
+  // fingerprint per run and never mix samples across keys.
+  const std::string text =
+      "1,0,100,0,100,10,1,1\n"
+      "2,900,100,900,100,20,1,1\n"
+      "1,0,100,0,100,30,1,1\n"
+      "2,900,100,900,100,40,1,1\n";
+  std::istringstream in{text};
+  DatasetStreamReader reader{in};
+  Fingerprint fp;
+  std::vector<UserId> run_users;
+  while (reader.next(fp)) {
+    ASSERT_EQ(fp.size(), 1u);
+    run_users.push_back(fp.members()[0]);
+  }
+  EXPECT_EQ(run_users, (std::vector<UserId>{1u, 2u, 1u, 2u}));
+}
+
+TEST(StreamingIo, RewindAfterEofRestartsBothReaders) {
+  const FingerprintDataset data = test::small_synth_dataset(6);
+  std::stringstream stream;
+  write_dataset_csv(stream, data);
+
+  DatasetStreamReader reader{stream};
+  Fingerprint fp;
+  std::size_t first_pass = 0;
+  while (reader.next(fp)) ++first_pass;
+  EXPECT_EQ(first_pass, data.size());
+  EXPECT_FALSE(reader.next(fp));  // EOF is stable
+
+  reader.rewind();
+  std::size_t second_pass = 0;
+  while (reader.next(fp)) ++second_pass;
+  EXPECT_EQ(second_pass, first_pass);
+
+  // Rewinding mid-run discards the buffered pending run too.
+  reader.rewind();
+  ASSERT_TRUE(reader.next(fp));
+  reader.rewind();
+  std::size_t third_pass = 0;
+  while (reader.next(fp)) ++third_pass;
+  EXPECT_EQ(third_pass, first_pass);
+}
+
+TEST(StreamingIo, RewindOnUnseekableStreamThrows) {
+  // A reader over a non-seekable stream (pipes, sockets — modelled here
+  // by the default streambuf, whose seekoff always fails) must surface
+  // the problem instead of silently re-reading nothing.
+  struct NoSeekBuf : std::streambuf {};
+  NoSeekBuf buffer;
+  std::istream in{&buffer};
+  DatasetStreamReader reader{in};
+  EXPECT_THROW(reader.rewind(), std::runtime_error);
+}
+
+TEST(FileIo, ParseFailuresReportPathAndLineNumber) {
+  const test::TempDir dir;
+
+  const std::string dataset_path = dir.file("broken_dataset.csv");
+  std::ofstream{dataset_path}
+      << "1,0,100,0,100,10,1,1\n1,0,100,0,100,oops,1,1\n";
+  try {
+    (void)read_dataset_file(dataset_path);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(dataset_path), std::string::npos) << message;
+    EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  }
+
+  const std::string cdr_path = dir.file("broken_trace.csv");
+  std::ofstream{cdr_path} << "# header\n1,2,3\n";
+  try {
+    (void)read_cdr_file(cdr_path);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(cdr_path), std::string::npos) << message;
+    EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  }
+}
+
+TEST(StreamingIo, DatasetStreamWriterMatchesBulkWriter) {
+  const FingerprintDataset data = test::small_synth_dataset(8);
+  std::ostringstream bulk;
+  write_dataset_csv(bulk, data);
+
+  std::ostringstream streamed;
+  DatasetStreamWriter writer{streamed};
+  writer.begin(data.name());
+  for (const Fingerprint& fp : data.fingerprints()) writer.write(fp);
+  EXPECT_EQ(streamed.str(), bulk.str());
 }
 
 }  // namespace

@@ -58,6 +58,16 @@ TEST(Sharded, OutputIsKAnonymousAndLosesNoUser) {
   }
 }
 
+TEST(Sharded, MatchesGoldenDataset) {
+  // Locks the sharded pipeline's exact output bytes across refactors: the
+  // golden was blessed on the dedicated-pool backend (PR 3) and the
+  // streaming rewrite must reproduce it byte for byte.
+  const cdr::FingerprintDataset data = test::small_synth_dataset(60);
+  const ShardedResult result = anonymize_sharded(data, small_shard_config());
+  test::expect_matches_golden("sharded_synth60_k2.csv",
+                              test::dataset_to_csv(result.anonymized));
+}
+
 TEST(Sharded, ByteStableAcrossWorkerCounts) {
   const cdr::FingerprintDataset data = test::small_synth_dataset(80);
   std::string reference;
@@ -151,7 +161,7 @@ TEST(Sharded, EngineValidatesConfig) {
 
   api::RunConfig bad_tile;
   bad_tile.strategy = api::kStrategySharded;
-  bad_tile.sharded.tile_size_m = 0.0;
+  bad_tile.sharded.tile_size_m = -5.0;
   EXPECT_EQ(engine.run(data, bad_tile).error().code,
             api::ErrorCode::kInvalidConfig);
 
@@ -175,6 +185,30 @@ TEST(Sharded, EngineValidatesConfig) {
   bad_workers.sharded.workers = static_cast<std::size_t>(-1);
   EXPECT_EQ(engine.run(data, bad_workers).error().code,
             api::ErrorCode::kInvalidConfig);
+}
+
+TEST(Sharded, AdaptiveTileSizeIsUsedWhenConfiguredZero) {
+  // tile_size_m == 0 derives the tile edge from the observed anchor
+  // density during the planning pass; the resolved value is reported.
+  const glove::Engine engine;
+  api::RunConfig config;
+  config.strategy = api::kStrategySharded;
+  config.k = 2;
+  config.sharded.tile_size_m = 0.0;
+  config.sharded.max_shard_users = 16;
+  const auto result = engine.run(test::small_synth_dataset(60), config);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const double resolved = api::find_metric(result.value(), "tile_size_m");
+  EXPECT_GE(resolved, 1'000.0);
+  EXPECT_LE(resolved, 200'000.0);
+  EXPECT_TRUE(core::is_k_anonymous(result.value().anonymized, 2));
+
+  // Deterministic: the same input resolves to the same decomposition.
+  const auto again = engine.run(test::small_synth_dataset(60), config);
+  ASSERT_TRUE(again.ok());
+  EXPECT_DOUBLE_EQ(api::find_metric(again.value(), "tile_size_m"), resolved);
+  EXPECT_EQ(test::dataset_to_csv(again.value().anonymized),
+            test::dataset_to_csv(result.value().anonymized));
 }
 
 TEST(Sharded, CancellationAbortsWithoutOutput) {

@@ -1,0 +1,230 @@
+// The sharded streaming core: a text-backed stream (parse-on-every-pass,
+// like the file source) must reproduce the in-memory pipeline byte for
+// byte, batching must not change the output, per-pass accounting must add
+// up, and a stream that changes size between passes must be rejected.
+
+#include "glove/shard/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fixtures.hpp"
+#include "common/golden.hpp"
+#include "glove/cdr/io.hpp"
+#include "glove/shard/shard.hpp"
+
+namespace glove::shard {
+namespace {
+
+ShardConfig small_config(std::uint32_t k = 2) {
+  ShardConfig config;
+  config.glove.k = k;
+  config.tile_size_m = 5'000.0;
+  config.max_shard_users = 16;
+  config.halo_m = 500.0;
+  return config;
+}
+
+/// Streams fingerprints out of serialized CSV text, re-parsing on every
+/// pass — the unit-test stand-in for CsvFileSource.
+class TextStream final : public FingerprintStream {
+ public:
+  explicit TextStream(std::string text) : text_{std::move(text)} { rewind(); }
+
+  bool next(cdr::Fingerprint& fingerprint) override {
+    return reader_->next(fingerprint);
+  }
+  void rewind() override {
+    in_ = std::istringstream{text_};
+    reader_.emplace(in_);
+  }
+
+ private:
+  std::string text_;
+  std::istringstream in_;
+  std::optional<cdr::DatasetStreamReader> reader_;
+};
+
+std::vector<cdr::Fingerprint> run_stream(FingerprintStream& stream,
+                                         const ShardConfig& config,
+                                         StreamShardedResult* result_out) {
+  std::vector<cdr::Fingerprint> groups;
+  StreamShardedResult result = anonymize_sharded_stream(
+      stream, config,
+      [&](cdr::Fingerprint&& fp) { groups.push_back(std::move(fp)); });
+  if (result_out != nullptr) *result_out = std::move(result);
+  return groups;
+}
+
+TEST(ShardStream, TextBackedStreamMatchesInMemoryPipeline) {
+  const cdr::FingerprintDataset data = test::small_synth_dataset(60);
+  std::ostringstream serialized;
+  cdr::write_dataset_csv(serialized, data);
+
+  const ShardConfig config = small_config();
+  const ShardedResult reference = anonymize_sharded(data, config);
+
+  TextStream stream{serialized.str()};
+  StreamShardedResult streamed;
+  std::vector<cdr::Fingerprint> groups =
+      run_stream(stream, config, &streamed);
+
+  EXPECT_EQ(test::dataset_to_csv(cdr::FingerprintDataset{std::move(groups)}),
+            test::dataset_to_csv(cdr::FingerprintDataset{
+                {reference.anonymized.fingerprints().begin(),
+                 reference.anonymized.fingerprints().end()}}));
+  EXPECT_EQ(streamed.stats.glove.output_groups,
+            reference.stats.glove.output_groups);
+  EXPECT_EQ(streamed.stats.deferred_fingerprints,
+            reference.stats.deferred_fingerprints);
+  EXPECT_EQ(streamed.stats.shards, reference.stats.shards);
+}
+
+TEST(ShardStream, BatchBoundariesDoNotChangeTheOutput) {
+  const cdr::FingerprintDataset data = test::small_synth_dataset(80);
+  std::ostringstream serialized;
+  cdr::write_dataset_csv(serialized, data);
+  std::string reference;
+  // workers drives the batch budget (max_shard_users x workers), so these
+  // runs cover one-shard-per-pass up to several-shards-per-pass.
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    ShardConfig config = small_config();
+    config.workers = workers;
+    TextStream stream{serialized.str()};
+    StreamShardedResult result;
+    std::vector<cdr::Fingerprint> groups = run_stream(stream, config, &result);
+    const std::string csv =
+        test::dataset_to_csv(cdr::FingerprintDataset{std::move(groups)});
+    if (reference.empty()) {
+      reference = csv;
+    } else {
+      EXPECT_EQ(csv, reference) << "workers=" << workers;
+    }
+    // Every pass reads the whole stream: one planning scan + >= 1 batch.
+    ASSERT_GE(result.pass_fingerprints.size(), 2u) << "workers=" << workers;
+    for (const std::uint64_t count : result.pass_fingerprints) {
+      EXPECT_EQ(count, data.size());
+    }
+  }
+}
+
+TEST(ShardStream, SmallBudgetRunsManyPassesLargeBudgetFew) {
+  const cdr::FingerprintDataset data = test::small_synth_dataset(80);
+  std::ostringstream serialized;
+  cdr::write_dataset_csv(serialized, data);
+  ShardConfig tight = small_config();
+  tight.workers = 1;  // budget = max_shard_users
+  TextStream stream_a{serialized.str()};
+  StreamShardedResult tight_result;
+  (void)run_stream(stream_a, tight, &tight_result);
+
+  ShardConfig wide = small_config();
+  wide.workers = 64;  // budget swallows the whole plan
+  TextStream stream_b{serialized.str()};
+  StreamShardedResult wide_result;
+  (void)run_stream(stream_b, wide, &wide_result);
+
+  EXPECT_GT(tight_result.pass_fingerprints.size(),
+            wide_result.pass_fingerprints.size());
+  EXPECT_EQ(wide_result.pass_fingerprints.size(), 2u);  // scan + one batch
+}
+
+TEST(ShardStream, MaterializedSourceSkipsRestreamingButMatchesOutput) {
+  // An in-memory DatasetStream advertises its backing dataset, so the
+  // pipeline reads by index: one reported (logical) pass, identical
+  // bytes to the text-backed multi-pass run.
+  const cdr::FingerprintDataset data = test::small_synth_dataset(60);
+  std::ostringstream serialized;
+  cdr::write_dataset_csv(serialized, data);
+  const ShardConfig config = small_config();
+
+  DatasetStream memory_stream{data};
+  StreamShardedResult memory_result;
+  std::vector<cdr::Fingerprint> memory_groups =
+      run_stream(memory_stream, config, &memory_result);
+  EXPECT_EQ(memory_result.pass_fingerprints,
+            (std::vector<std::uint64_t>{data.size()}));
+
+  TextStream text_stream{serialized.str()};
+  StreamShardedResult text_result;
+  std::vector<cdr::Fingerprint> text_groups =
+      run_stream(text_stream, config, &text_result);
+  EXPECT_GE(text_result.pass_fingerprints.size(), 2u);
+  EXPECT_EQ(
+      test::dataset_to_csv(cdr::FingerprintDataset{std::move(memory_groups)}),
+      test::dataset_to_csv(cdr::FingerprintDataset{std::move(text_groups)}));
+}
+
+TEST(ShardStream, AdaptiveTileSizeResolvesFromTheScanPass) {
+  const cdr::FingerprintDataset data = test::small_synth_dataset(60);
+  ShardConfig config = small_config();
+  config.tile_size_m = 0.0;  // adaptive
+  DatasetStream stream{data};
+  StreamShardedResult result;
+  std::vector<cdr::Fingerprint> groups = run_stream(stream, config, &result);
+  EXPECT_GE(result.stats.tile_size_m, 1'000.0);
+  EXPECT_LE(result.stats.tile_size_m, 200'000.0);
+  EXPECT_FALSE(groups.empty());
+
+  // Explicitly configuring the resolved size reproduces the run exactly.
+  ShardConfig pinned = small_config();
+  pinned.tile_size_m = result.stats.tile_size_m;
+  DatasetStream again{data};
+  std::vector<cdr::Fingerprint> pinned_groups =
+      run_stream(again, pinned, nullptr);
+  EXPECT_EQ(test::dataset_to_csv(
+                cdr::FingerprintDataset{std::move(pinned_groups)}),
+            test::dataset_to_csv(cdr::FingerprintDataset{std::move(groups)}));
+}
+
+TEST(ShardStream, StreamThatShrinksBetweenPassesIsRejected) {
+  /// Yields the dataset on the first pass, then one fingerprint fewer on
+  /// every later pass — a file truncated mid-run.
+  class ShrinkingStream final : public FingerprintStream {
+   public:
+    explicit ShrinkingStream(const cdr::FingerprintDataset& data)
+        : data_{&data} {}
+    bool next(cdr::Fingerprint& fingerprint) override {
+      const std::size_t limit =
+          passes_ == 0 ? data_->size() : data_->size() - 1;
+      if (cursor_ >= limit) return false;
+      fingerprint = (*data_)[cursor_++];
+      return true;
+    }
+    void rewind() override {
+      cursor_ = 0;
+      ++passes_;
+    }
+
+   private:
+    const cdr::FingerprintDataset* data_;
+    std::size_t cursor_ = 0;
+    std::size_t passes_ = 0;
+  };
+
+  const cdr::FingerprintDataset data = test::small_synth_dataset(40);
+  ShrinkingStream stream{data};
+  EXPECT_THROW((void)run_stream(stream, small_config(), nullptr),
+               util::DatasetError);
+}
+
+TEST(ShardStream, EmptyAndSubKStreamsRaiseDatasetError) {
+  const cdr::FingerprintDataset empty;
+  DatasetStream empty_stream{empty};
+  EXPECT_THROW((void)run_stream(empty_stream, small_config(), nullptr),
+               util::DatasetError);
+
+  const cdr::FingerprintDataset three = test::small_synth_dataset(3);
+  ShardConfig demanding = small_config(100);
+  demanding.max_shard_users = 128;  // keep the *config* itself valid
+  DatasetStream short_stream{three};
+  EXPECT_THROW((void)run_stream(short_stream, demanding, nullptr),
+               util::DatasetError);
+}
+
+}  // namespace
+}  // namespace glove::shard

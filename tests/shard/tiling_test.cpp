@@ -85,10 +85,29 @@ TEST(Tiling, BoundsCoverEverySample) {
   }
 }
 
-TEST(Tiling, RejectsNonPositiveTileSize) {
+TEST(Tiling, RejectsNegativeTileSizeAndResolvesZeroAdaptively) {
   const cdr::FingerprintDataset data = test::paired_dataset();
-  EXPECT_THROW((void)build_tiling(data, 0.0), std::invalid_argument);
   EXPECT_THROW((void)build_tiling(data, -5.0), std::invalid_argument);
+
+  // 0 = adaptive: the tiling records the density-derived edge it used.
+  const Tiling adaptive = build_tiling(data, 0.0, /*max_shard_users=*/16);
+  EXPECT_GT(adaptive.tile_size_m, 0.0);
+  std::size_t members = 0;
+  for (const Tile& tile : adaptive.tiles) members += tile.members.size();
+  EXPECT_EQ(members, data.size());
+}
+
+TEST(Tiling, AdaptiveTileSizeIsDeterministicAndTracksDensity) {
+  const cdr::FingerprintDataset sparse = test::small_synth_dataset(30);
+  const cdr::FingerprintDataset dense = test::small_synth_dataset(120);
+  const Tiling a = build_tiling(sparse, 0.0, 64);
+  const Tiling b = build_tiling(sparse, 0.0, 64);
+  EXPECT_DOUBLE_EQ(a.tile_size_m, b.tile_size_m);
+  // Same area, 4x the fingerprints: tiles shrink (or hit the clamp).
+  const Tiling c = build_tiling(dense, 0.0, 64);
+  EXPECT_LE(c.tile_size_m, a.tile_size_m);
+  EXPECT_GE(c.tile_size_m, 1'000.0);
+  EXPECT_LE(a.tile_size_m, 200'000.0);
 }
 
 }  // namespace

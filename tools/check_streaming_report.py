@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Verify a streaming run report proves out-of-core behavior.
+
+Reads the JSON run report written by `anonymize_csv --report=...` for a
+file-to-file (CsvFileSource -> CsvFileSink) run and asserts:
+
+  * the data plane really was file-to-file (io.source/io.sink);
+  * the source was streamed in multiple passes (planning scan + shard
+    batches), each covering the full dataset;
+  * the process's peak resident set stayed below the given fraction of
+    the dataset's *materialized* size — the memory a collect-first run
+    pays just to hold the samples (56 bytes each: 6 doubles + the
+    contributors counter, before any container overhead), i.e. a strict
+    lower bound on the in-memory representation.
+
+Used by the CI "streaming under capped address space" step together with
+a ulimit -v cap; this script checks the report half of the claim.
+
+Usage:
+  python3 tools/check_streaming_report.py REPORT.json [--max-rss-fraction 0.5]
+
+Exit codes: 0 ok, 1 claim violated, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+BYTES_PER_SAMPLE = 56  # sigma (4 doubles) + tau (2 doubles) + contributors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    parser.add_argument("--max-rss-fraction", type=float, default=0.5,
+                        help="allowed peak RSS as a fraction of the "
+                             "materialized dataset floor (default 0.5)")
+    args = parser.parse_args()
+
+    try:
+        doc = json.loads(open(args.report).read())
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    io = doc.get("io", {})
+    counters = doc.get("counters", {})
+    failures = []
+
+    if io.get("source") != "csv-file" or io.get("sink") != "csv-file":
+        failures.append(f"run was not file-to-file: source={io.get('source')}"
+                        f" sink={io.get('sink')}")
+
+    passes = io.get("pass_fingerprints", [])
+    if len(passes) < 3:
+        failures.append(f"expected a planning pass plus >= 2 batch passes, "
+                        f"got {len(passes)}: {passes}")
+    if passes and len(set(passes)) != 1:
+        failures.append(f"passes streamed different fingerprint counts "
+                        f"(source changed mid-run?): {passes}")
+
+    samples = counters.get("input_samples", 0)
+    floor = samples * BYTES_PER_SAMPLE
+    peak = io.get("peak_rss_bytes", 0)
+    if samples == 0:
+        failures.append("report holds no input_samples")
+    if peak == 0:
+        failures.append("report holds no peak_rss_bytes")
+    ceiling = int(floor * args.max_rss_fraction)
+    print(f"passes over the source: {len(passes)} x "
+          f"{passes[0] if passes else 0} fingerprints")
+    print(f"materialized floor: {samples:,} samples -> {floor / 2**20:.1f} "
+          f"MiB; peak rss {peak / 2**20:.1f} MiB "
+          f"(ceiling {ceiling / 2**20:.1f} MiB)")
+    if peak >= ceiling:
+        failures.append(
+            f"peak rss {peak:,} B not below {args.max_rss_fraction:.0%} of "
+            f"the materialized dataset floor {floor:,} B — the run did not "
+            "stay out-of-core")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("ok: streaming run stayed out-of-core")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
