@@ -74,6 +74,11 @@ struct RunConfig {
     shard::BorderPolicy border = shard::BorderPolicy::kHalo;
     /// Border strip width for kHalo, metres.
     double halo_m = 1'000.0;
+    /// Streaming runs: deferred fingerprints materialized per
+    /// halo-reconciliation pass (whole reconcile chunks per pass; 0 = the
+    /// shard batch budget).  Does not change the output bytes — only how
+    /// many rewound passes the reconciliation spends.
+    std::size_t reconcile_chunk_users = 0;
   } sharded;
 
   struct IncrementalSection {

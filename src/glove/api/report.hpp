@@ -69,6 +69,7 @@ struct ConfigEcho {
   std::size_t sharded_workers = 0;
   std::string sharded_border;
   double sharded_halo_m = 0.0;
+  std::size_t sharded_reconcile_chunk_users = 0;
   double w4m_delta_m = 0.0;
   double w4m_trash_fraction = 0.0;
   std::size_t w4m_chunk_size = 0;

@@ -20,6 +20,9 @@ struct Trajectory {
   std::vector<double> t;
   std::vector<double> x;
   std::vector<double> y;
+  /// Original samples each point represents (Sample::contributors);
+  /// deletion accounting is in original samples everywhere.
+  std::vector<std::uint32_t> c;
 
   [[nodiscard]] std::size_t size() const noexcept { return t.size(); }
   [[nodiscard]] double t_begin() const noexcept { return t.front(); }
@@ -52,10 +55,12 @@ Trajectory to_trajectory(const cdr::Fingerprint& fp) {
   traj.t.reserve(fp.size());
   traj.x.reserve(fp.size());
   traj.y.reserve(fp.size());
+  traj.c.reserve(fp.size());
   for (const cdr::Sample& s : fp.samples()) {
     traj.t.push_back(s.tau.t);
     traj.x.push_back(s.sigma.x + s.sigma.dx / 2);
     traj.y.push_back(s.sigma.y + s.sigma.dy / 2);
+    traj.c.push_back(s.contributors);
   }
   return traj;
 }
@@ -186,10 +191,13 @@ W4MResult anonymize_w4m(const cdr::FingerprintDataset& data,
       if ((!std::isfinite(mean_distance) ||
            mean_distance > outlier_threshold_m(config)) &&
           trash_budget > 0) {
-        // Outlier: to the trash bin.
+        // Outlier: to the trash bin.  Deletion is counted in *original*
+        // samples (summed contributors), the one definition every
+        // suppression path shares (core GLOVE leftovers, shard
+        // reconciliation, this baseline).
         --trash_budget;
         stats.discarded_fingerprints += data[pivot].group_size();
-        stats.deleted_samples += data[pivot].size();
+        stats.deleted_samples += data[pivot].total_contributors();
         unassigned.erase(unassigned.begin());
         hooks.report(++consumed, total_work);
         continue;
@@ -232,7 +240,7 @@ W4MResult anonymize_w4m(const cdr::FingerprintDataset& data,
         best_cluster->push_back(id);
       } else {
         stats.discarded_fingerprints += data[id].group_size();
-        stats.deleted_samples += data[id].size();
+        stats.deleted_samples += data[id].total_contributors();
       }
     }
   }
@@ -315,7 +323,9 @@ W4MResult anonymize_w4m(const cdr::FingerprintDataset& data,
             // The sample had to be translated in time ("wait for me").
             // It is neither created nor deleted, only displaced.
           }
-          stats.deleted_samples += assigned[slot].size() - 1;
+          for (const std::size_t s : assigned[slot]) {
+            if (s != best) stats.deleted_samples += traj.c[s];
+          }
         }
         member_points[mi][slot] = point;
         slot_positions[slot].x_m += point.position.x_m;

@@ -45,6 +45,18 @@ double axis_gap(double lo_a, double hi_a, double lo_b, double hi_b) {
 
 }  // namespace
 
+std::uint64_t locality_sort_key(const FingerprintBounds& bounds) noexcept {
+  // 1 km quantization of the bounding-box centre, offset to keep values
+  // positive, then Morton-interleaved.
+  const auto quantize = [](double v) {
+    const double q = v / 1'000.0 + 1'000'000.0;
+    return static_cast<std::uint32_t>(std::max(0.0, q));
+  };
+  const std::uint32_t qx = quantize(bounds.box.x + bounds.box.dx / 2);
+  const std::uint32_t qy = quantize(bounds.box.y + bounds.box.dy / 2);
+  return geo::morton_interleave(qx, qy);
+}
+
 double stretch_lower_bound(const FingerprintBounds& a,
                            const FingerprintBounds& b,
                            const StretchLimits& limits) {
@@ -155,15 +167,7 @@ GloveResult anonymize_chunked(const cdr::FingerprintDataset& data,
   std::vector<Key> keys;
   keys.reserve(data.size());
   for (std::size_t i = 0; i < data.size(); ++i) {
-    const FingerprintBounds b = fingerprint_bounds(data[i]);
-    const auto quantize = [](double v) {
-      // 1 km quantization, offset to keep values positive.
-      const double q = v / 1'000.0 + 1'000'000.0;
-      return static_cast<std::uint32_t>(std::max(0.0, q));
-    };
-    const std::uint32_t qx = quantize(b.box.x + b.box.dx / 2);
-    const std::uint32_t qy = quantize(b.box.y + b.box.dy / 2);
-    keys.push_back(Key{geo::morton_interleave(qx, qy), i});
+    keys.push_back(Key{locality_sort_key(fingerprint_bounds(data[i])), i});
   }
   std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
     if (a.morton != b.morton) return a.morton < b.morton;

@@ -44,6 +44,15 @@ struct FingerprintBounds {
                                          const FingerprintBounds& b,
                                          const StretchLimits& limits);
 
+/// The locality-sort key of `anonymize_chunked`: the Morton interleave of
+/// the bounding-box centre quantized to 1 km.  Exposed so that planners
+/// working from precomputed bounds (the sharded backend's streaming
+/// reconciliation) partition into exactly the chunks anonymize_chunked
+/// would build — byte-identical chunk membership is what keeps the two
+/// paths' outputs equal.
+[[nodiscard]] std::uint64_t locality_sort_key(
+    const FingerprintBounds& bounds) noexcept;
+
 /// Chunked GLOVE configuration.
 struct ChunkedConfig {
   GloveConfig glove;

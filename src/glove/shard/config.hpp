@@ -60,6 +60,17 @@ struct ShardConfig {
   /// fingerprint is deferred when its bounding box, inflated by this
   /// margin, touches a tile owned by a different shard.
   double halo_m = 1'000.0;
+
+  /// Streaming-run budget for the halo-reconciliation phase: at most this
+  /// many deferred fingerprints are materialized per rewound
+  /// reconciliation pass (passes close on whole reconcile units — the
+  /// >=k pass-throughs, each locality-sorted GLOVE chunk, the leftover
+  /// tail — and a single unit larger than the budget still forms its own
+  /// pass).  0 = the shard batch budget (max_shard_users x scheduler
+  /// workers).  Only pass boundaries move: the reconciliation GLOVE
+  /// chunking itself is fixed by max_shard_users, so the output bytes are
+  /// identical for every budget.
+  std::size_t reconcile_chunk_users = 0;
 };
 
 }  // namespace glove::shard

@@ -36,6 +36,10 @@ struct ShardedStats {
   std::size_t deferred_fingerprints = 0;
   std::size_t reconciled_groups = 0;
   std::size_t absorbed_leftovers = 0;
+  /// Rewound passes over the source spent materializing reconciliation
+  /// chunks (streaming runs with a true — non-materialized — source only;
+  /// 0 for in-memory runs, which fetch leftovers by index).
+  std::size_t reconcile_passes = 0;
   /// Tile edge actually used: the configured tile_size_m, or the
   /// density-derived choice when the config asked for adaptive (0).
   double tile_size_m = 0.0;

@@ -165,8 +165,12 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
   // Absorbing a sub-k tail (fewer than k deferred singles under
   // kMergeIntoNearest) rewrites the nearest already-finalized group, so
   // nothing may leave before reconciliation; that rare case buffers the
-  // output groups instead of streaming them out.  Every other tail shape
-  // only appends, so groups flow to the emitter as shards complete.
+  // output groups instead of streaming them out (and materializes its
+  // leftovers during the shard batch passes — they are at most k-1 sub-k
+  // fingerprints plus the >=k pass-throughs).  Every other tail shape
+  // only appends, so groups flow to the emitter as shards complete and
+  // the deferred leftovers are materialized later, chunk by chunk, by the
+  // streaming reconciliation passes.
   const bool buffered =
       resolved.glove.leftover_policy == core::LeftoverPolicy::kMergeIntoNearest &&
       subk_deferred > 0 && subk_deferred < resolved.glove.k;
@@ -195,23 +199,26 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
   const std::size_t batch_budget = std::max<std::size_t>(
       resolved.max_shard_users * scheduler.size(), 1);
 
-  const std::uint64_t total_work = n + 1;  // +1: reconciliation
+  const std::uint64_t total_work = n + 1;  // +1: the final reconcile tick
   hooks.report(0, total_work);
-  std::vector<cdr::Fingerprint> leftovers;
-  leftovers.reserve(deferred_total);
+  std::vector<cdr::Fingerprint> leftovers;  // buffered mode only
+  if (buffered) leftovers.reserve(deferred_total);
   std::mutex progress_mutex;
   std::uint64_t done = 0;
   util::RunHooks inner;
   inner.cancel = hooks.cancel;
+  const cdr::FingerprintDataset* inmem = source.materialized();
 
   for (std::size_t first = 0; first < shard_count;) {
     // Close the batch before the budget breaks; a single oversized shard
-    // still forms its own batch.
+    // still forms its own batch.  Deferred fingerprints ride along (and
+    // count against the budget) only in buffered mode — the streaming
+    // reconciliation materializes them in its own passes otherwise.
     std::size_t last = first;
     std::size_t batch_members = 0;
     while (last < shard_count) {
-      const std::size_t members =
-          split.kept[last].size() + split.deferred[last].size();
+      std::size_t members = split.kept[last].size();
+      if (buffered) members += split.deferred[last].size();
       if (last > first && batch_members + members > batch_budget) break;
       batch_members += members;
       ++last;
@@ -220,7 +227,6 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
     // Materialized sources hand fingerprints out by index (one copy per
     // batch member, as the pre-streaming runner did); true streams are
     // re-read whole, keeping only this batch's members.
-    const cdr::FingerprintDataset* inmem = source.materialized();
     std::unordered_map<std::uint32_t, std::uint32_t> slot_of_id;
     std::vector<cdr::Fingerprint> store;
     if (inmem == nullptr) {
@@ -231,8 +237,10 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
         for (const std::uint32_t id : split.kept[s]) {
           slot_of_id[id] = next_slot++;
         }
-        for (const std::uint32_t id : split.deferred[s]) {
-          slot_of_id[id] = next_slot++;
+        if (buffered) {
+          for (const std::uint32_t id : split.deferred[s]) {
+            slot_of_id[id] = next_slot++;
+          }
         }
       }
       result.pass_fingerprints.push_back(
@@ -243,10 +251,12 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
       return std::move(store[slot_of_id.at(id)]);
     };
 
-    // Leftovers keep their (shard, member) order across batches.
-    for (std::size_t s = first; s < last; ++s) {
-      for (const std::uint32_t id : split.deferred[s]) {
-        leftovers.push_back(fetch(id));
+    // Buffered leftovers keep their (shard, member) order across batches.
+    if (buffered) {
+      for (std::size_t s = first; s < last; ++s) {
+        for (const std::uint32_t id : split.deferred[s]) {
+          leftovers.push_back(fetch(id));
+        }
       }
     }
 
@@ -303,8 +313,11 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
   // shard groups exactly as in the buffered layout.
   hooks.throw_if_cancelled();
   if (buffered) {
-    const ReconcileStats reconcile =
-        reconcile_leftovers(std::move(leftovers), held, resolved, hooks);
+    // Progress inside the reconcile is reported in leftover units; shift
+    // it past the kept fingerprints already counted.
+    const ReconcileStats reconcile = reconcile_leftovers(
+        std::move(leftovers), held, resolved,
+        util::subrange_hooks(hooks, done, deferred_total, total_work));
     result.stats.glove.accumulate_costs(reconcile.glove);
     result.stats.reconciled_groups = reconcile.reconciled_groups;
     result.stats.absorbed_leftovers = reconcile.absorbed;
@@ -315,14 +328,135 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
       emit(std::move(fp));
     }
   } else {
-    std::vector<cdr::Fingerprint> tail;
-    const ReconcileStats reconcile =
-        reconcile_leftovers(std::move(leftovers), tail, resolved, hooks);
-    result.stats.glove.accumulate_costs(reconcile.glove);
-    result.stats.reconciled_groups = reconcile.reconciled_groups;
-    result.stats.absorbed_leftovers = reconcile.absorbed;
-    result.stats.reconcile_seconds = reconcile.seconds;
-    for (cdr::Fingerprint& fp : tail) deliver(std::move(fp));
+    // Streaming reconciliation: plan the whole phase from pass-1 residue
+    // (per-fingerprint bounds kept by the tiling, group sizes from the
+    // scan), then materialize one budget's worth of reconcile units per
+    // rewound pass — the leftover analogue of the shard batches.  No
+    // fingerprint is held before the pass that consumes it, so the
+    // O(borders) term of the old whole-materialize reconcile is gone.
+    const auto reconcile_start = Clock::now();
+    ReconcileStats rstats;
+
+    // Leftover ids in (shard, member) order — the exact sequence the
+    // buffered path would materialize.
+    std::vector<std::uint32_t> leftover_ids;
+    leftover_ids.reserve(deferred_total);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      for (const std::uint32_t id : split.deferred[s]) {
+        leftover_ids.push_back(id);
+      }
+    }
+    std::vector<core::FingerprintBounds> leftover_bounds;
+    std::vector<std::uint32_t> leftover_sizes;
+    leftover_bounds.reserve(leftover_ids.size());
+    leftover_sizes.reserve(leftover_ids.size());
+    for (const std::uint32_t id : leftover_ids) {
+      leftover_bounds.push_back(tiling.bounds[id]);
+      leftover_sizes.push_back(scan.group_sizes[id]);
+    }
+    const ReconcilePlan rplan =
+        plan_reconcile(leftover_bounds, leftover_sizes, resolved);
+
+    // One pass materializes whole units in phase order: the >= k
+    // pass-throughs, each GLOVE chunk, then the policy tail.  (The tail
+    // here is suppress-only: a sub-k tail under kMergeIntoNearest took
+    // the buffered branch above.)
+    enum class UnitKind { kPassthrough, kChunk, kTail };
+    struct Unit {
+      UnitKind kind;
+      const std::vector<std::uint32_t>* positions;
+    };
+    std::vector<Unit> units;
+    units.reserve(rplan.chunks.size() + 2);
+    if (!rplan.passthrough.empty()) {
+      units.push_back({UnitKind::kPassthrough, &rplan.passthrough});
+    }
+    for (const std::vector<std::uint32_t>& chunk : rplan.chunks) {
+      units.push_back({UnitKind::kChunk, &chunk});
+    }
+    if (!rplan.tail.empty()) {
+      units.push_back({UnitKind::kTail, &rplan.tail});
+    }
+    const std::size_t reconcile_budget =
+        resolved.reconcile_chunk_users > 0 ? resolved.reconcile_chunk_users
+                                           : batch_budget;
+
+    const std::function<void(cdr::Fingerprint&&)> emit_group = deliver;
+    for (std::size_t first_u = 0; first_u < units.size();) {
+      std::size_t last_u = first_u;
+      std::size_t pass_members = 0;
+      while (last_u < units.size()) {
+        const std::size_t members = units[last_u].positions->size();
+        if (last_u > first_u && pass_members + members > reconcile_budget) {
+          break;
+        }
+        pass_members += members;
+        ++last_u;
+      }
+
+      std::unordered_map<std::uint32_t, std::uint32_t> slot_of_id;
+      std::vector<cdr::Fingerprint> store;
+      if (inmem == nullptr) {
+        slot_of_id.reserve(pass_members);
+        store.resize(pass_members);
+        std::uint32_t next_slot = 0;
+        for (std::size_t u = first_u; u < last_u; ++u) {
+          for (const std::uint32_t position : *units[u].positions) {
+            slot_of_id[leftover_ids[position]] = next_slot++;
+          }
+        }
+        result.pass_fingerprints.push_back(
+            materialize_pass(source, slot_of_id, store, n, hooks));
+        ++result.stats.reconcile_passes;
+      }
+      const auto fetch = [&](std::uint32_t id) -> cdr::Fingerprint {
+        if (inmem != nullptr) return (*inmem)[id];
+        return std::move(store[slot_of_id.at(id)]);
+      };
+
+      for (std::size_t u = first_u; u < last_u; ++u) {
+        const Unit& unit = units[u];
+        switch (unit.kind) {
+          case UnitKind::kPassthrough: {
+            for (const std::uint32_t position : *unit.positions) {
+              deliver(fetch(leftover_ids[position]));
+            }
+            done += unit.positions->size();
+            hooks.report(done, total_work);
+            break;
+          }
+          case UnitKind::kChunk: {
+            hooks.throw_if_cancelled();
+            std::vector<cdr::Fingerprint> members;
+            members.reserve(unit.positions->size());
+            for (const std::uint32_t position : *unit.positions) {
+              members.push_back(fetch(leftover_ids[position]));
+            }
+            reconcile_chunk(std::move(members), resolved, rstats, emit_group,
+                            util::subrange_hooks(hooks, done,
+                                                 unit.positions->size(),
+                                                 total_work));
+            done += unit.positions->size();
+            hooks.report(done, total_work);
+            break;
+          }
+          case UnitKind::kTail: {
+            for (const std::uint32_t position : *unit.positions) {
+              count_suppressed_leftover(fetch(leftover_ids[position]),
+                                        rstats);
+              hooks.report(++done, total_work);
+            }
+            break;
+          }
+        }
+      }
+      first_u = last_u;
+    }
+
+    result.stats.glove.accumulate_costs(rstats.glove);
+    result.stats.reconciled_groups = rstats.reconciled_groups;
+    result.stats.absorbed_leftovers = rstats.absorbed;
+    result.stats.reconcile_seconds = seconds_since(reconcile_start);
   }
 
   result.stats.glove.output_groups = emitted_groups;

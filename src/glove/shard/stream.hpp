@@ -8,14 +8,21 @@
 //   pass 2+ — rewind and re-scan once per shard batch, materializing only
 //             the fingerprints of the shards currently running; finished
 //             groups are pushed to the emitter as each batch completes
-//             and freed immediately.
+//             and freed immediately;
+//   pass N+ — rewind once per reconciliation chunk batch: the deferred
+//             border leftovers are partitioned into locality-sorted GLOVE
+//             chunks from their pass-1 bounds alone and each pass
+//             materializes one budget's worth (reconcile_chunk_users),
+//             mirroring the shard batches.
 //
 // Peak sample memory is O(largest batch) — bounded by max_shard_users x
-// scheduler workers — instead of O(dataset).  The output is byte-identical
-// to the in-memory pipeline (anonymize_sharded is now a thin wrapper over
-// this core), including the rare absorb-leftovers tail case, which falls
-// back to buffering the output groups because absorption may rewrite any
-// already-finalized group.
+// scheduler workers for the shard phase and by reconcile_chunk_users for
+// the halo reconciliation — instead of O(dataset) or O(borders).  The
+// output is byte-identical to the in-memory pipeline (anonymize_sharded
+// is now a thin wrapper over this core) for every budget, including the
+// rare absorb-leftovers tail case, which falls back to buffering the
+// output groups because absorption may rewrite any already-finalized
+// group.
 
 #ifndef GLOVE_SHARD_STREAM_HPP
 #define GLOVE_SHARD_STREAM_HPP
@@ -89,9 +96,10 @@ struct StreamShardedResult {
   /// Per-shard sizes and wall-clock, in shard order.
   std::vector<ShardTiming> shard_timings;
   /// Fingerprints read from the stream on each pass (the planning scan,
-  /// then one entry per shard-batch materialization pass).  A
-  /// materialized() source is never re-streamed, so it reports the single
-  /// scan pass.
+  /// one entry per shard-batch materialization pass, then one per
+  /// reconciliation chunk pass — stats.reconcile_passes counts those).
+  /// A materialized() source is never re-streamed, so it reports the
+  /// single scan pass.
   std::vector<std::uint64_t> pass_fingerprints;
 };
 
@@ -101,10 +109,12 @@ struct StreamShardedResult {
 /// max_shard_users >= glove.k (std::invalid_argument otherwise); a stream
 /// holding fewer than k fingerprints raises util::DatasetError.
 /// Deterministic for a given stream content and configuration,
-/// independent of `workers` and of batch boundaries.  Progress units are
-/// streamed fingerprints plus one reconciliation unit; cancellation
-/// aborts with util::CancelledError (groups already emitted stay with the
-/// emitter — file sinks may hold a partial dataset on failure).
+/// independent of `workers` and of batch boundaries (shard and reconcile
+/// budgets alike).  Progress units are input fingerprints — kept ones as
+/// their shard completes, deferred ones as reconciliation consumes them —
+/// plus one final reconcile tick; cancellation aborts with
+/// util::CancelledError (groups already emitted stay with the emitter —
+/// file sinks may hold a partial dataset on failure).
 [[nodiscard]] StreamShardedResult anonymize_sharded_stream(
     FingerprintStream& source, const ShardConfig& config,
     const GroupEmitter& emit, const util::RunHooks& hooks = {});

@@ -140,6 +140,32 @@ TEST(W4M, TrashBinDiscardsOutliers) {
   EXPECT_GE(result.stats.discarded_fingerprints, 1u);
 }
 
+TEST(W4M, TrashedFingerprintCountsOriginalSamplesDeleted) {
+  // Deletion accounting is in *original* samples (summed contributors),
+  // the one definition shared with the GLOVE suppression paths — not raw
+  // (possibly already-merged) sample counts.  The outlier here is a
+  // previously merged pair whose samples each represent two originals; it
+  // coexists with nobody, so its distance to every cluster is infinite
+  // and it is deterministically discarded.
+  std::vector<cdr::Fingerprint> fps;
+  for (cdr::UserId u = 0; u < 4; ++u) {
+    fps.push_back(line_user(u, u * 150.0, u * 3.0));
+  }
+  cdr::Fingerprint outlier = line_user(9, 0.0, 100'000.0);
+  std::vector<cdr::Sample> merged_samples{outlier.samples().begin(),
+                                          outlier.samples().end()};
+  for (cdr::Sample& s : merged_samples) s.contributors = 2;
+  cdr::Fingerprint merged{{9u, 10u}, std::move(merged_samples)};
+  const std::uint64_t original_samples = merged.total_contributors();
+  ASSERT_EQ(original_samples, 2 * merged.size());
+  fps.push_back(std::move(merged));
+
+  const W4MResult result =
+      anonymize_w4m(cdr::FingerprintDataset{std::move(fps)}, {});
+  EXPECT_EQ(result.stats.discarded_fingerprints, 2u);  // the merged pair
+  EXPECT_EQ(result.stats.deleted_samples, original_samples);
+}
+
 TEST(W4M, StatsErrorVectorsMatchMeans) {
   const W4MResult result = anonymize_w4m(parallel_users(8, 250.0), {});
   ASSERT_FALSE(result.stats.position_errors_m.empty());

@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/fixtures.hpp"
@@ -130,7 +133,11 @@ TEST(ShardStream, SmallBudgetRunsManyPassesLargeBudgetFew) {
 
   EXPECT_GT(tight_result.pass_fingerprints.size(),
             wide_result.pass_fingerprints.size());
-  EXPECT_EQ(wide_result.pass_fingerprints.size(), 2u);  // scan + one batch
+  // scan + one shard batch + one reconcile pass (deferred fingerprints
+  // are materialized by the reconcile phase, not with the batches).
+  EXPECT_EQ(wide_result.pass_fingerprints.size(),
+            2u + wide_result.stats.reconcile_passes);
+  EXPECT_LE(wide_result.stats.reconcile_passes, 1u);
 }
 
 TEST(ShardStream, MaterializedSourceSkipsRestreamingButMatchesOutput) {
@@ -179,6 +186,149 @@ TEST(ShardStream, AdaptiveTileSizeResolvesFromTheScanPass) {
   EXPECT_EQ(test::dataset_to_csv(
                 cdr::FingerprintDataset{std::move(pinned_groups)}),
             test::dataset_to_csv(cdr::FingerprintDataset{std::move(groups)}));
+}
+
+TEST(ShardStream, BorderedReconcileBudgetsAreByteIdenticalToInMemory) {
+  // The streaming reconciliation (deferred leftovers materialized chunk
+  // by chunk on rewound passes) must reproduce the in-memory pipeline —
+  // and the blessed pre-refactor golden — for every reconcile budget and
+  // worker count.  The budget only moves pass boundaries.
+  const cdr::FingerprintDataset data = test::small_synth_dataset(60);
+  std::ostringstream serialized;
+  cdr::write_dataset_csv(serialized, data);
+  const ShardConfig config = small_config();
+
+  const ShardedResult reference = anonymize_sharded(data, config);
+  test::expect_matches_golden("sharded_synth60_k2.csv",
+                              test::dataset_to_csv(reference.anonymized));
+  // Streamed groups are compared name-stripped (the emitter yields bare
+  // fingerprints; the Engine adds the dataset name at the sink).
+  const std::string reference_csv = test::dataset_to_csv(
+      cdr::FingerprintDataset{{reference.anonymized.fingerprints().begin(),
+                               reference.anonymized.fingerprints().end()}});
+  ASSERT_GT(reference.stats.deferred_fingerprints, 0u);
+
+  for (const std::size_t budget :
+       {std::size_t{1}, std::size_t{0},
+        std::numeric_limits<std::size_t>::max()}) {
+    for (const std::size_t workers : {1u, 4u}) {
+      ShardConfig bordered = config;
+      bordered.reconcile_chunk_users = budget;
+      bordered.workers = workers;
+      TextStream stream{serialized.str()};
+      StreamShardedResult result;
+      std::vector<cdr::Fingerprint> groups =
+          run_stream(stream, bordered, &result);
+      EXPECT_EQ(test::dataset_to_csv(
+                    cdr::FingerprintDataset{std::move(groups)}),
+                reference_csv)
+          << "budget=" << budget << " workers=" << workers;
+      EXPECT_EQ(result.stats.deferred_fingerprints,
+                reference.stats.deferred_fingerprints);
+      EXPECT_GE(result.stats.reconcile_passes, 1u);
+    }
+  }
+}
+
+TEST(ShardStream, ReconcilePassAccountingAddsUp) {
+  const cdr::FingerprintDataset data = test::small_synth_dataset(60);
+  std::ostringstream serialized;
+  cdr::write_dataset_csv(serialized, data);
+
+  // A wide halo over small shards defers enough sub-k fingerprints for
+  // several GLOVE chunks, so the budget really moves pass boundaries.
+  ShardConfig base = small_config();
+  base.max_shard_users = 8;
+  base.halo_m = 2'000.0;
+
+  // Tightest budget: every reconcile unit gets its own rewound pass.
+  ShardConfig tight = base;
+  tight.workers = 1;
+  tight.reconcile_chunk_users = 1;
+  TextStream stream{serialized.str()};
+  StreamShardedResult tight_result;
+  (void)run_stream(stream, tight, &tight_result);
+  ASSERT_GE(tight_result.stats.reconcile_passes, 1u);
+  // Planning scan + >= 1 shard batch + the reconcile passes, every pass
+  // streaming the full dataset.
+  EXPECT_GE(tight_result.pass_fingerprints.size(),
+            2u + tight_result.stats.reconcile_passes);
+  for (const std::uint64_t count : tight_result.pass_fingerprints) {
+    EXPECT_EQ(count, data.size());
+  }
+
+  // Unbounded budget: the whole reconcile phase in one pass.
+  ShardConfig wide = base;
+  wide.workers = 1;
+  wide.reconcile_chunk_users = std::numeric_limits<std::size_t>::max();
+  TextStream wide_stream{serialized.str()};
+  StreamShardedResult wide_result;
+  (void)run_stream(wide_stream, wide, &wide_result);
+  EXPECT_EQ(wide_result.stats.reconcile_passes, 1u);
+  EXPECT_GT(tight_result.stats.reconcile_passes,
+            wide_result.stats.reconcile_passes);
+
+  // Materialized sources fetch leftovers by index: no rewound passes.
+  DatasetStream memory_stream{data};
+  StreamShardedResult memory_result;
+  (void)run_stream(memory_stream, tight, &memory_result);
+  EXPECT_EQ(memory_result.stats.reconcile_passes, 0u);
+  EXPECT_EQ(memory_result.pass_fingerprints,
+            (std::vector<std::uint64_t>{data.size()}));
+}
+
+TEST(ShardStream, ProgressCountsDeferredFingerprintsDuringReconcile) {
+  // Progress must keep advancing through the reconcile phase: the last
+  // report before the final tick covers all n fingerprints, kept and
+  // deferred alike (deferred ones used to stall below n).
+  const cdr::FingerprintDataset data = test::small_synth_dataset(60);
+  DatasetStream stream{data};
+  util::RunHooks hooks;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> reports;
+  hooks.progress = [&](std::uint64_t done, std::uint64_t total) {
+    reports.emplace_back(done, total);
+  };
+  StreamShardedResult result = anonymize_sharded_stream(
+      stream, small_config(), [](cdr::Fingerprint&&) {}, hooks);
+  ASSERT_GT(result.stats.deferred_fingerprints, 0u);
+  ASSERT_FALSE(reports.empty());
+  const std::uint64_t total = static_cast<std::uint64_t>(data.size()) + 1;
+  EXPECT_EQ(reports.back().first, total);
+  EXPECT_EQ(reports.back().second, total);
+  // The second-to-last distinct value must already cover every
+  // fingerprint — reconcile consumed the deferred ones.
+  ASSERT_GE(reports.size(), 2u);
+  EXPECT_EQ(reports[reports.size() - 2].first, data.size());
+}
+
+TEST(ShardStream, CancellationFiresMidReconcileChunk) {
+  const cdr::FingerprintDataset data = test::small_synth_dataset(60);
+  std::ostringstream serialized;
+  cdr::write_dataset_csv(serialized, data);
+  ShardConfig config = small_config();
+  config.workers = 1;
+  config.reconcile_chunk_users = 1;  // one GLOVE chunk per rewound pass
+
+  // Probe run: learn where the reconcile phase starts (progress counts
+  // kept fingerprints first) and confirm a reconciliation GLOVE actually
+  // runs, so the cancel below lands inside a chunk.
+  TextStream probe{serialized.str()};
+  StreamShardedResult full;
+  (void)run_stream(probe, config, &full);
+  ASSERT_GT(full.stats.reconciled_groups, 0u);
+  const std::uint64_t kept =
+      data.size() - full.stats.deferred_fingerprints;
+
+  util::CancellationToken token;
+  util::RunHooks hooks;
+  hooks.cancel = token;
+  hooks.progress = [&](std::uint64_t done, std::uint64_t) {
+    if (done > kept) token.request_cancel();
+  };
+  TextStream stream{serialized.str()};
+  EXPECT_THROW((void)anonymize_sharded_stream(
+                   stream, config, [](cdr::Fingerprint&&) {}, hooks),
+               util::CancelledError);
 }
 
 TEST(ShardStream, StreamThatShrinksBetweenPassesIsRejected) {

@@ -6,7 +6,13 @@ file-to-file (CsvFileSource -> CsvFileSink) run and asserts:
 
   * the data plane really was file-to-file (io.source/io.sink);
   * the source was streamed in multiple passes (planning scan + shard
-    batches), each covering the full dataset;
+    batches + halo-reconcile chunk passes), each covering the full
+    dataset;
+  * the reconciliation itself streamed: the report counts at least
+    --min-reconcile-passes rewound reconcile passes (set 0 for
+    --border=none runs, which defer nothing), and they are a strict
+    subset of the total passes (a planning scan and at least one shard
+    batch always precede them);
   * the process's peak resident set stayed below the given fraction of
     the dataset's *materialized* size — the memory a collect-first run
     pays just to hold the samples (56 bytes each: 6 doubles + the
@@ -35,6 +41,9 @@ def main() -> int:
     parser.add_argument("--max-rss-fraction", type=float, default=0.5,
                         help="allowed peak RSS as a fraction of the "
                              "materialized dataset floor (default 0.5)")
+    parser.add_argument("--min-reconcile-passes", type=int, default=1,
+                        help="required halo-reconcile chunk passes "
+                             "(default 1; use 0 for --border=none runs)")
     args = parser.parse_args()
 
     try:
@@ -58,6 +67,22 @@ def main() -> int:
     if passes and len(set(passes)) != 1:
         failures.append(f"passes streamed different fingerprint counts "
                         f"(source changed mid-run?): {passes}")
+    if passes and min(passes) <= 0:
+        failures.append(f"a pass streamed no fingerprints: {passes}")
+
+    metrics = doc.get("metrics", {})
+    reconcile_passes = int(metrics.get("reconcile_passes", 0))
+    if reconcile_passes < args.min_reconcile_passes:
+        failures.append(
+            f"expected >= {args.min_reconcile_passes} halo-reconcile chunk "
+            f"passes, report counts {reconcile_passes} — the bordered "
+            "reconciliation did not stream")
+    # Planning scan + >= 1 shard batch always precede the reconcile
+    # passes, so they must account for strictly fewer than len - 2.
+    if reconcile_passes > max(0, len(passes) - 2):
+        failures.append(
+            f"reconcile_passes={reconcile_passes} does not leave room for "
+            f"the planning scan and a shard batch in {len(passes)} passes")
 
     samples = counters.get("input_samples", 0)
     floor = samples * BYTES_PER_SAMPLE
@@ -68,7 +93,8 @@ def main() -> int:
         failures.append("report holds no peak_rss_bytes")
     ceiling = int(floor * args.max_rss_fraction)
     print(f"passes over the source: {len(passes)} x "
-          f"{passes[0] if passes else 0} fingerprints")
+          f"{passes[0] if passes else 0} fingerprints "
+          f"({reconcile_passes} reconcile)")
     print(f"materialized floor: {samples:,} samples -> {floor / 2**20:.1f} "
           f"MiB; peak rss {peak / 2**20:.1f} MiB "
           f"(ceiling {ceiling / 2**20:.1f} MiB)")
