@@ -1,0 +1,119 @@
+// Dataset ingest throughput: CSV parse vs glovebin decode (ROADMAP
+// "Lossless dataset round-trips").  Streaming sharded runs re-read the
+// source once per pass, so ingest speed multiplies across the whole run —
+// the glovebin format exists to turn that repeated double-parsing into
+// block decodes.  The harness writes the same synthetic dataset in both
+// formats, drains each through its DatasetSource several times and prints
+// per-format throughput plus the speedup, after verifying the two
+// spellings serialize byte-identically (the format's losslessness claim).
+//
+//   GLOVE_USERS=50000 ./build/bench/bench_ingest
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+
+#include "common/bench_common.hpp"
+#include "glove/api/source.hpp"
+#include "glove/cdr/binio.hpp"
+#include "glove/cdr/io.hpp"
+#include "glove/stats/table.hpp"
+
+namespace {
+
+using namespace glove;
+
+constexpr int kPasses = 3;
+
+struct Drained {
+  std::uint64_t fingerprints = 0;
+  std::uint64_t samples = 0;
+  double seconds = 0.0;
+};
+
+Drained drain(api::DatasetSource& source) {
+  Drained total;
+  cdr::Fingerprint fp;
+  const auto start = std::chrono::steady_clock::now();
+  for (int pass = 0; pass < kPasses; ++pass) {
+    source.rewind();
+    while (source.next(fp)) {
+      ++total.fingerprints;
+      total.samples += fp.size();
+    }
+  }
+  total.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return total;
+}
+
+std::string serialize(const std::string& path) {
+  const auto source = api::open_dataset_source(path);
+  cdr::FingerprintDataset data;
+  cdr::Fingerprint fp;
+  while (source->next(fp)) data.add(std::move(fp));
+  std::ostringstream out;
+  cdr::write_dataset_csv(out, data);
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::resolve_scale(/*default_users=*/20'000,
+                                                  /*default_days=*/2.0);
+  const cdr::FingerprintDataset data = bench::make_civ(scale);
+  bench::print_banner("ingest throughput (csv parse vs glovebin decode)",
+                      data);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("glove_bench_ingest_" +
+       std::to_string(static_cast<std::uint64_t>(
+           std::chrono::steady_clock::now().time_since_epoch().count())));
+  std::filesystem::create_directories(dir);
+  const std::string csv = (dir / "data.csv").string();
+  const std::string bin = (dir / "data.glovebin").string();
+  cdr::write_dataset_file(csv, data);
+  cdr::write_dataset_glovebin_file(bin, data);
+
+  if (serialize(bin) != serialize(csv)) {
+    std::cerr << "ERROR: glovebin and csv spellings are not byte-identical\n";
+    std::filesystem::remove_all(dir);
+    return 1;
+  }
+
+  stats::TextTable table{"Full-scan ingest, " + std::to_string(kPasses) +
+                         " passes per format"};
+  table.header({"format", "file MiB", "seconds", "Mfp/s", "Msamples/s",
+                "speedup"});
+  double csv_seconds = 0.0;
+  for (const std::string& path : {csv, bin}) {
+    const auto source = api::open_dataset_source(path);
+    const Drained d = drain(*source);
+    if (d.fingerprints != kPasses * data.size()) {
+      std::cerr << "ERROR: " << path << " drained " << d.fingerprints
+                << " fingerprints, expected " << kPasses * data.size()
+                << '\n';
+      std::filesystem::remove_all(dir);
+      return 1;
+    }
+    if (csv_seconds == 0.0) csv_seconds = d.seconds;
+    const double mib =
+        static_cast<double>(std::filesystem::file_size(path)) / (1 << 20);
+    table.row({std::string{source->kind()}, stats::fmt(mib, 1),
+               stats::fmt(d.seconds, 3),
+               stats::fmt(static_cast<double>(d.fingerprints) / d.seconds /
+                              1e6, 2),
+               stats::fmt(static_cast<double>(d.samples) / d.seconds / 1e6,
+                          2),
+               stats::fmt(csv_seconds / d.seconds, 1) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\n  spellings byte-identical after round-trip: yes\n";
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -17,10 +17,21 @@
 //   ./build/examples/example_anonymize_csv --input=dataset.csv
 //       --output=anonymized.csv --strategy=sharded
 //
-// Generate a synthetic fingerprint-dataset CSV to stream (then exit):
+// The streaming --input is sniffed by magic bytes, so it may be a CSV or a
+// glovebin file (cdr/binio.hpp); --output picks its format by extension
+// (".glovebin" vs CSV) or explicitly via --format=csv|glovebin.  Glovebin
+// inputs serve the sharded strategy's planning pass from the footer index
+// and rewound passes map only the blocks they need.
+//
+// Generate a synthetic fingerprint dataset to stream (then exit):
 //
 //   ./build/examples/example_anonymize_csv --synth-dataset=dataset.csv
 //       --users=50000 --days=2 --seed=7
+//
+// Convert a dataset between the CSV and glovebin formats (then exit):
+//
+//   ./build/examples/example_anonymize_csv --convert --input=dataset.csv
+//       --output=dataset.glovebin
 //
 // Holders of the actual D4D challenge files can run the paper's exact
 // pipeline with:
@@ -49,12 +60,20 @@ namespace {
 /// so it works on outputs larger than RAM.
 bool streamed_output_is_k_anonymous(const std::string& path,
                                     std::uint32_t k) {
-  glove::api::CsvFileSource check{path};
+  const auto check = glove::api::open_dataset_source(path);
   glove::cdr::Fingerprint fp;
-  while (check.next(fp)) {
+  while (check->next(fp)) {
     if (fp.group_size() < k) return false;
   }
   return true;
+}
+
+/// "csv"/"glovebin" when --format forces the dataset format, "" when the
+/// flag still holds a raw-trace format (the sink then picks by extension).
+std::string_view sink_format(const glove::util::Flags& flags) {
+  const std::string& format = flags.get("format");
+  if (format == "csv" || format == "glovebin") return format;
+  return {};
 }
 
 int run_streaming(const glove::Engine& engine, const glove::util::Flags& flags) {
@@ -72,12 +91,20 @@ int run_streaming(const glove::Engine& engine, const glove::util::Flags& flags) 
               << ")\n";
     return 1;
   }
+  if (flags.get_bool("convert")) {
+    const api::ConvertStats stats =
+        api::convert_dataset_file(input, output, sink_format(flags));
+    std::cout << "converted " << input << " -> " << output << " ("
+              << stats.fingerprints << " fingerprints, " << stats.samples
+              << " samples)\n";
+    return 0;
+  }
   const api::RunConfig config = api::run_config_from_flags(flags);
 
-  api::CsvFileSource source{input};
-  api::CsvFileSink sink{output};
+  const auto source = api::open_dataset_source(input);
+  const auto sink = api::make_dataset_sink(output, sink_format(flags));
   const RunReport report =
-      api::run_streaming_or_exit(engine, source, sink, config);
+      api::run_streaming_or_exit(engine, *source, *sink, config);
 
   if (!streamed_output_is_k_anonymous(output, config.k)) {
     std::cerr << "ERROR: output is not k-anonymous\n";
@@ -88,7 +115,12 @@ int run_streaming(const glove::Engine& engine, const glove::util::Flags& flags) 
   for (const std::uint64_t count : report.pass_fingerprints) {
     std::cout << ' ' << count;
   }
-  std::cout << " fingerprints; peak rss "
+  std::cout << " fingerprints";
+  if (report.file_blocks > 0) {
+    std::cout << "; blocks read " << report.blocks_read << " (file holds "
+              << report.file_blocks << ")";
+  }
+  std::cout << "; peak rss "
             << report.peak_rss_bytes / (1024 * 1024) << " MiB\n";
   api::maybe_write_report(flags, report, std::cout);
   return 0;
@@ -115,16 +147,24 @@ int main(int argc, char** argv) {
                "streaming output path (default anonymized.csv; only with "
                "--input)");
   flags.define("synth-dataset", "",
-               "write a synthetic fingerprint-dataset CSV (sized by "
-               "--users/--days/--seed/--preset) to this path and exit");
+               "write a synthetic fingerprint dataset (sized by "
+               "--users/--days/--seed/--preset; format by extension or "
+               "--format) to this path and exit");
+  flags.define("convert", "false",
+               "convert --input to --output between the csv and glovebin "
+               "dataset formats (no anonymization; --format=csv|glovebin "
+               "forces the output format, default by extension)");
   int exit_code = 0;
   if (!api::parse_cli(flags, argc - 1, argv + 1, exit_code)) return exit_code;
 
   try {
     if (!flags.get("synth-dataset").empty()) {
       const std::string path = flags.get("synth-dataset");
-      cdr::FingerprintDataset data = api::synth_dataset_from_flags(flags);
-      cdr::write_dataset_file(path, data);
+      const cdr::FingerprintDataset data = api::synth_dataset_from_flags(flags);
+      const auto sink = api::make_dataset_sink(path, sink_format(flags));
+      sink->begin(data.name());
+      for (const cdr::Fingerprint& fp : data.fingerprints()) sink->write(fp);
+      sink->finish();
       std::cout << "wrote synthetic dataset: " << path << " (" << data.size()
                 << " fingerprints, " << data.total_samples()
                 << " samples)\n";

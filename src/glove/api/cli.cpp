@@ -123,9 +123,11 @@ cdr::FingerprintDataset synth_dataset_from_flags(const util::Flags& flags) {
 }
 
 void define_input_flags(util::Flags& flags) {
-  flags.define_enum("format", "flat", {"flat", "d4d"},
+  flags.define_enum("format", "flat", {"flat", "d4d", "csv", "glovebin"},
                     "input trace format: 'flat' (user,time_min,lat,lon) or "
-                    "'d4d' (user,timestamp,antenna_id; needs --antennas)");
+                    "'d4d' (user,timestamp,antenna_id; needs --antennas); "
+                    "'csv'/'glovebin' force the dataset format written by "
+                    "streaming --output / --convert (default: by extension)");
   flags.define("antennas", "",
                "D4D antenna file (antenna_id,lat,lon); required with "
                "--format=d4d");
@@ -154,6 +156,32 @@ cdr::FingerprintDataset load_dataset(const std::string& path,
   cdr::FingerprintDataset data = cdr::build_fingerprints(events, builder);
   data.set_name(path);
   return data;
+}
+
+ConvertStats convert_dataset_file(const std::string& input,
+                                  const std::string& output,
+                                  std::string_view format) {
+  const std::unique_ptr<DatasetSource> source = open_dataset_source(input);
+  // Carry the dataset name across so the conversion is lossless header
+  // included: glovebin files store it in the footer, CSVs in the leading
+  // comment.
+  std::string name;
+  if (const auto* bin = dynamic_cast<const GlovebinSource*>(source.get())) {
+    name = bin->dataset_name();
+  } else {
+    name = cdr::sniff_dataset_csv_name(input);
+  }
+  const std::unique_ptr<DatasetSink> sink = make_dataset_sink(output, format);
+  sink->begin(name);
+  ConvertStats stats;
+  cdr::Fingerprint fp;
+  while (source->next(fp)) {
+    ++stats.fingerprints;
+    stats.samples += fp.size();
+    sink->write(std::move(fp));
+  }
+  sink->finish();
+  return stats;
 }
 
 namespace {

@@ -42,9 +42,25 @@ void define_synth_flags(util::Flags& flags, std::size_t default_users,
 [[nodiscard]] cdr::FingerprintDataset synth_dataset_from_flags(
     const util::Flags& flags);
 
-/// Registers input-file flags: --format (flat|d4d), --antennas,
-/// --origin-lat / --origin-lon.
+/// Registers input-file flags: --format (flat|d4d for raw traces;
+/// csv|glovebin to force the dataset format in streaming/convert modes),
+/// --antennas, --origin-lat / --origin-lon.
 void define_input_flags(util::Flags& flags);
+
+/// Result of a dataset format conversion.
+struct ConvertStats {
+  std::uint64_t fingerprints = 0;
+  std::uint64_t samples = 0;
+};
+
+/// Converts a fingerprint dataset file between formats: the input is
+/// sniffed by magic bytes (glovebin vs CSV), the output selected by
+/// `format` ("csv"/"glovebin", or "" to pick by the output extension).
+/// The dataset name is carried across, so csv -> glovebin -> csv
+/// round-trips byte-identically.  Throws on I/O or parse failure.
+ConvertStats convert_dataset_file(const std::string& input,
+                                  const std::string& output,
+                                  std::string_view format = {});
 
 /// Reads `path` as a raw CDR trace in the flags-selected format and
 /// builds fingerprints.  Throws on I/O or format errors.

@@ -149,6 +149,12 @@ Result<RunReport> Engine::run(DatasetSource& source, DatasetSink& sink,
     report.source_kind = source.kind();
     report.sink_kind = sink.kind();
     report.pass_fingerprints = std::move(outcome.pass_fingerprints);
+    if (const SourceIoStats* io = source.io_stats()) {
+      report.pass_blocks = io->pass_blocks;
+      report.file_blocks = io->file_blocks;
+      report.blocks_read = io->blocks_read;
+      report.bytes_mapped = io->bytes_mapped;
+    }
     report.peak_rss_bytes = util::peak_rss_bytes();
     return report;
   } catch (const util::CancelledError&) {

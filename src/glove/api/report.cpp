@@ -142,14 +142,22 @@ stats::Json report_json(const RunReport& report) {
   for (const std::uint64_t count : report.pass_fingerprints) {
     passes.push(count);
   }
+  stats::Json pass_blocks = stats::Json::array();
+  for (const std::uint64_t count : report.pass_blocks) {
+    pass_blocks.push(count);
+  }
   stats::Json io = stats::Json::object();
   io.set("source", report.source_kind)
       .set("sink", report.sink_kind)
       .set("pass_fingerprints", std::move(passes))
+      .set("pass_blocks", std::move(pass_blocks))
+      .set("file_blocks", report.file_blocks)
+      .set("blocks_read", report.blocks_read)
+      .set("bytes_mapped", report.bytes_mapped)
       .set("peak_rss_bytes", report.peak_rss_bytes);
 
   stats::Json doc = stats::Json::object();
-  doc.set("schema", "glove.run_report.v4")
+  doc.set("schema", "glove.run_report.v5")
       .set("strategy", report.strategy)
       .set("dataset", report.dataset_name)
       .set("config", std::move(config))

@@ -104,6 +104,15 @@ struct RunReport {
   std::string source_kind;
   std::string sink_kind;
   std::vector<std::uint64_t> pass_fingerprints;
+  /// Block accounting of index-capable sources (glovebin files): payload
+  /// blocks each pass decoded (aligned with pass_fingerprints; 0 for the
+  /// index-only planning pass), the file's total block count, and the
+  /// cumulative blocks/bytes mapped.  All zero/empty for sources without
+  /// a block index.
+  std::vector<std::uint64_t> pass_blocks;
+  std::uint64_t file_blocks = 0;
+  std::uint64_t blocks_read = 0;
+  std::uint64_t bytes_mapped = 0;
   std::uint64_t peak_rss_bytes = 0;
 };
 

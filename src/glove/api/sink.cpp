@@ -10,7 +10,16 @@ CsvFileSink::CsvFileSink(std::string path)
 }
 
 void CsvFileSink::begin(const std::string& dataset_name) {
-  writer_.begin(dataset_name);
+  // Surface an unwritable target (read-only file, full disk) at run
+  // start, not at the first group — or never, for an empty result.  The
+  // stream writer detects the failure but cannot name the file.
+  try {
+    writer_.begin(dataset_name);
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error{"failed writing: " + path_};
+  }
+  out_.flush();
+  if (!out_) throw std::runtime_error{"failed writing: " + path_};
 }
 
 void CsvFileSink::do_write(cdr::Fingerprint group) {
@@ -21,6 +30,22 @@ void CsvFileSink::do_write(cdr::Fingerprint group) {
 void CsvFileSink::finish() {
   out_.flush();
   if (!out_) throw std::runtime_error{"failed writing: " + path_};
+}
+
+std::unique_ptr<DatasetSink> make_dataset_sink(const std::string& path,
+                                               std::string_view format) {
+  if (format.empty()) {
+    const std::string_view extension{".glovebin"};
+    const bool glovebin =
+        path.size() >= extension.size() &&
+        std::string_view{path}.substr(path.size() - extension.size()) ==
+            extension;
+    format = glovebin ? "glovebin" : "csv";
+  }
+  if (format == "glovebin") return std::make_unique<GlovebinSink>(path);
+  if (format == "csv") return std::make_unique<CsvFileSink>(path);
+  throw std::invalid_argument{"unknown dataset sink format: " +
+                              std::string{format}};
 }
 
 }  // namespace glove::api

@@ -17,11 +17,13 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "glove/cdr/binio.hpp"
 #include "glove/cdr/dataset.hpp"
 #include "glove/cdr/io.hpp"
 
@@ -108,6 +110,37 @@ class CsvFileSink final : public DatasetSink {
   std::ofstream out_;
   cdr::DatasetStreamWriter writer_;
 };
+
+/// Appends groups to a glovebin file (cdr/binio.hpp) incrementally,
+/// producing byte-identical files to cdr::write_dataset_glovebin_file on
+/// the same groups.  Throws std::runtime_error (with the path) when the
+/// file cannot be opened or a write fails — begin() already flushes the
+/// header, so an unwritable target fails at run start.
+class GlovebinSink final : public DatasetSink {
+ public:
+  explicit GlovebinSink(std::string path) : writer_{std::move(path)} {}
+
+  [[nodiscard]] std::string_view kind() const noexcept override {
+    return "glovebin-file";
+  }
+  void begin(const std::string& dataset_name) override {
+    writer_.begin(dataset_name);
+  }
+  void finish() override { writer_.finish(); }
+
+ protected:
+  void do_write(cdr::Fingerprint group) override { writer_.write(group); }
+
+ private:
+  cdr::GlovebinWriter writer_;
+};
+
+/// Opens `path` as the matching file sink.  `format` selects "csv" or
+/// "glovebin" explicitly; empty picks by extension (".glovebin" →
+/// GlovebinSink, anything else → CsvFileSink).  Throws
+/// std::invalid_argument on an unknown format name.
+[[nodiscard]] std::unique_ptr<DatasetSink> make_dataset_sink(
+    const std::string& path, std::string_view format = {});
 
 }  // namespace glove::api
 

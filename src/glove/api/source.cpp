@@ -1,5 +1,6 @@
 #include "glove/api/source.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -36,6 +37,103 @@ void CsvFileSource::rewind() {
   } catch (const std::runtime_error& e) {
     throw std::runtime_error{path_ + ": " + e.what()};
   }
+}
+
+namespace {
+
+/// Blocks decoded per mmap during a sequential scan: large enough to
+/// amortize the map/unmap syscalls, small enough that the window stays a
+/// few MiB under any dataset.
+constexpr std::size_t kSequentialBlocksPerMap = 64;
+
+}  // namespace
+
+GlovebinSource::GlovebinSource(std::string path)
+    : reader_{std::move(path)} {
+  stats_.file_blocks = reader_.block_count();
+}
+
+bool GlovebinSource::next(cdr::Fingerprint& fingerprint) {
+  if (buffer_cursor_ >= buffer_.size()) {
+    const auto blocks = static_cast<std::size_t>(reader_.block_count());
+    if (next_block_ >= blocks) return false;
+    const std::size_t last =
+        std::min(next_block_ + kSequentialBlocksPerMap, blocks);
+    buffer_.clear();
+    buffer_cursor_ = 0;
+    try {
+      reader_.read_blocks(next_block_, last,
+                          [&](std::uint64_t, cdr::Fingerprint&& fp) {
+                            buffer_.push_back(std::move(fp));
+                          });
+    } catch (const std::invalid_argument& e) {
+      throw util::DatasetError{e.what()};  // reader messages carry the path
+    }
+    next_block_ = last;
+  }
+  fingerprint = std::move(buffer_[buffer_cursor_++]);
+  return true;
+}
+
+void GlovebinSource::rewind() {
+  buffer_.clear();
+  buffer_cursor_ = 0;
+  next_block_ = 0;
+}
+
+bool GlovebinSource::summaries(std::vector<cdr::FingerprintSummary>& out) {
+  out = reader_.summaries();
+  stats_.pass_blocks.push_back(0);  // index-only pass: no payload decoded
+  return true;
+}
+
+std::optional<std::uint64_t> GlovebinSource::fetch(
+    const std::unordered_map<std::uint32_t, std::uint32_t>& slot_of_id,
+    std::vector<cdr::Fingerprint>& store) {
+  std::vector<char> needed(static_cast<std::size_t>(reader_.block_count()),
+                           0);
+  for (const auto& [id, slot] : slot_of_id) {
+    (void)slot;
+    needed[reader_.block_of(id)] = 1;
+  }
+  std::uint64_t fetched = 0;
+  std::uint64_t pass_blocks = 0;
+  for (std::size_t b = 0; b < needed.size();) {
+    if (needed[b] == 0) {
+      ++b;
+      continue;
+    }
+    std::size_t e = b;
+    while (e < needed.size() && needed[e] != 0) ++e;
+    try {
+      reader_.read_blocks(b, e, [&](std::uint64_t id, cdr::Fingerprint&& fp) {
+        const auto it = slot_of_id.find(static_cast<std::uint32_t>(id));
+        if (it != slot_of_id.end()) {
+          store[it->second] = std::move(fp);
+          ++fetched;
+        }
+      });
+    } catch (const std::invalid_argument& error) {
+      throw util::DatasetError{error.what()};
+    }
+    pass_blocks += e - b;
+    b = e;
+  }
+  stats_.pass_blocks.push_back(pass_blocks);
+  return fetched;
+}
+
+const SourceIoStats* GlovebinSource::io_stats() const noexcept {
+  stats_.blocks_read = reader_.blocks_read();
+  stats_.bytes_mapped = reader_.bytes_mapped();
+  return &stats_;
+}
+
+std::unique_ptr<DatasetSource> open_dataset_source(const std::string& path) {
+  if (cdr::is_glovebin_file(path)) {
+    return std::make_unique<GlovebinSource>(path);
+  }
+  return std::make_unique<CsvFileSource>(path);
 }
 
 cdr::FingerprintDataset collect(DatasetSource& source) {

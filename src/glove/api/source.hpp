@@ -13,14 +13,30 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <vector>
 
+#include "glove/cdr/binio.hpp"
 #include "glove/cdr/dataset.hpp"
 #include "glove/cdr/io.hpp"
 
 namespace glove::api {
+
+/// Io accounting an index-capable source exposes for the run report's
+/// `io` section.  `pass_blocks` records, per planning/materialization
+/// pass, how many payload blocks the pass decoded (0 for an index-only
+/// planning pass); `blocks_read`/`bytes_mapped` are the cumulative
+/// totals.
+struct SourceIoStats {
+  std::uint64_t file_blocks = 0;
+  std::uint64_t blocks_read = 0;
+  std::uint64_t bytes_mapped = 0;
+  std::vector<std::uint64_t> pass_blocks;
+};
 
 class DatasetSource {
  public:
@@ -57,6 +73,35 @@ class DatasetSource {
   /// way.
   [[nodiscard]] virtual const cdr::FingerprintDataset* materialized()
       const noexcept {
+    return nullptr;
+  }
+
+  /// Index fast path for planning scans: when the source carries
+  /// precomputed per-fingerprint summaries (the exact
+  /// core::fingerprint_bounds geometry plus group size and sample count,
+  /// in stream order), fills `out` and returns true — the caller then
+  /// skips streaming the payload entirely.  Default: unsupported.
+  virtual bool summaries(std::vector<cdr::FingerprintSummary>& out) {
+    (void)out;
+    return false;
+  }
+
+  /// Index fast path for rewound materialization passes: fetches exactly
+  /// the fingerprints whose stream index keys `slot_of_id`, storing each
+  /// at its mapped slot in `store` (pre-sized by the caller), and returns
+  /// how many it materialized.  Sources without random access return
+  /// nullopt and the caller re-streams the whole sequence instead.
+  virtual std::optional<std::uint64_t> fetch(
+      const std::unordered_map<std::uint32_t, std::uint32_t>& slot_of_id,
+      std::vector<cdr::Fingerprint>& store) {
+    (void)slot_of_id;
+    (void)store;
+    return std::nullopt;
+  }
+
+  /// Io accounting for the run report when this source tracks it
+  /// (index-capable file sources), else nullptr.
+  [[nodiscard]] virtual const SourceIoStats* io_stats() const noexcept {
     return nullptr;
   }
 };
@@ -109,6 +154,49 @@ class CsvFileSource final : public DatasetSource {
   std::ifstream in_;
   cdr::DatasetStreamReader reader_;
 };
+
+/// Streams a glovebin file (cdr/binio.hpp), decoding one block range at a
+/// time, and serves the index fast paths: summaries() reads the footer
+/// instead of the payload and fetch() maps only the blocks holding the
+/// requested fingerprints.  Throws std::runtime_error with the path when
+/// the file cannot be opened or fails validation; corrupt block payloads
+/// surface as util::DatasetError (kInvalidDataset at the Engine
+/// boundary), matching CsvFileSource's malformed-row behavior.
+class GlovebinSource final : public DatasetSource {
+ public:
+  explicit GlovebinSource(std::string path);
+
+  [[nodiscard]] std::string_view kind() const noexcept override {
+    return "glovebin-file";
+  }
+  [[nodiscard]] std::string name() const override { return reader_.path(); }
+  /// The dataset name stored in the footer (the converter preserves it).
+  [[nodiscard]] const std::string& dataset_name() const noexcept {
+    return reader_.dataset_name();
+  }
+  bool next(cdr::Fingerprint& fingerprint) override;
+  void rewind() override;
+  [[nodiscard]] std::optional<std::uint64_t> size_hint() const override {
+    return reader_.fingerprint_count();
+  }
+  bool summaries(std::vector<cdr::FingerprintSummary>& out) override;
+  std::optional<std::uint64_t> fetch(
+      const std::unordered_map<std::uint32_t, std::uint32_t>& slot_of_id,
+      std::vector<cdr::Fingerprint>& store) override;
+  [[nodiscard]] const SourceIoStats* io_stats() const noexcept override;
+
+ private:
+  cdr::GlovebinReader reader_;
+  std::vector<cdr::Fingerprint> buffer_;  ///< sequential-scan block window
+  std::size_t buffer_cursor_ = 0;
+  std::size_t next_block_ = 0;
+  mutable SourceIoStats stats_;
+};
+
+/// Opens `path` as the matching file source: GlovebinSource when the file
+/// leads with the glovebin magic, CsvFileSource otherwise.
+[[nodiscard]] std::unique_ptr<DatasetSource> open_dataset_source(
+    const std::string& path);
 
 /// Materializes everything the source still holds into a dataset named
 /// after the source — the collect-then-run fallback for strategies that

@@ -264,6 +264,14 @@ class ShardedStrategy final : public Anonymizer {
     const cdr::FingerprintDataset* materialized() const noexcept override {
       return source_.materialized();
     }
+    bool summaries(std::vector<cdr::FingerprintSummary>& out) override {
+      return source_.summaries(out);
+    }
+    std::optional<std::uint64_t> fetch(
+        const std::unordered_map<std::uint32_t, std::uint32_t>& slot_of_id,
+        std::vector<cdr::Fingerprint>& store) override {
+      return source_.fetch(slot_of_id, store);
+    }
 
    private:
     DatasetSource& source_;

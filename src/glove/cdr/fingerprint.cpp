@@ -19,6 +19,17 @@ Fingerprint::Fingerprint(std::vector<UserId> members,
   sort_samples();
 }
 
+Fingerprint Fingerprint::from_time_sorted(std::vector<UserId> members,
+                                          std::vector<Sample> samples) {
+  if (members.empty()) {
+    throw std::invalid_argument{"fingerprint needs at least one member"};
+  }
+  Fingerprint fp;
+  fp.members_ = std::move(members);
+  fp.samples_ = std::move(samples);
+  return fp;
+}
+
 UserId Fingerprint::representative() const {
   if (members_.empty()) {
     throw std::logic_error{"fingerprint has no members"};

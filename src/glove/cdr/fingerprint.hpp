@@ -31,6 +31,13 @@ class Fingerprint {
   /// Fingerprint for an explicit member group (used by merge operations).
   Fingerprint(std::vector<UserId> members, std::vector<Sample> samples);
 
+  /// Builds a fingerprint from samples already in time-sorted order,
+  /// skipping the constructor's sort.  Deserializers that persisted
+  /// `samples()` verbatim use this so re-sorting (std::sort is not stable)
+  /// cannot permute time-tied samples and break byte-exact round-trips.
+  [[nodiscard]] static Fingerprint from_time_sorted(
+      std::vector<UserId> members, std::vector<Sample> samples);
+
   [[nodiscard]] std::span<const Sample> samples() const noexcept {
     return samples_;
   }

@@ -1,9 +1,9 @@
 #include "glove/cdr/io.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <fstream>
 #include <map>
-#include <sstream>
 #include <stdexcept>
 
 #include "glove/util/csv.hpp"
@@ -13,10 +13,14 @@ namespace glove::cdr {
 namespace {
 
 std::string format_double(double v) {
-  std::ostringstream out;
-  out.precision(10);
-  out << v;
-  return out.str();
+  // Shortest round-trip form (std::to_chars): every double reparses to
+  // the exact same bits, so write -> read -> write is idempotent.  The
+  // previous 10-significant-digit ostream formatting silently drifted
+  // generalized extents across chained file-to-file runs.
+  char buffer[32];
+  const std::to_chars_result result =
+      std::to_chars(buffer, buffer + sizeof buffer, v);
+  return std::string(buffer, result.ptr);
 }
 
 std::string join_members(std::span<const UserId> members) {
@@ -48,6 +52,14 @@ std::vector<UserId> parse_members(std::string_view field,
   if (members.empty()) {
     throw std::invalid_argument{"empty members field at line " +
                                 std::to_string(line_no)};
+  }
+  std::vector<UserId> sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  const auto duplicate = std::adjacent_find(sorted.begin(), sorted.end());
+  if (duplicate != sorted.end()) {
+    throw std::invalid_argument{
+        "duplicate user id " + std::to_string(*duplicate) +
+        " in members field at line " + std::to_string(line_no)};
   }
   return members;
 }
@@ -96,6 +108,10 @@ void DatasetStreamWriter::begin(const std::string& dataset_name) {
                   (dataset_name.empty() ? std::string{"unnamed"}
                                         : dataset_name));
   writer_.comment("members,x,dx,y,dy,t,dt,contributors");
+  out_->flush();
+  if (!*out_) {
+    throw std::runtime_error{"failed writing dataset header"};
+  }
 }
 
 void DatasetStreamWriter::write(const Fingerprint& fingerprint) {
@@ -258,6 +274,22 @@ void write_dataset_file(const std::string& path,
   if (!out) throw std::runtime_error{"cannot open for writing: " + path};
   write_dataset_csv(out, data);
   require_writable(out, path);
+}
+
+std::string sniff_dataset_csv_name(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return {};
+  std::string line;
+  const std::string_view prefix{"# glove fingerprint dataset: "};
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] != '#') return {};  // data before the header comment
+    if (line.size() > prefix.size() &&
+        std::string_view{line}.substr(0, prefix.size()) == prefix) {
+      return line.substr(prefix.size());
+    }
+  }
+  return {};
 }
 
 FingerprintDataset read_dataset_file(const std::string& path) {

@@ -59,15 +59,19 @@ void write_dataset_csv(std::ostream& out, const FingerprintDataset& data);
 /// emit side of file-to-file anonymization runs.
 class DatasetStreamWriter {
  public:
-  explicit DatasetStreamWriter(std::ostream& out) : writer_{out} {}
+  explicit DatasetStreamWriter(std::ostream& out) : out_{&out}, writer_{out} {}
 
   /// Writes the two header comment lines.  Call once, before any group.
+  /// Flushes and throws std::runtime_error when the stream rejects them,
+  /// so an unwritable target fails at run start instead of surfacing at
+  /// the first group — or never, for an empty result.
   void begin(const std::string& dataset_name);
 
   /// Appends one fingerprint's sample rows.
   void write(const Fingerprint& fingerprint);
 
  private:
+  std::ostream* out_;
   util::CsvWriter writer_;
 };
 
@@ -110,6 +114,13 @@ class DatasetStreamReader {
 
 /// Reads a fingerprint dataset written by `write_dataset_csv`.
 [[nodiscard]] FingerprintDataset read_dataset_csv(std::istream& in);
+
+/// The dataset name recorded in a fingerprint CSV's leading
+/// "# glove fingerprint dataset: NAME" comment, or "" when the file has
+/// no such header (or cannot be read) — lets format converters carry the
+/// name across without parsing the data.  Note write_dataset_csv stores
+/// "unnamed" for empty names.
+[[nodiscard]] std::string sniff_dataset_csv_name(const std::string& path);
 
 /// File-path convenience wrappers; throw std::runtime_error when the file
 /// cannot be opened or written, and rethrow parse failures with the

@@ -35,6 +35,22 @@ struct StreamScan {
 StreamScan scan_stream(FingerprintStream& source,
                        const util::RunHooks& hooks) {
   StreamScan scan;
+  if (std::vector<cdr::FingerprintSummary> summaries;
+      source.summaries(summaries)) {
+    // Index-capable sources persisted the exact fingerprint_bounds
+    // fields, so pass 1 is a footer read — no payload decode at all.
+    scan.bounds.reserve(summaries.size());
+    scan.group_sizes.reserve(summaries.size());
+    for (const cdr::FingerprintSummary& s : summaries) {
+      scan.bounds.push_back(core::FingerprintBounds{
+          cdr::SpatialExtent{s.x, s.dx, s.y, s.dy},
+          cdr::TemporalExtent{s.t, s.dt}});
+      scan.group_sizes.push_back(s.group_size);
+      scan.users += s.group_size;
+      scan.samples += s.sample_count;
+    }
+    return scan;
+  }
   if (const cdr::FingerprintDataset* data = source.materialized()) {
     // Materialized sources are scanned by index with parallel bounds
     // computation — the pre-streaming runner's exact setup, no copies.
@@ -74,6 +90,12 @@ std::uint64_t materialize_pass(
     const std::unordered_map<std::uint32_t, std::uint32_t>& slot_of_id,
     std::vector<cdr::Fingerprint>& store, std::size_t expected,
     const util::RunHooks& hooks) {
+  // Index-capable sources seek straight to the blocks holding the
+  // requested fingerprints; the pass then "streamed" only those.
+  if (const std::optional<std::uint64_t> fetched =
+          source.fetch(slot_of_id, store)) {
+    return *fetched;
+  }
   source.rewind();
   cdr::Fingerprint fp;
   std::uint64_t index = 0;

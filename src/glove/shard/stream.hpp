@@ -29,8 +29,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
+#include "glove/cdr/binio.hpp"
 #include "glove/cdr/dataset.hpp"
 #include "glove/shard/shard.hpp"
 #include "glove/util/hooks.hpp"
@@ -60,6 +63,29 @@ class FingerprintStream {
   [[nodiscard]] virtual const cdr::FingerprintDataset* materialized()
       const noexcept {
     return nullptr;
+  }
+
+  /// Index fast path for pass 1: when the stream carries precomputed
+  /// per-fingerprint summaries (bit-exact core::fingerprint_bounds fields
+  /// plus group size and sample count, in stream order), fills `out` and
+  /// returns true so the planning scan never touches the payload.
+  /// Default: unsupported.
+  virtual bool summaries(std::vector<cdr::FingerprintSummary>& out) {
+    (void)out;
+    return false;
+  }
+
+  /// Index fast path for the rewound materialization passes: fetches
+  /// exactly the fingerprints whose stream index keys `slot_of_id` into
+  /// their mapped slots of `store` (pre-sized by the caller) and returns
+  /// how many it materialized.  nullopt when the stream has no random
+  /// access — the pipeline then re-streams the whole sequence.
+  virtual std::optional<std::uint64_t> fetch(
+      const std::unordered_map<std::uint32_t, std::uint32_t>& slot_of_id,
+      std::vector<cdr::Fingerprint>& store) {
+    (void)slot_of_id;
+    (void)store;
+    return std::nullopt;
   }
 };
 
@@ -99,7 +125,9 @@ struct StreamShardedResult {
   /// one entry per shard-batch materialization pass, then one per
   /// reconciliation chunk pass — stats.reconcile_passes counts those).
   /// A materialized() source is never re-streamed, so it reports the
-  /// single scan pass.
+  /// single scan pass.  An index-capable stream (fetch()) reports, for
+  /// each rewound pass, only the fingerprints that pass materialized —
+  /// strictly fewer than the scan's full count.
   std::vector<std::uint64_t> pass_fingerprints;
 };
 

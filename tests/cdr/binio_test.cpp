@@ -1,0 +1,239 @@
+// glovebin format: lossless round-trips, footer index consistency, magic
+// sniffing and rejection of corrupt files.  The format's contract is
+// byte-exactness — a dataset written to glovebin and read back must
+// serialize to the identical CSV text — so these tests compare full CSV
+// serializations, not tolerant extents.
+
+#include "glove/cdr/binio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/fixtures.hpp"
+#include "common/golden.hpp"
+#include "common/temp_dir.hpp"
+#include "glove/cdr/io.hpp"
+#include "glove/core/scalability.hpp"
+
+namespace glove::cdr {
+namespace {
+
+FingerprintDataset awkward_dataset() {
+  // Values with no short decimal form plus an empty-sample fingerprint:
+  // the cases the binary format exists to keep exact.
+  std::vector<Fingerprint> fingerprints;
+  fingerprints.emplace_back(
+      3u, std::vector<Sample>{
+              Sample{SpatialExtent{1.0 / 3.0, 0.1, -7.3e5, 2e-3},
+                     TemporalExtent{123456.789012345, 1.0 / 7.0}, 2u},
+              Sample{SpatialExtent{1e9 + 0.25, 5e-324, 0.1 + 0.2, 1e22},
+                     TemporalExtent{-0.0, 2.2250738585072014e-308}, 1u}});
+  fingerprints.emplace_back(7u, std::vector<Sample>{});  // suppressed user
+  fingerprints.emplace_back(
+      std::vector<UserId>{9u, 4u},
+      std::vector<Sample>{Sample{SpatialExtent{0.0, 100.0, 0.0, 100.0},
+                                 TemporalExtent{5.0, 1.0}, 3u}});
+  return FingerprintDataset{std::move(fingerprints), "awkward"};
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>{in},
+          std::istreambuf_iterator<char>{}};
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Glovebin, RoundTripIsByteExact) {
+  test::TempDir dir;
+  for (const FingerprintDataset& data :
+       {awkward_dataset(), test::grouped_io_dataset(),
+        test::random_dataset(40, 11)}) {
+    const std::string path = dir.file(data.name() + ".glovebin");
+    write_dataset_glovebin_file(path, data);
+    const FingerprintDataset back = read_dataset_glovebin_file(path);
+    EXPECT_EQ(back.name(), data.name());
+    ASSERT_EQ(back.size(), data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      EXPECT_TRUE(std::ranges::equal(back[i].members(), data[i].members()))
+          << "fingerprint " << i;
+    }
+    // CSV text equality is the strongest statement of losslessness: every
+    // double survived bit for bit and every sample kept its position.
+    EXPECT_EQ(test::dataset_to_csv(back), test::dataset_to_csv(data))
+        << data.name();
+  }
+}
+
+TEST(Glovebin, SniffsMagicBytes) {
+  test::TempDir dir;
+  const std::string bin = dir.file("data.glovebin");
+  write_dataset_glovebin_file(bin, test::grouped_io_dataset());
+  EXPECT_TRUE(is_glovebin_file(bin));
+
+  const std::string csv = dir.file("data.csv");
+  write_dataset_file(csv, test::grouped_io_dataset());
+  EXPECT_FALSE(is_glovebin_file(csv));
+
+  EXPECT_FALSE(is_glovebin_file(dir.file("missing.glovebin")));
+  const std::string stub = dir.file("short.glovebin");
+  write_file(stub, "glo");  // shorter than the magic
+  EXPECT_FALSE(is_glovebin_file(stub));
+}
+
+TEST(Glovebin, SummariesMatchFingerprintBoundsBitExactly) {
+  test::TempDir dir;
+  const FingerprintDataset data = test::random_dataset(25, 3);
+  const std::string path = dir.file("summaries.glovebin");
+  write_dataset_glovebin_file(path, data);
+
+  GlovebinReader reader{path};
+  ASSERT_EQ(reader.fingerprint_count(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const core::FingerprintBounds bounds = core::fingerprint_bounds(data[i]);
+    const FingerprintSummary& s = reader.summaries()[i];
+    EXPECT_EQ(s.x, bounds.box.x);
+    EXPECT_EQ(s.dx, bounds.box.dx);
+    EXPECT_EQ(s.y, bounds.box.y);
+    EXPECT_EQ(s.dy, bounds.box.dy);
+    EXPECT_EQ(s.t, bounds.interval.t);
+    EXPECT_EQ(s.dt, bounds.interval.dt);
+    EXPECT_EQ(s.group_size, data[i].group_size());
+    EXPECT_EQ(s.sample_count, data[i].size());
+  }
+}
+
+TEST(Glovebin, BlockIndexIsContiguousAndSeekable) {
+  test::TempDir dir;
+  const FingerprintDataset data = test::random_dataset(10, 7);
+  const std::string path = dir.file("blocks.glovebin");
+  {
+    GlovebinWriter writer{path, /*block_fingerprints=*/4};
+    writer.begin(data.name());
+    for (const Fingerprint& fp : data.fingerprints()) writer.write(fp);
+    writer.finish();
+  }
+
+  GlovebinReader reader{path};
+  ASSERT_EQ(reader.block_count(), 3u);  // 4 + 4 + 2 fingerprints
+  std::uint64_t next_first = 0;
+  for (const GlovebinBlock& block : reader.block_index()) {
+    EXPECT_EQ(block.first, next_first);
+    EXPECT_GT(block.count, 0u);
+    next_first += block.count;
+  }
+  EXPECT_EQ(next_first, data.size());
+  for (std::uint64_t id = 0; id < data.size(); ++id) {
+    const GlovebinBlock& b = reader.block_index()[reader.block_of(id)];
+    EXPECT_GE(id, b.first);
+    EXPECT_LT(id, b.first + b.count);
+  }
+
+  // Seek the middle block only: indices line up and io is accounted.
+  std::vector<std::uint64_t> seen;
+  reader.read_blocks(1, 2, [&](std::uint64_t id, Fingerprint&& fp) {
+    seen.push_back(id);
+    EXPECT_TRUE(std::ranges::equal(fp.members(), data[id].members()));
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{4, 5, 6, 7}));
+  EXPECT_EQ(reader.blocks_read(), 1u);
+  EXPECT_GT(reader.bytes_mapped(), 0u);
+}
+
+TEST(Glovebin, WriterFailsFastOnUnwritablePath) {
+  // An unopenable target fails at construction; an openable-but-unwritable
+  // one (full device) no later than begin(), which flushes the header.
+  EXPECT_THROW(GlovebinWriter{"/nonexistent-dir/out.glovebin"},
+               std::runtime_error);
+  if (std::ifstream{"/dev/full"}.good()) {
+    GlovebinWriter writer{"/dev/full"};
+    EXPECT_THROW(writer.begin("x"), std::runtime_error);
+  }
+}
+
+TEST(Glovebin, ReaderRejectsMissingAndStructurallyBrokenFiles) {
+  test::TempDir dir;
+  EXPECT_THROW(GlovebinReader{dir.file("missing.glovebin")},
+               std::runtime_error);
+
+  const std::string path = dir.file("data.glovebin");
+  write_dataset_glovebin_file(path, test::random_dataset(10, 2));
+  const std::string bytes = read_file(path);
+
+  // Truncation loses the trailer.
+  const std::string truncated = dir.file("truncated.glovebin");
+  write_file(truncated, bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(GlovebinReader{truncated}, std::runtime_error);
+
+  // A flipped trailer magic byte means the footer offsets are untrusted.
+  const std::string bad_trailer = dir.file("bad_trailer.glovebin");
+  std::string flipped = bytes;
+  flipped.back() = static_cast<char>(flipped.back() ^ 0x5a);
+  write_file(bad_trailer, flipped);
+  EXPECT_THROW(GlovebinReader{bad_trailer}, std::runtime_error);
+
+  // A wrong version is a different format generation, not corruption we
+  // can parse around.
+  const std::string bad_version = dir.file("bad_version.glovebin");
+  std::string versioned = bytes;
+  versioned[8] = static_cast<char>(kGlovebinVersion + 1);
+  write_file(bad_version, versioned);
+  EXPECT_THROW(GlovebinReader{bad_version}, std::runtime_error);
+}
+
+TEST(Glovebin, ReaderRejectsCorruptBlockPayload) {
+  test::TempDir dir;
+  std::vector<Fingerprint> fingerprints;
+  fingerprints.emplace_back(
+      1u, std::vector<Sample>{Sample{SpatialExtent{0.0, 1.0, 0.0, 1.0},
+                                     TemporalExtent{0.0, 1.0}, 2u}});
+  const FingerprintDataset data{std::move(fingerprints), "tiny"};
+  const std::string path = dir.file("corrupt.glovebin");
+  write_dataset_glovebin_file(path, data);
+
+  // Zero the sample's contributors count (the last 4 payload bytes of the
+  // only record: header 16 B, then member_count + sample_count + one
+  // member + six doubles, contributors last).
+  std::string bytes = read_file(path);
+  const std::size_t contributors_at = 16 + 4 + 4 + 4 + 6 * 8;
+  for (std::size_t i = 0; i < 4; ++i) bytes[contributors_at + i] = '\0';
+  write_file(path, bytes);
+
+  GlovebinReader reader{path};  // footer is intact, open succeeds
+  try {
+    (void)read_dataset_glovebin_file(path);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("corrupt glovebin block 0"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Glovebin, FromTimeSortedPreservesSampleOrderAndRejectsEmptyGroups) {
+  // Two samples tied on time: a deserializer must not re-sort (std::sort
+  // is unstable) or tied samples could swap and break byte-exactness.
+  const Sample a{SpatialExtent{0.0, 1.0, 0.0, 1.0}, TemporalExtent{5.0, 1.0},
+                 1u};
+  const Sample b{SpatialExtent{9.0, 1.0, 9.0, 1.0}, TemporalExtent{5.0, 1.0},
+                 1u};
+  const Fingerprint fp =
+      Fingerprint::from_time_sorted({2u, 1u}, {b, a});  // b first, kept
+  ASSERT_EQ(fp.size(), 2u);
+  EXPECT_EQ(fp.samples()[0], b);
+  EXPECT_EQ(fp.samples()[1], a);
+  EXPECT_THROW((void)Fingerprint::from_time_sorted({}, {a}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace glove::cdr

@@ -90,6 +90,59 @@ TEST(DatasetIo, RejectsEmptyMembersField) {
   EXPECT_THROW((void)read_dataset_csv(in), std::invalid_argument);
 }
 
+TEST(DatasetIo, RejectsDuplicateMemberIds) {
+  // A duplicated id would double-count the group size k relies on.
+  for (const char* text : {"7+7,0,100,0,100,5,1,1\n",
+                           "3+7+3,0,100,0,100,5,1,1\n"}) {
+    std::istringstream in{text};
+    try {
+      (void)read_dataset_csv(in);
+      FAIL() << "expected std::invalid_argument for: " << text;
+    } catch (const std::invalid_argument& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find("duplicate user id"), std::string::npos)
+          << message;
+      EXPECT_NE(message.find("line 1"), std::string::npos) << message;
+    }
+  }
+}
+
+TEST(DatasetIo, WriteReadWriteIsIdempotent) {
+  // Doubles with no short decimal form (thirds, 0.1-style fractions,
+  // huge/tiny magnitudes): the shortest-round-trip formatter must reparse
+  // to the exact same bits, so a second write produces the same bytes.
+  // The previous 10-significant-digit formatting failed this.
+  std::vector<Fingerprint> fingerprints;
+  fingerprints.emplace_back(
+      1u, std::vector<Sample>{
+              Sample{SpatialExtent{1.0 / 3.0, 0.1, -7.3e5, 2e-3},
+                     TemporalExtent{123456.789012345, 1.0 / 7.0}, 2u},
+              Sample{SpatialExtent{1e9 + 0.25, 5e-324, 0.30000000000000004,
+                                   1e22},
+                     TemporalExtent{-0.0, 2.2250738585072014e-308}, 1u}});
+  const FingerprintDataset data{std::move(fingerprints), "awkward"};
+
+  std::ostringstream first;
+  write_dataset_csv(first, data);
+  std::istringstream in{first.str()};
+  const FingerprintDataset back = read_dataset_csv(in);
+  ASSERT_EQ(back.size(), 1u);
+  ASSERT_EQ(back[0].size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(back[0].samples()[i], data[0].samples()[i]) << "sample " << i;
+  }
+
+  std::ostringstream second;
+  DatasetStreamWriter writer{second};
+  writer.begin(data.name());
+  for (const Fingerprint& fp : back.fingerprints()) writer.write(fp);
+  std::ostringstream expected;
+  DatasetStreamWriter expected_writer{expected};
+  expected_writer.begin(data.name());
+  for (const Fingerprint& fp : data.fingerprints()) expected_writer.write(fp);
+  EXPECT_EQ(second.str(), expected.str());
+}
+
 TEST(FileIo, MissingFileThrows) {
   EXPECT_THROW((void)read_cdr_file("/nonexistent/path.csv"),
                std::runtime_error);

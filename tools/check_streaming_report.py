@@ -22,8 +22,18 @@ file-to-file (CsvFileSource -> CsvFileSink) run and asserts:
 Used by the CI "streaming under capped address space" step together with
 a ulimit -v cap; this script checks the report half of the claim.
 
+With --indexed the report must come from a glovebin-input run
+(GlovebinSource -> CsvFileSink) and additionally prove the block-seek
+fast path: the planning pass decoded no payload blocks (io.pass_blocks[0]
+== 0, it reads the footer index instead), every rewound pass decoded
+strictly fewer blocks than the file holds, and the cumulative
+blocks_read/bytes_mapped accounting is consistent.  Rewound passes of an
+indexed source fetch only the fingerprints they need, so the
+full-dataset-per-pass check is replaced by planning-pass-is-largest.
+
 Usage:
   python3 tools/check_streaming_report.py REPORT.json [--max-rss-fraction 0.5]
+  python3 tools/check_streaming_report.py REPORT.json --indexed
 
 Exit codes: 0 ok, 1 claim violated, 2 usage error.
 """
@@ -44,6 +54,10 @@ def main() -> int:
     parser.add_argument("--min-reconcile-passes", type=int, default=1,
                         help="required halo-reconcile chunk passes "
                              "(default 1; use 0 for --border=none runs)")
+    parser.add_argument("--indexed", action="store_true",
+                        help="expect a glovebin-input run and verify the "
+                             "block-seek fast path (pass_blocks/"
+                             "blocks_read/bytes_mapped)")
     args = parser.parse_args()
 
     try:
@@ -56,19 +70,54 @@ def main() -> int:
     counters = doc.get("counters", {})
     failures = []
 
-    if io.get("source") != "csv-file" or io.get("sink") != "csv-file":
-        failures.append(f"run was not file-to-file: source={io.get('source')}"
-                        f" sink={io.get('sink')}")
+    expected_source = "glovebin-file" if args.indexed else "csv-file"
+    if io.get("source") != expected_source or io.get("sink") != "csv-file":
+        failures.append(f"run was not {expected_source} -> csv-file: "
+                        f"source={io.get('source')} sink={io.get('sink')}")
 
     passes = io.get("pass_fingerprints", [])
     if len(passes) < 3:
         failures.append(f"expected a planning pass plus >= 2 batch passes, "
                         f"got {len(passes)}: {passes}")
-    if passes and len(set(passes)) != 1:
-        failures.append(f"passes streamed different fingerprint counts "
-                        f"(source changed mid-run?): {passes}")
     if passes and min(passes) <= 0:
         failures.append(f"a pass streamed no fingerprints: {passes}")
+    if args.indexed:
+        # Rewound passes fetch subsets, so only the planning pass covers
+        # the full dataset — it must dominate.
+        if passes and passes[0] != max(passes):
+            failures.append(f"planning pass is not the largest (the source "
+                            f"did not report subset fetches?): {passes}")
+    elif passes and len(set(passes)) != 1:
+        failures.append(f"passes streamed different fingerprint counts "
+                        f"(source changed mid-run?): {passes}")
+
+    if args.indexed:
+        pass_blocks = io.get("pass_blocks", [])
+        file_blocks = int(io.get("file_blocks", 0))
+        blocks_read = int(io.get("blocks_read", 0))
+        bytes_mapped = int(io.get("bytes_mapped", 0))
+        if file_blocks <= 0:
+            failures.append("report holds no file_blocks")
+        if bytes_mapped <= 0:
+            failures.append("report holds no bytes_mapped")
+        if len(pass_blocks) != len(passes):
+            failures.append(f"pass_blocks {pass_blocks} does not line up "
+                            f"with {len(passes)} passes")
+        if pass_blocks and pass_blocks[0] != 0:
+            failures.append(f"planning pass decoded {pass_blocks[0]} blocks "
+                            "— it should be served from the footer index "
+                            "alone")
+        for i, blocks in enumerate(pass_blocks[1:], start=1):
+            if not 0 < blocks < file_blocks:
+                failures.append(
+                    f"rewound pass {i} decoded {blocks} of {file_blocks} "
+                    "blocks — the block-seek fast path must read a strict, "
+                    "non-empty subset of the file")
+        if blocks_read != sum(pass_blocks):
+            failures.append(f"blocks_read={blocks_read} != "
+                            f"sum(pass_blocks)={sum(pass_blocks)}")
+        print(f"block seeks: {file_blocks} blocks in file; per pass "
+              f"{pass_blocks} ({bytes_mapped / 2**20:.1f} MiB mapped)")
 
     metrics = doc.get("metrics", {})
     reconcile_passes = int(metrics.get("reconcile_passes", 0))
