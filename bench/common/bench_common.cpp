@@ -95,8 +95,13 @@ geo::PlanarPoint densest_center(const cdr::FingerprintDataset& data) {
   }
   geo::GridCell best{};
   std::size_t best_count = 0;
+  // Full (count, ix, iy) tie-break so the elected centre — and with it
+  // every downstream city subset — is independent of hash order.
   for (const auto& [cell, count] : counts) {
-    if (count > best_count) {
+    if (count > best_count ||
+        (count == best_count && best_count > 0 &&
+         (cell.ix < best.ix ||
+          (cell.ix == best.ix && cell.iy < best.iy)))) {
       best_count = count;
       best = cell;
     }

@@ -33,8 +33,9 @@ levels() {
 
 void run_dataset(const cdr::FingerprintDataset& data) {
   const auto grid = bench::kgap_grid();
-  stats::TextTable table{"Fig. 4 — CDF of 2-gap under uniform generalization (" +
-                         data.name() + ")"};
+  stats::TextTable table{
+      "Fig. 4 — CDF of 2-gap under uniform generalization (" + data.name() +
+      ")"};
   std::vector<std::string> header{"level"};
   for (const auto& label : bench::grid_labels(grid, "")) {
     header.push_back(label);

@@ -46,8 +46,10 @@ void run_dataset(const Engine& engine, const cdr::FingerprintDataset& data,
 
   std::cout << "  " << data.name() << ": original spatial accuracy kept "
             << stats::fmt_pct(pos_cdf.at(100.0))
-            << " (paper: 20-40%);  <=2km " << stats::fmt_pct(pos_cdf.at(2'000.0))
-            << " (paper: 70-80%);  <=30min " << stats::fmt_pct(time_cdf.at(30.0))
+            << " (paper: 20-40%);  <=2km "
+            << stats::fmt_pct(pos_cdf.at(2'000.0))
+            << " (paper: 70-80%);  <=30min "
+            << stats::fmt_pct(time_cdf.at(30.0))
             << ";  <=2h " << stats::fmt_pct(time_cdf.at(120.0))
             << " (paper: 70-80%)"
             << ";  merges=" << result.counters.merges

@@ -76,7 +76,8 @@ std::string_view sink_format(const glove::util::Flags& flags) {
   return {};
 }
 
-int run_streaming(const glove::Engine& engine, const glove::util::Flags& flags) {
+int run_streaming(const glove::Engine& engine,
+                  const glove::util::Flags& flags) {
   using namespace glove;
   const std::string input = flags.get("input");
   const std::string output = flags.get("output").empty()
@@ -134,7 +135,8 @@ int main(int argc, char** argv) {
   util::Flags flags{
       "anonymize_csv: raw CDR csv -> glove::Engine -> anonymized dataset csv\n"
       "usage: anonymize_csv [input.csv [output.csv]] [flags]\n"
-      "       anonymize_csv --input=dataset.csv --output=anon.csv  (streaming)"};
+      "       anonymize_csv --input=dataset.csv --output=anon.csv  "
+      "(streaming)"};
   api::define_run_flags(flags, engine);
   api::define_input_flags(flags);
   api::define_synth_flags(flags, /*default_users=*/1'000);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "glove/geo/geo.hpp"
 
@@ -10,7 +12,11 @@ namespace glove::analysis {
 
 namespace {
 
-std::unordered_map<geo::GridCell, std::size_t> tile_counts(
+/// Per-tile visit counts in canonical (ix, iy) order.  The unordered map
+/// is only an O(1) accumulator; returning a sorted vector keeps every
+/// downstream floating-point accumulation independent of hash order, so
+/// entropy figures are bit-stable across libstdc++ versions.
+std::vector<std::pair<geo::GridCell, std::size_t>> tile_counts(
     const cdr::Fingerprint& fp, double tile_m) {
   const geo::Grid grid{tile_m};
   std::unordered_map<geo::GridCell, std::size_t> counts;
@@ -18,7 +24,14 @@ std::unordered_map<geo::GridCell, std::size_t> tile_counts(
     ++counts[grid.cell_of(
         {s.sigma.x + s.sigma.dx / 2, s.sigma.y + s.sigma.dy / 2})];
   }
-  return counts;
+  std::vector<std::pair<geo::GridCell, std::size_t>> sorted{counts.begin(),
+                                                            counts.end()};
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.ix != b.first.ix) return a.first.ix < b.first.ix;
+              return a.first.iy < b.first.iy;
+            });
+  return sorted;
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "glove/stats/stats.hpp"
 
@@ -90,6 +92,9 @@ std::unordered_map<cdr::UserId, geo::PlanarPoint> HomeDetection::detect(
     if (weight.empty()) continue;
     geo::GridCell best{};
     double best_weight = -1.0;
+    // Hash-order iteration is fine here: the argmax carries a full
+    // (weight, ix, iy) tie-break, so every traversal order elects the
+    // same cell.
     for (const auto& [cell, w] : weight) {
       if (w > best_weight ||
           (w == best_weight && (cell.ix < best.ix ||
@@ -114,10 +119,17 @@ HomeUtilityReport compare_homes(const cdr::FingerprintDataset& original,
   HomeUtilityReport report;
   std::vector<double> displacements;
   std::size_t same = 0;
-  for (const auto& [user, true_home] : truth) {
+  // Walk users in id order, not hash order: the displacement vector
+  // feeds a mean whose floating-point sum depends on accumulation
+  // order, and the report must be bit-stable across libstdc++ builds.
+  std::vector<cdr::UserId> users;
+  users.reserve(truth.size());
+  for (const auto& [user, true_home] : truth) users.push_back(user);
+  std::sort(users.begin(), users.end());
+  for (const cdr::UserId user : users) {
     const auto it = estimate.find(user);
     if (it == estimate.end()) continue;
-    const double d = geo::planar_distance_m(true_home, it->second);
+    const double d = geo::planar_distance_m(truth.at(user), it->second);
     displacements.push_back(d);
     if (d < tile_m / 2.0) ++same;
   }
@@ -146,19 +158,38 @@ std::unordered_map<geo::GridCell, double> population_density(
     }
   }
   if (total > 0.0) {
+    // Element-wise transform: each mass is scaled independently, so
+    // hash-order traversal cannot change any value.
     for (auto& [cell, mass] : density) mass /= total;
   }
   return density;
 }
 
+namespace {
+
+/// Snapshot of a density map in canonical (ix, iy) cell order, so
+/// floating-point accumulations over it are independent of hash order.
+std::vector<std::pair<geo::GridCell, double>> sorted_cells(
+    const std::unordered_map<geo::GridCell, double>& density) {
+  std::vector<std::pair<geo::GridCell, double>> cells{density.begin(),
+                                                      density.end()};
+  std::sort(cells.begin(), cells.end(), [](const auto& a, const auto& b) {
+    if (a.first.ix != b.first.ix) return a.first.ix < b.first.ix;
+    return a.first.iy < b.first.iy;
+  });
+  return cells;
+}
+
+}  // namespace
+
 double density_distance(const std::unordered_map<geo::GridCell, double>& a,
                         const std::unordered_map<geo::GridCell, double>& b) {
   double distance = 0.0;
-  for (const auto& [cell, mass] : a) {
+  for (const auto& [cell, mass] : sorted_cells(a)) {
     const auto it = b.find(cell);
     distance += std::abs(mass - (it == b.end() ? 0.0 : it->second));
   }
-  for (const auto& [cell, mass] : b) {
+  for (const auto& [cell, mass] : sorted_cells(b)) {
     if (!a.contains(cell)) distance += mass;
   }
   return distance / 2.0;  // total variation

@@ -89,9 +89,9 @@ class Anonymizer {
   /// util::DatasetError (kInvalidDataset), std::invalid_argument
   /// (kInvalidConfig) or any std::exception (kInternal); the Engine owns
   /// the mapping so strategies can lean on the legacy throwing core.
-  [[nodiscard]] virtual StrategyOutcome run(const cdr::FingerprintDataset& data,
-                                            const RunConfig& config,
-                                            const RunContext& context) const = 0;
+  [[nodiscard]] virtual StrategyOutcome run(
+      const cdr::FingerprintDataset& data, const RunConfig& config,
+      const RunContext& context) const = 0;
 
   /// True when `run_streaming` consumes the source incrementally (bounded
   /// memory) instead of needing the dataset whole.  The Engine collects

@@ -37,7 +37,8 @@ struct RunConfig {
   std::optional<core::SuppressionThresholds> suppression;
   /// Resolve temporal overlaps after each merge (Fig. 6b).
   bool reshape = true;
-  core::LeftoverPolicy leftover_policy = core::LeftoverPolicy::kMergeIntoNearest;
+  core::LeftoverPolicy leftover_policy =
+      core::LeftoverPolicy::kMergeIntoNearest;
 
   // --- Strategy sections.
   struct ChunkedSection {

@@ -95,7 +95,8 @@ stats::Json report_json(const RunReport& report) {
       .set("leftover_policy", echo.leftover_policy)
       .set("chunked",
            stats::Json::object().set(
-               "chunk_size", static_cast<std::uint64_t>(echo.chunked_chunk_size)))
+               "chunk_size",
+               static_cast<std::uint64_t>(echo.chunked_chunk_size)))
       .set("sharded",
            stats::Json::object()
                .set("tile_size_m", echo.sharded_tile_size_m)

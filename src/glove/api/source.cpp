@@ -92,6 +92,10 @@ std::optional<std::uint64_t> GlovebinSource::fetch(
     std::vector<cdr::Fingerprint>& store) {
   std::vector<char> needed(static_cast<std::size_t>(reader_.block_count()),
                            0);
+  // glove-lint: allow(unordered-iteration, computes the set union of
+  // needed blocks into a bitmap; the payload walk below runs in file
+  // block order and writes slot-addressed, so hash order never reaches
+  // the output)
   for (const auto& [id, slot] : slot_of_id) {
     (void)slot;
     needed[reader_.block_of(id)] = 1;

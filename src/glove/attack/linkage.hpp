@@ -77,8 +77,9 @@ struct TopLocationsAttack {
   std::size_t top_n = 3;
   double tile_m = 1'000.0;
 
-  [[nodiscard]] AttackReport run(const cdr::FingerprintDataset& ground_truth,
-                                 const cdr::FingerprintDataset& published) const;
+  [[nodiscard]] AttackReport run(
+      const cdr::FingerprintDataset& ground_truth,
+      const cdr::FingerprintDataset& published) const;
 
   /// The adversary knowledge for one user: its top-n tiles.
   [[nodiscard]] std::vector<Observation> knowledge_for(
@@ -94,8 +95,9 @@ struct PointsAttack {
   double slot_min = 60.0;
   std::uint64_t seed = 99;
 
-  [[nodiscard]] AttackReport run(const cdr::FingerprintDataset& ground_truth,
-                                 const cdr::FingerprintDataset& published) const;
+  [[nodiscard]] AttackReport run(
+      const cdr::FingerprintDataset& ground_truth,
+      const cdr::FingerprintDataset& published) const;
 
   [[nodiscard]] std::vector<Observation> knowledge_for(
       const cdr::Fingerprint& user, std::uint64_t user_seed) const;

@@ -292,9 +292,10 @@ W4MResult anonymize_w4m(const cdr::FingerprintDataset& data,
           slot = slots - 1;
         } else {
           const auto hi = static_cast<std::size_t>(it - pivot_traj.t.begin());
-          slot = (pivot_traj.t[hi] - traj.t[s] < traj.t[s] - pivot_traj.t[hi - 1])
-                     ? hi
-                     : hi - 1;
+          slot =
+              (pivot_traj.t[hi] - traj.t[s] < traj.t[s] - pivot_traj.t[hi - 1])
+                  ? hi
+                  : hi - 1;
         }
         assigned[slot].push_back(s);
       }
@@ -338,8 +339,9 @@ W4MResult anonymize_w4m(const cdr::FingerprintDataset& data,
     std::vector<cdr::Sample> samples;
     samples.reserve(slots);
     for (std::size_t slot = 0; slot < slots; ++slot) {
-      const geo::PlanarPoint centroid{slot_positions[slot].x_m / slot_weight[slot],
-                                      slot_positions[slot].y_m / slot_weight[slot]};
+      const geo::PlanarPoint centroid{
+          slot_positions[slot].x_m / slot_weight[slot],
+          slot_positions[slot].y_m / slot_weight[slot]};
       for (std::size_t mi = 0; mi < cluster.size(); ++mi) {
         const MemberPoint& point = member_points[mi][slot];
         const double displacement =

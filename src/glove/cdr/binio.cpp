@@ -118,7 +118,9 @@ GlovebinWriter::GlovebinWriter(std::string path,
 }
 
 void GlovebinWriter::begin(const std::string& dataset_name) {
-  if (begun_) throw std::logic_error{"GlovebinWriter::begin called twice"};
+  if (begun_) {
+    throw std::logic_error{path_ + ": GlovebinWriter::begin called twice"};
+  }
   begun_ = true;
   name_ = dataset_name;
   std::string header;
@@ -134,7 +136,7 @@ void GlovebinWriter::begin(const std::string& dataset_name) {
 void GlovebinWriter::write(const Fingerprint& fingerprint) {
   if (!begun_ || finished_) {
     throw std::logic_error{
-        "GlovebinWriter::write outside a begin/finish window"};
+        path_ + ": GlovebinWriter::write outside a begin/finish window"};
   }
   const core::FingerprintBounds bounds =
       core::fingerprint_bounds(fingerprint);
@@ -221,7 +223,9 @@ void GlovebinWriter::flush_block() {
 }
 
 void GlovebinWriter::finish() {
-  if (!begun_) throw std::logic_error{"GlovebinWriter::finish before begin"};
+  if (!begun_) {
+    throw std::logic_error{path_ + ": GlovebinWriter::finish before begin"};
+  }
   if (finished_) return;
   finished_ = true;
   flush_block();

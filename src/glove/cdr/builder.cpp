@@ -25,6 +25,8 @@ struct SampleKey {
 FingerprintDataset build_from_planar(const std::vector<PlanarEvent>& events,
                                      const BuilderConfig& config) {
   if (!(config.grid_cell_m > 0.0) || !(config.time_step_min > 0.0)) {
+    // glove-lint: allow(throw-context, builder config precondition; no
+    // file is involved at this layer)
     throw std::invalid_argument{"builder granularities must be positive"};
   }
   const geo::Grid grid{config.grid_cell_m};

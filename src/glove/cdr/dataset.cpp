@@ -48,6 +48,8 @@ FingerprintDataset filter_min_activity(const FingerprintDataset& data,
                                        double min_samples_per_day,
                                        double timespan_days) {
   if (!(timespan_days > 0.0)) {
+    // glove-lint: allow(throw-context, in-memory dataset precondition; no
+    // file is involved at this layer)
     throw std::invalid_argument{"timespan_days must be positive"};
   }
   std::vector<Fingerprint> kept;
@@ -62,6 +64,8 @@ FingerprintDataset filter_min_activity(const FingerprintDataset& data,
 FingerprintDataset cut_time_window(const FingerprintDataset& data,
                                    double begin_min, double end_min) {
   if (!(end_min > begin_min)) {
+    // glove-lint: allow(throw-context, in-memory dataset precondition; no
+    // file is involved at this layer)
     throw std::invalid_argument{"empty time window"};
   }
   std::vector<Fingerprint> kept;
@@ -84,6 +88,8 @@ FingerprintDataset filter_geofence(const FingerprintDataset& data, double cx,
                                    double cy, double radius_m,
                                    double min_inside_fraction) {
   if (!(radius_m > 0.0)) {
+    // glove-lint: allow(throw-context, in-memory dataset precondition; no
+    // file is involved at this layer)
     throw std::invalid_argument{"geofence radius must be positive"};
   }
   const auto inside = [&](const Sample& s) {
@@ -111,6 +117,8 @@ FingerprintDataset filter_geofence(const FingerprintDataset& data, double cx,
 FingerprintDataset subsample_users(const FingerprintDataset& data,
                                    double fraction, std::uint64_t seed) {
   if (!(fraction > 0.0) || fraction > 1.0) {
+    // glove-lint: allow(throw-context, in-memory dataset precondition; no
+    // file is involved at this layer)
     throw std::invalid_argument{"subsample fraction must be in (0, 1]"};
   }
   util::Xoshiro256 rng{seed};

@@ -14,6 +14,8 @@ Fingerprint::Fingerprint(std::vector<UserId> members,
                          std::vector<Sample> samples)
     : members_{std::move(members)}, samples_{std::move(samples)} {
   if (members_.empty()) {
+    // glove-lint: allow(throw-context, in-memory value-type precondition;
+    // deserializers re-anchor failures to the offending file)
     throw std::invalid_argument{"fingerprint needs at least one member"};
   }
   sort_samples();
@@ -22,6 +24,8 @@ Fingerprint::Fingerprint(std::vector<UserId> members,
 Fingerprint Fingerprint::from_time_sorted(std::vector<UserId> members,
                                           std::vector<Sample> samples) {
   if (members.empty()) {
+    // glove-lint: allow(throw-context, in-memory value-type precondition;
+    // deserializers re-anchor failures to the offending file)
     throw std::invalid_argument{"fingerprint needs at least one member"};
   }
   Fingerprint fp;
@@ -32,6 +36,8 @@ Fingerprint Fingerprint::from_time_sorted(std::vector<UserId> members,
 
 UserId Fingerprint::representative() const {
   if (members_.empty()) {
+    // glove-lint: allow(throw-context, in-memory value-type invariant; a
+    // default-constructed fingerprint has no backing file)
     throw std::logic_error{"fingerprint has no members"};
   }
   return *std::min_element(members_.begin(), members_.end());

@@ -42,6 +42,9 @@ std::vector<UserId> parse_members(std::string_view field,
       const long long id = util::parse_int(
           part, "members field at line " + std::to_string(line_no));
       if (id < 0) {
+        // glove-lint: allow(throw-context, stream-level parse error; the
+        // file wrappers rethrow with the path prefixed via
+        // with_path_context)
         throw std::invalid_argument{"negative user id at line " +
                                     std::to_string(line_no)};
       }
@@ -50,6 +53,8 @@ std::vector<UserId> parse_members(std::string_view field,
     }
   }
   if (members.empty()) {
+    // glove-lint: allow(throw-context, stream-level parse error; file
+    // wrappers rethrow with the path prefixed via with_path_context)
     throw std::invalid_argument{"empty members field at line " +
                                 std::to_string(line_no)};
   }
@@ -57,6 +62,8 @@ std::vector<UserId> parse_members(std::string_view field,
   std::sort(sorted.begin(), sorted.end());
   const auto duplicate = std::adjacent_find(sorted.begin(), sorted.end());
   if (duplicate != sorted.end()) {
+    // glove-lint: allow(throw-context, stream-level parse error; file
+    // wrappers rethrow with the path prefixed via with_path_context)
     throw std::invalid_argument{
         "duplicate user id " + std::to_string(*duplicate) +
         " in members field at line " + std::to_string(line_no)};
@@ -110,6 +117,8 @@ void DatasetStreamWriter::begin(const std::string& dataset_name) {
   writer_.comment("members,x,dx,y,dy,t,dt,contributors");
   out_->flush();
   if (!*out_) {
+    // glove-lint: allow(throw-context, the stream writer cannot name the
+    // file; CsvFileSink::begin catches this and rethrows with the path)
     throw std::runtime_error{"failed writing dataset header"};
   }
 }

@@ -42,7 +42,8 @@ std::vector<cdr::Sample> suppress_samples(
   std::vector<cdr::Sample> kept;
   kept.reserve(samples.size());
   for (const cdr::Sample& s : samples) {
-    const bool over_space = s.sigma.accuracy_m() > thresholds.max_spatial_extent_m;
+    const bool over_space =
+        s.sigma.accuracy_m() > thresholds.max_spatial_extent_m;
     const bool over_time = s.tau.dt > thresholds.max_temporal_extent_min;
     if (over_space || over_time) {
       if (stats != nullptr) {

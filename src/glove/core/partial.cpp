@@ -25,6 +25,8 @@ cdr::FingerprintDataset reduce_to_top_locations(
     }
     std::vector<std::pair<std::size_t, geo::GridCell>> ranked;
     ranked.reserve(counts.size());
+    // Hash-order snapshot is fine: the sort below carries a full
+    // (count, ix, iy) tie-break, so the ranking is order-insensitive.
     for (const auto& [cell, count] : counts) ranked.emplace_back(count, cell);
     std::sort(ranked.begin(), ranked.end(),
               [](const auto& a, const auto& b) {

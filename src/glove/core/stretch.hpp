@@ -84,19 +84,16 @@ struct PairWeights {
 
 /// Sample stretch effort delta_ab(i, j) (eq. 1-3) split into components,
 /// with the per-group weights precomputed by the caller.
-[[nodiscard]] SampleStretch sample_stretch(const cdr::Sample& a,
-                                           const cdr::Sample& b,
-                                           PairWeights weights,
-                                           const StretchLimits& limits) noexcept;
+[[nodiscard]] SampleStretch sample_stretch(
+    const cdr::Sample& a, const cdr::Sample& b, PairWeights weights,
+    const StretchLimits& limits) noexcept;
 
 /// Sample stretch effort delta_ab(i, j) (eq. 1-3) split into components.
 /// `na` and `nb` are the group sizes of the fingerprints the samples belong
 /// to (1 for not-yet-merged users).
-[[nodiscard]] SampleStretch sample_stretch(const cdr::Sample& a,
-                                           std::uint32_t na,
-                                           const cdr::Sample& b,
-                                           std::uint32_t nb,
-                                           const StretchLimits& limits) noexcept;
+[[nodiscard]] SampleStretch sample_stretch(
+    const cdr::Sample& a, std::uint32_t na, const cdr::Sample& b,
+    std::uint32_t nb, const StretchLimits& limits) noexcept;
 
 /// Fingerprint stretch effort Delta_ab (eq. 10): for each sample of the
 /// longer fingerprint, the minimum-effort sample of the shorter one;

@@ -60,8 +60,9 @@ LatLon LambertAzimuthalEqualArea::inverse(PlanarPoint p) const noexcept {
   const double lat = std::asin(cos_c * sin_lat0_ +
                                p.y_m * sin_c * cos_lat0_ / rho);
   const double lon =
-      lon0_rad_ + std::atan2(p.x_m * sin_c,
-                             rho * cos_lat0_ * cos_c - p.y_m * sin_lat0_ * sin_c);
+      lon0_rad_ +
+      std::atan2(p.x_m * sin_c,
+                 rho * cos_lat0_ * cos_c - p.y_m * sin_lat0_ * sin_c);
   return LatLon{lat * kRadToDeg, lon * kRadToDeg};
 }
 

@@ -194,7 +194,8 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
   // the deferred leftovers are materialized later, chunk by chunk, by the
   // streaming reconciliation passes.
   const bool buffered =
-      resolved.glove.leftover_policy == core::LeftoverPolicy::kMergeIntoNearest &&
+      resolved.glove.leftover_policy ==
+          core::LeftoverPolicy::kMergeIntoNearest &&
       subk_deferred > 0 && subk_deferred < resolved.glove.k;
 
   std::uint64_t emitted_groups = 0;

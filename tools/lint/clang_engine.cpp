@@ -1,0 +1,130 @@
+#include "clang_engine.hpp"
+
+#include <algorithm>
+
+#if defined(GLOVE_LINT_HAVE_LIBCLANG)
+#include <clang-c/Index.h>
+#endif
+
+namespace glove::lint {
+
+#if defined(GLOVE_LINT_HAVE_LIBCLANG)
+
+namespace {
+
+struct VisitState {
+  const std::string* relative_path;
+  const std::vector<Annotation>* annotations;
+  std::vector<Finding>* findings;
+};
+
+std::string spelling(CXString s) {
+  const char* c = clang_getCString(s);
+  std::string out = c != nullptr ? c : "";
+  clang_disposeString(s);
+  return out;
+}
+
+bool unordered_type(CXType type) {
+  // Strip references and sugar so `const std::unordered_map<K, V>&` and
+  // alias spellings both resolve to the underlying container.
+  if (type.kind == CXType_LValueReference ||
+      type.kind == CXType_RValueReference) {
+    type = clang_getPointeeType(type);
+  }
+  const std::string name = spelling(clang_getTypeSpelling(
+      clang_getCanonicalType(type)));
+  return name.find("unordered_map<") != std::string::npos ||
+         name.find("unordered_set<") != std::string::npos ||
+         name.find("unordered_multimap<") != std::string::npos ||
+         name.find("unordered_multiset<") != std::string::npos;
+}
+
+CXChildVisitResult range_init_visitor(CXCursor cursor, CXCursor /*parent*/,
+                                      CXClientData data) {
+  auto* state = static_cast<VisitState*>(data);
+  if (clang_getCursorKind(cursor) == CXCursor_CXXForRangeStmt) {
+    // The range initializer is the last expression child of the for-range
+    // statement's variable declaration; checking the statement's own
+    // extent keeps this robust across clang versions.
+    CXSourceLocation loc = clang_getCursorLocation(cursor);
+    unsigned line = 0;
+    clang_getSpellingLocation(loc, nullptr, &line, nullptr, nullptr);
+
+    struct Inner {
+      bool unordered = false;
+    } inner;
+    clang_visitChildren(
+        cursor,
+        [](CXCursor child, CXCursor, CXClientData inner_data)
+            -> CXChildVisitResult {
+          auto* flag = static_cast<Inner*>(inner_data);
+          if (clang_getCursorKind(child) == CXCursor_VarDecl ||
+              clang_isExpression(clang_getCursorKind(child)) != 0) {
+            if (unordered_type(clang_getCursorType(child))) {
+              flag->unordered = true;
+              return CXChildVisit_Break;
+            }
+          }
+          return CXChildVisit_Continue;
+        },
+        &inner);
+    if (inner.unordered) {
+      const int first = static_cast<int>(line);
+      const bool suppressed = std::any_of(
+          state->annotations->begin(), state->annotations->end(),
+          [&](const Annotation& a) {
+            return a.rule == "unordered-iteration" && a.line >= first - 1 &&
+                   a.line <= first + 2;
+          });
+      if (!suppressed) {
+        state->findings->push_back(
+            {*state->relative_path, first, "unordered-iteration",
+             "range-for over an unordered container type (AST engine): "
+             "iteration order is hash order"});
+      }
+    }
+  }
+  return CXChildVisit_Recurse;
+}
+
+}  // namespace
+
+bool ast_available() { return true; }
+
+void ast_check_unordered_iteration(const std::string& disk_path,
+                                   const std::string& relative_path,
+                                   const std::vector<std::string>& args,
+                                   const std::vector<Annotation>& annotations,
+                                   std::vector<Finding>& findings) {
+  CXIndex index = clang_createIndex(/*excludeDeclarationsFromPCH=*/0,
+                                    /*displayDiagnostics=*/0);
+  std::vector<const char*> argv;
+  argv.reserve(args.size());
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  CXTranslationUnit tu = nullptr;
+  const CXErrorCode rc = clang_parseTranslationUnit2(
+      index, disk_path.c_str(), argv.data(), static_cast<int>(argv.size()),
+      nullptr, 0, CXTranslationUnit_None, &tu);
+  if (rc == CXError_Success && tu != nullptr) {
+    VisitState state{&relative_path, &annotations, &findings};
+    clang_visitChildren(clang_getTranslationUnitCursor(tu),
+                        range_init_visitor, &state);
+  }
+  if (tu != nullptr) clang_disposeTranslationUnit(tu);
+  clang_disposeIndex(index);
+}
+
+#else  // !GLOVE_LINT_HAVE_LIBCLANG
+
+bool ast_available() { return false; }
+
+void ast_check_unordered_iteration(const std::string& /*disk_path*/,
+                                   const std::string& /*relative_path*/,
+                                   const std::vector<std::string>& /*args*/,
+                                   const std::vector<Annotation>& /*anns*/,
+                                   std::vector<Finding>& /*findings*/) {}
+
+#endif  // GLOVE_LINT_HAVE_LIBCLANG
+
+}  // namespace glove::lint

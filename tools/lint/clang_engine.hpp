@@ -1,0 +1,37 @@
+// Optional libclang AST cross-check for the unordered-iteration rule.
+//
+// The tokenizer engine reasons about names; the AST engine reasons about
+// types, so it also catches iteration over an unordered container reached
+// through `auto`, a reference returned from a helper, or a nested member.
+// It is compiled in only when CMake is configured with
+// -DGLOVE_LINT_WITH_LIBCLANG=ON and clang-c/Index.h is found; every
+// runner without libclang silently uses the tokenizer-only configuration
+// (ast_available() == false), which is the supported baseline.
+
+#ifndef GLOVE_TOOLS_LINT_CLANG_ENGINE_HPP
+#define GLOVE_TOOLS_LINT_CLANG_ENGINE_HPP
+
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace glove::lint {
+
+/// True when this binary was built against libclang.
+bool ast_available();
+
+/// Parses `disk_path` (with `args` as compiler arguments, typically from
+/// compile_commands.json) and appends unordered-iteration findings for
+/// range-fors whose range expression has an unordered container type.
+/// Findings are reported against `relative_path`; annotation suppression
+/// is applied by the caller via `annotations`.
+void ast_check_unordered_iteration(const std::string& disk_path,
+                                   const std::string& relative_path,
+                                   const std::vector<std::string>& args,
+                                   const std::vector<Annotation>& annotations,
+                                   std::vector<Finding>& findings);
+
+}  // namespace glove::lint
+
+#endif  // GLOVE_TOOLS_LINT_CLANG_ENGINE_HPP

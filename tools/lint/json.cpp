@@ -1,0 +1,168 @@
+#include "json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace glove::lint {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_{text} {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error{"json parse error at byte " +
+                             std::to_string(pos_) + ": " + what};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            // Pass \uXXXX through untranslated; the lint inputs are ASCII.
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            out += "\\u" + text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    JsonValue value;
+    if (c == '{') {
+      ++pos_;
+      value.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return value;
+      }
+      while (true) {
+        std::string key = parse_string();
+        expect(':');
+        value.object.emplace(std::move(key), parse_value());
+        const char sep = peek();
+        if (sep == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return value;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      value.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return value;
+      }
+      while (true) {
+        value.array.push_back(parse_value());
+        const char sep = peek();
+        if (sep == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return value;
+      }
+    }
+    if (c == '"') {
+      value.kind = JsonValue::Kind::kString;
+      value.string = parse_string();
+      return value;
+    }
+    if (consume_literal("true")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (consume_literal("false")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = false;
+      return value;
+    }
+    if (consume_literal("null")) return value;
+    // Number.
+    {
+      char* end = nullptr;
+      value.kind = JsonValue::Kind::kNumber;
+      value.number = std::strtod(text_.c_str() + pos_, &end);
+      if (end == text_.c_str() + pos_) fail("unexpected character");
+      pos_ = static_cast<std::size_t>(end - text_.c_str());
+      return value;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) { return Parser{text}.parse(); }
+
+}  // namespace glove::lint

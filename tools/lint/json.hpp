@@ -1,0 +1,41 @@
+// Minimal JSON reader for glove_lint's two inputs: the CMake-exported
+// compile_commands.json (array of objects with string values) and the
+// blessed report-schema file.  Not a general-purpose parser: numbers are
+// kept as doubles, and no effort is made to preserve object key order
+// (the schema file stores keys as a sorted array precisely so order
+// never matters).
+
+#ifndef GLOVE_TOOLS_LINT_JSON_HPP
+#define GLOVE_TOOLS_LINT_JSON_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace glove::lint {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+/// Parses a complete JSON document; throws std::runtime_error with a byte
+/// offset on malformed input.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace glove::lint
+
+#endif  // GLOVE_TOOLS_LINT_JSON_HPP
