@@ -9,7 +9,13 @@ below) and checks the numbers in:
     for coarse diffing after algorithm changes;
   * throughput.json holding the parsed items/sec of every
     bench_throughput kernel — the machine-checked regression gate
-    (see check.py).
+    (see check.py);
+  * streaming_metrics.json holding the *deterministic* observability of a
+    pinned streaming sharded run (pass fingerprint/block counts,
+    blocks_read, reconcile chunk passes, the report's obs counters).
+    These are exact-compared by check.py — unlike items/sec they must
+    reproduce bit-for-bit on any machine, so a diff means the data plane
+    changed, not the hardware.
 
 Usage:
   python3 bench/baselines/capture.py --build-dir build [--only throughput]
@@ -24,6 +30,7 @@ import os
 import pathlib
 import subprocess
 import sys
+import tempfile
 
 BASELINE_DIR = pathlib.Path(__file__).resolve().parent
 
@@ -83,6 +90,60 @@ def run_throughput(binary: pathlib.Path) -> dict:
     }
 
 
+# The pinned streaming run whose deterministic metrics are baselined:
+# glovebin input (so the planning pass is index-served and rewound passes
+# block-seek) through the bordered sharded strategy with a reconcile
+# chunk budget small enough to force several rewound passes.
+STREAMING_SYNTH = ["--users=20000", "--days=1", "--seed=3"]
+STREAMING_RUN = [
+    "--strategy=sharded", "--shard-users=500", "--shard-workers=2",
+    "--reconcile-chunk-users=4000",
+]
+
+
+def run_streaming_metrics(build_dir: pathlib.Path) -> dict:
+    example = build_dir / "examples" / "example_anonymize_csv"
+    if not example.is_file():
+        raise SystemExit(f"error: {example} not found (build first)")
+    with tempfile.TemporaryDirectory() as tmp:
+        work = pathlib.Path(tmp)
+        csv = work / "dataset.csv"
+        binfile = work / "dataset.glovebin"
+        report_path = work / "run.json"
+        subprocess.run(
+            [str(example), f"--synth-dataset={csv}"] + STREAMING_SYNTH,
+            capture_output=True, env=bench_env(), timeout=1800, check=True)
+        subprocess.run(
+            [str(example), "--convert", f"--input={csv}",
+             f"--output={binfile}"],
+            capture_output=True, env=bench_env(), timeout=1800, check=True)
+        subprocess.run(
+            [str(example), f"--input={binfile}",
+             f"--output={work / 'anon.csv'}",
+             f"--report={report_path}"] + STREAMING_RUN,
+            capture_output=True, env=bench_env(), timeout=1800, check=True)
+        report = json.loads(report_path.read_text())
+    io = report["io"]
+    # Only reproducible-anywhere quantities: no timings, no RSS, and no
+    # bytes_mapped (page-size dependent rounding).
+    return {
+        "bench": "streaming_metrics",
+        "env": FIXED_ENV,
+        "synth": STREAMING_SYNTH,
+        "run": STREAMING_RUN,
+        "deterministic": {
+            "pass_fingerprints": io["pass_fingerprints"],
+            "pass_blocks": io["pass_blocks"],
+            "file_blocks": io["file_blocks"],
+            "blocks_read": io["blocks_read"],
+            "reconcile_passes": int(report["metrics"].get(
+                "reconcile_passes", 0)),
+            "counters": report["counters"],
+            "obs": report["obs"],
+        },
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build",
@@ -109,6 +170,14 @@ def main() -> int:
         else:
             payload = run_text_bench(binary)
         out = BASELINE_DIR / f"{name}.json"
+        out.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+        print(f"  wrote {out}")
+        captured += 1
+
+    if args.only in (None, "streaming_metrics"):
+        print("capturing streaming_metrics ...", flush=True)
+        payload = run_streaming_metrics(pathlib.Path(args.build_dir))
+        out = BASELINE_DIR / "streaming_metrics.json"
         out.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
         print(f"  wrote {out}")
         captured += 1

@@ -24,6 +24,14 @@ median — a lucky rep must not move the floor), it prints a re-capture
 suggestion so the checked-in performance floor keeps rising.  The
 suggestion never fails the run (exit 0).
 
+When bench/baselines/streaming_metrics.json exists the gate also re-runs
+the pinned streaming sharded run and *exact*-compares its deterministic
+observability (pass fingerprint/block counts, blocks_read, reconcile
+passes, the report's obs counters) against the baseline.  These numbers
+are machine-independent by design, so there is no tolerance: any diff
+means the data plane changed and the baseline needs an intentional
+re-capture.
+
 Usage:
   python3 bench/baselines/check.py --build-dir build [--tolerance 0.15]
                                    [--reference-tolerance 0.5] [--absolute]
@@ -48,6 +56,28 @@ def normalize(items: dict) -> dict:
                          "missing from throughput run")
     return {name: ips / reference for name, ips in items.items()
             if name != REFERENCE_KERNEL}
+
+
+def check_streaming_metrics(build_dir: str) -> list:
+    """Exact-compares the deterministic streaming metrics; returns
+    failure strings (empty when clean or no baseline is checked in)."""
+    baseline_path = capture.BASELINE_DIR / "streaming_metrics.json"
+    if not baseline_path.is_file():
+        return []
+    baseline = json.loads(baseline_path.read_text())["deterministic"]
+    current = capture.run_streaming_metrics(
+        pathlib.Path(build_dir))["deterministic"]
+    failures = []
+    for key in sorted(set(baseline) | set(current)):
+        base, now = baseline.get(key), current.get(key)
+        verdict = "FAIL" if now != base else "ok"
+        print(f"{verdict:4} streaming_metrics.{key}: {now}"
+              + ("" if now == base else f" (baseline {base})"))
+        if now != base:
+            failures.append(
+                f"streaming_metrics.{key}: {now} != baseline {base} "
+                "(deterministic metric; exact match required)")
+    return failures
 
 
 def main() -> int:
@@ -150,8 +180,10 @@ def main() -> int:
         print("  re-capture with: python3 bench/baselines/capture.py "
               "--only throughput  (then review the diff)")
 
+    failures.extend(check_streaming_metrics(args.build_dir))
+
     if failures:
-        print("\nthroughput regression detected:", file=sys.stderr)
+        print("\nbaseline regression detected:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1

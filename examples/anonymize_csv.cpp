@@ -6,6 +6,7 @@
 //       [--strategy=full|chunked|pruned-kgap|sharded|incremental|w4m-baseline]
 //       [--origin-lat=6.82 --origin-lon=-5.28] [--suppress-km=15]
 //       [--suppress-hours=6] [--report=run.json]
+//       [--trace-out=trace.json] [--verbose]
 //       [--tile-km=0 --shard-users=2000 --shard-workers=0
 //        --halo-km=1 --border=halo]     (sharded strategy knobs)
 //
@@ -138,6 +139,7 @@ int main(int argc, char** argv) {
       "       anonymize_csv --input=dataset.csv --output=anon.csv  "
       "(streaming)"};
   api::define_run_flags(flags, engine);
+  api::define_observability_flags(flags);
   api::define_input_flags(flags);
   api::define_synth_flags(flags, /*default_users=*/1'000);
   flags.define("demo-users", "80", "users in the generated demo trace");
@@ -160,6 +162,7 @@ int main(int argc, char** argv) {
   if (!api::parse_cli(flags, argc - 1, argv + 1, exit_code)) return exit_code;
 
   try {
+    api::start_observability(flags);
     if (!flags.get("synth-dataset").empty()) {
       const std::string path = flags.get("synth-dataset");
       const cdr::FingerprintDataset data = api::synth_dataset_from_flags(flags);
@@ -170,10 +173,13 @@ int main(int argc, char** argv) {
       std::cout << "wrote synthetic dataset: " << path << " (" << data.size()
                 << " fingerprints, " << data.total_samples()
                 << " samples)\n";
+      api::finish_observability(flags, std::cout);
       return 0;
     }
     if (!flags.get("input").empty()) {
-      return run_streaming(engine, flags);
+      const int code = run_streaming(engine, flags);
+      api::finish_observability(flags, std::cout);
+      return code;
     }
 
     const std::string input = flags.positional().size() > 0
@@ -218,6 +224,7 @@ int main(int argc, char** argv) {
               << " km / " << stats::fmt(summary.median_time_min, 1)
               << " min\n";
     api::maybe_write_report(flags, report, std::cout);
+    api::finish_observability(flags, std::cout);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -1,13 +1,17 @@
 #include "glove/api/cli.hpp"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 
 #include "glove/cdr/builder.hpp"
 #include "glove/cdr/d4d.hpp"
 #include "glove/cdr/io.hpp"
+#include "glove/obs/log.hpp"
+#include "glove/obs/span.hpp"
 #include "glove/stats/table.hpp"
 #include "glove/synth/generator.hpp"
 
@@ -60,6 +64,33 @@ void define_run_flags(util::Flags& flags, const Engine& engine,
                     "('halo') or keep them in their home shard ('none')");
   flags.define("report", "",
                "write the run report to this path (.json or .csv)");
+}
+
+void define_observability_flags(util::Flags& flags) {
+  flags.define("trace-out", "",
+               "write a Chrome trace-event JSON of the run's spans to this "
+               "path (load in chrome://tracing or ui.perfetto.dev); the "
+               "anonymized output is byte-identical with or without it");
+  flags.define("verbose", "false",
+               "rate-limited structured progress lines on stderr "
+               "(ts level phase key=value)");
+}
+
+void start_observability(const util::Flags& flags) {
+  obs::set_log_verbose(flags.get_bool("verbose"));
+  if (!flags.get("trace-out").empty()) obs::start_tracing();
+}
+
+void finish_observability(const util::Flags& flags, std::ostream& out) {
+  const std::string& path = flags.get("trace-out");
+  if (path.empty()) return;
+  const std::string document = obs::stop_tracing_and_render();
+  std::ofstream file{path};
+  if (!file) throw std::runtime_error{"cannot open for writing: " + path};
+  file << document;
+  file.flush();
+  if (!file) throw std::runtime_error{"failed writing: " + path};
+  out << "wrote trace: " << path << '\n';
 }
 
 RunConfig run_config_from_flags(const util::Flags& flags) {

@@ -47,6 +47,21 @@ void define_synth_flags(util::Flags& flags, std::size_t default_users,
 /// --antennas, --origin-lat / --origin-lon.
 void define_input_flags(util::Flags& flags);
 
+/// Registers the observability flags: --trace-out (Chrome trace-event
+/// JSON of the run's spans) and --verbose (rate-limited structured stderr
+/// logging).  Neither affects the anonymized output or the run report's
+/// deterministic sections.
+void define_observability_flags(util::Flags& flags);
+
+/// Applies the observability flags: enables verbose logging and starts
+/// span recording when --trace-out is set.  Call before the run.
+void start_observability(const util::Flags& flags);
+
+/// Stops span recording and writes the trace file named by --trace-out
+/// (no-op when the flag is empty), logging the path.  Throws
+/// std::runtime_error on I/O failure.
+void finish_observability(const util::Flags& flags, std::ostream& out);
+
 /// Result of a dataset format conversion.
 struct ConvertStats {
   std::uint64_t fingerprints = 0;

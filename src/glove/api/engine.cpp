@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "glove/obs/metrics.hpp"
+#include "glove/obs/span.hpp"
 #include "glove/util/mem.hpp"
 
 namespace glove::api {
@@ -60,6 +62,8 @@ const Anonymizer* Engine::find(std::string_view name) const {
 
 Result<RunReport> Engine::run(DatasetSource& source, DatasetSink& sink,
                               const RunConfig& config) const {
+  GLOVE_SPAN_NAMED(run_span, "engine.run");
+
   // --- Resolve the strategy.
   const Anonymizer* strategy = find(config.strategy);
   if (strategy == nullptr) {
@@ -73,28 +77,32 @@ Result<RunReport> Engine::run(DatasetSource& source, DatasetSink& sink,
   // --- Shared configuration validation; strategies add their own checks.
   // Dataset-shaped validation happens once the data is in reach: upfront
   // on the collect path, mid-stream (util::DatasetError) when streaming.
-  if (config.k < 2) {
-    return Error{ErrorCode::kInvalidConfig,
-                 "k must be >= 2 (got " + std::to_string(config.k) + ")"};
-  }
-  if (config.limits.phi_max_sigma_m <= 0.0 ||
-      config.limits.phi_max_tau_min <= 0.0) {
-    return Error{ErrorCode::kInvalidConfig,
-                 "stretch saturation limits must be positive"};
-  }
-  if (config.suppression &&
-      (config.suppression->max_spatial_extent_m <= 0.0 ||
-       config.suppression->max_temporal_extent_min <= 0.0)) {
-    return Error{ErrorCode::kInvalidConfig,
-                 "suppression thresholds must be positive"};
-  }
-  if (std::optional<Error> error = strategy->validate_config(config)) {
-    return *std::move(error);
+  {
+    GLOVE_SPAN("engine.validate");
+    if (config.k < 2) {
+      return Error{ErrorCode::kInvalidConfig,
+                   "k must be >= 2 (got " + std::to_string(config.k) + ")"};
+    }
+    if (config.limits.phi_max_sigma_m <= 0.0 ||
+        config.limits.phi_max_tau_min <= 0.0) {
+      return Error{ErrorCode::kInvalidConfig,
+                   "stretch saturation limits must be positive"};
+    }
+    if (config.suppression &&
+        (config.suppression->max_spatial_extent_m <= 0.0 ||
+         config.suppression->max_temporal_extent_min <= 0.0)) {
+      return Error{ErrorCode::kInvalidConfig,
+                   "suppression thresholds must be positive"};
+    }
+    if (std::optional<Error> error = strategy->validate_config(config)) {
+      return *std::move(error);
+    }
   }
 
   // --- Adapt hooks and run inside the typed-error boundary.
   RunContext context;
   context.hooks.cancel = config.cancel;
+  source.bind_cancel(config.cancel);
   std::shared_ptr<MonotoneProgress> progress;
   if (config.progress) {
     progress = std::make_shared<MonotoneProgress>(config.progress);
@@ -104,34 +112,43 @@ Result<RunReport> Engine::run(DatasetSource& source, DatasetSink& sink,
     };
   }
 
+  const obs::MetricsSnapshot metrics_before = obs::snapshot_metrics();
   const auto start = std::chrono::steady_clock::now();
   try {
     StrategyOutcome outcome;
-    if (strategy->supports_streaming()) {
-      outcome = strategy->run_streaming(source, config, context, sink);
-    } else {
-      // Collect-then-run fallback: materialize the source (or borrow the
-      // dataset an in-memory source already wraps — no copy), run the
-      // dataset-shaped strategy, drain its output into the sink.
-      const cdr::FingerprintDataset* inmem = source.materialized();
-      cdr::FingerprintDataset collected;
-      if (inmem == nullptr) collected = collect(source);
-      const cdr::FingerprintDataset& data = inmem != nullptr ? *inmem
-                                                             : collected;
-      if (data.empty()) {
-        return Error{ErrorCode::kInvalidDataset, "input dataset is empty"};
+    {
+      GLOVE_SPAN("engine.strategy");
+      if (strategy->supports_streaming()) {
+        outcome = strategy->run_streaming(source, config, context, sink);
+      } else {
+        // Collect-then-run fallback: materialize the source (or borrow the
+        // dataset an in-memory source already wraps — no copy), run the
+        // dataset-shaped strategy, drain its output into the sink.
+        const cdr::FingerprintDataset* inmem = source.materialized();
+        cdr::FingerprintDataset collected;
+        {
+          GLOVE_SPAN("engine.collect");
+          if (inmem == nullptr) collected = collect(source);
+        }
+        const cdr::FingerprintDataset& data = inmem != nullptr ? *inmem
+                                                               : collected;
+        if (data.empty()) {
+          return Error{ErrorCode::kInvalidDataset, "input dataset is empty"};
+        }
+        if (std::optional<Error> error = strategy->validate(data, config)) {
+          return *std::move(error);
+        }
+        outcome = strategy->run(data, config, context);
+        outcome.pass_fingerprints = {data.size()};
+        GLOVE_SPAN("engine.drain");
+        sink.begin(outcome.anonymized.name());
+        for (cdr::Fingerprint& fp :
+             outcome.anonymized.mutable_fingerprints()) {
+          sink.write(std::move(fp));
+        }
+        sink.finish();
+        outcome.anonymized = cdr::FingerprintDataset{};
       }
-      if (std::optional<Error> error = strategy->validate(data, config)) {
-        return *std::move(error);
-      }
-      outcome = strategy->run(data, config, context);
-      outcome.pass_fingerprints = {data.size()};
-      sink.begin(outcome.anonymized.name());
-      for (cdr::Fingerprint& fp : outcome.anonymized.mutable_fingerprints()) {
-        sink.write(std::move(fp));
-      }
-      sink.finish();
-      outcome.anonymized = cdr::FingerprintDataset{};
     }
 
     RunReport report;
@@ -156,6 +173,8 @@ Result<RunReport> Engine::run(DatasetSource& source, DatasetSink& sink,
       report.bytes_mapped = io->bytes_mapped;
     }
     report.peak_rss_bytes = util::peak_rss_bytes();
+    report.obs_counters =
+        obs::counter_delta(metrics_before, obs::snapshot_metrics());
     return report;
   } catch (const util::CancelledError&) {
     return Error{ErrorCode::kCancelled, "run cancelled by its token"};

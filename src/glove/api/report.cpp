@@ -139,6 +139,14 @@ stats::Json report_json(const RunReport& report) {
     metrics.set(name, value);
   }
 
+  // Dynamic keys (like "metrics" above): the schema lock covers the
+  // section name, not the counter names, which grow as instrumentation
+  // spreads without forcing a version bump each time.
+  stats::Json obs = stats::Json::object();
+  for (const auto& [name, value] : report.obs_counters) {
+    obs.set(name, value);
+  }
+
   stats::Json passes = stats::Json::array();
   for (const std::uint64_t count : report.pass_fingerprints) {
     passes.push(count);
@@ -158,14 +166,15 @@ stats::Json report_json(const RunReport& report) {
       .set("peak_rss_bytes", report.peak_rss_bytes);
 
   stats::Json doc = stats::Json::object();
-  doc.set("schema", "glove.run_report.v5")
+  doc.set("schema", "glove.run_report.v6")
       .set("strategy", report.strategy)
       .set("dataset", report.dataset_name)
       .set("config", std::move(config))
       .set("counters", std::move(counters))
       .set("timings", std::move(timings))
       .set("io", std::move(io))
-      .set("metrics", std::move(metrics));
+      .set("metrics", std::move(metrics))
+      .set("obs", std::move(obs));
   if (!report.shard_timings.empty()) {
     stats::Json shards = stats::Json::array();
     for (const ShardTimingRow& row : report.shard_timings) {

@@ -114,6 +114,12 @@ struct RunReport {
   std::uint64_t blocks_read = 0;
   std::uint64_t bytes_mapped = 0;
   std::uint64_t peak_rss_bytes = 0;
+  /// Deterministic observability counters this run contributed (the
+  /// obs::counter_delta across Engine::run), name-sorted and serialized
+  /// under "obs".  Only counts/bytes/passes ever land here — wall-clock
+  /// quantities stay in the trace file — so the section is byte-stable
+  /// for a given input and config.
+  std::vector<std::pair<std::string, std::uint64_t>> obs_counters;
 };
 
 /// Looks up a strategy-specific metric by name; `fallback` when absent.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "glove/obs/span.hpp"
+
 namespace glove::api {
 
 CsvFileSink::CsvFileSink(std::string path)
@@ -28,6 +30,7 @@ void CsvFileSink::do_write(cdr::Fingerprint group) {
 }
 
 void CsvFileSink::finish() {
+  GLOVE_SPAN("sink.csv.flush");
   out_.flush();
   if (!out_) throw std::runtime_error{"failed writing: " + path_};
 }

@@ -26,6 +26,7 @@
 #include "glove/cdr/binio.hpp"
 #include "glove/cdr/dataset.hpp"
 #include "glove/cdr/io.hpp"
+#include "glove/obs/metrics.hpp"
 
 namespace glove::api {
 
@@ -44,6 +45,11 @@ class DatasetSink {
   /// Accepts the next finalized group (counts, then forwards to the
   /// implementation).
   void write(cdr::Fingerprint group) {
+    static const obs::Counter c_groups = obs::counter("sink.groups_written");
+    static const obs::Counter c_samples =
+        obs::counter("sink.samples_written");
+    c_groups.add();
+    c_samples.add(group.size());
     do_write(std::move(group));
     ++groups_written_;
   }

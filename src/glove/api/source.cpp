@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "glove/obs/metrics.hpp"
+#include "glove/obs/span.hpp"
 #include "glove/util/hooks.hpp"
 
 namespace glove::api {
@@ -21,8 +23,11 @@ CsvFileSource::CsvFileSource(std::string path)
 }
 
 bool CsvFileSource::next(cdr::Fingerprint& fingerprint) {
+  static const obs::Counter c_rows = obs::counter("source.csv.rows_read");
   try {
-    return reader_.next(fingerprint);
+    const bool ok = reader_.next(fingerprint);
+    if (ok) c_rows.add();
+    return ok;
   } catch (const std::invalid_argument& e) {
     // A malformed row is a *data* problem: surface it as DatasetError so
     // the Engine reports kInvalidDataset (with path and line), matching
@@ -59,6 +64,9 @@ bool GlovebinSource::next(cdr::Fingerprint& fingerprint) {
     if (next_block_ >= blocks) return false;
     const std::size_t last =
         std::min(next_block_ + kSequentialBlocksPerMap, blocks);
+    GLOVE_SPAN_NAMED(read_span, "source.glovebin.scan_window");
+    read_span.arg("first_block", next_block_);
+    read_span.arg("blocks", last - next_block_);
     buffer_.clear();
     buffer_cursor_ = 0;
     try {
@@ -82,7 +90,9 @@ void GlovebinSource::rewind() {
 }
 
 bool GlovebinSource::summaries(std::vector<cdr::FingerprintSummary>& out) {
+  GLOVE_SPAN_NAMED(span, "source.glovebin.summaries");
   out = reader_.summaries();
+  span.arg("fingerprints", out.size());
   stats_.pass_blocks.push_back(0);  // index-only pass: no payload decoded
   return true;
 }
@@ -90,6 +100,9 @@ bool GlovebinSource::summaries(std::vector<cdr::FingerprintSummary>& out) {
 std::optional<std::uint64_t> GlovebinSource::fetch(
     const std::unordered_map<std::uint32_t, std::uint32_t>& slot_of_id,
     std::vector<cdr::Fingerprint>& store) {
+  static const obs::Counter c_blocks =
+      obs::counter("source.glovebin.fetch_blocks");
+  GLOVE_SPAN_NAMED(fetch_span, "source.glovebin.fetch");
   std::vector<char> needed(static_cast<std::size_t>(reader_.block_count()),
                            0);
   // glove-lint: allow(unordered-iteration, computes the set union of
@@ -107,6 +120,9 @@ std::optional<std::uint64_t> GlovebinSource::fetch(
       ++b;
       continue;
     }
+    // Each iteration maps and decodes a whole block run, so this is the
+    // only timely poll point a cancel has during an index-served pass.
+    throw_if_cancelled();
     std::size_t e = b;
     while (e < needed.size() && needed[e] != 0) ++e;
     try {
@@ -124,6 +140,9 @@ std::optional<std::uint64_t> GlovebinSource::fetch(
     b = e;
   }
   stats_.pass_blocks.push_back(pass_blocks);
+  c_blocks.add(pass_blocks);
+  fetch_span.arg("blocks", pass_blocks);
+  fetch_span.arg("fetched", fetched);
   return fetched;
 }
 

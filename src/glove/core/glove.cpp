@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "glove/core/scalability.hpp"
+#include "glove/obs/metrics.hpp"
 #include "glove/util/parallel.hpp"
 
 namespace glove::core {
@@ -158,6 +159,22 @@ GloveResult anonymize_impl(const cdr::FingerprintDataset& data,
   hooks.throw_if_cancelled();
   hooks.report(pairs, total_work);
 
+  // Candidate-churn accounting: how much of the heap's traffic is useful
+  // (refines, fresh pairs) vs wasted (stale pops of dead nodes).  All
+  // deterministic for a given input/config, so the totals surface in the
+  // run report's "obs" section; tallied locally and folded in once after
+  // the loop to keep the pop path free of shared writes.
+  static const obs::Counter c_seeded = obs::counter("core.heap.seeded");
+  static const obs::Counter c_popped = obs::counter("core.heap.popped");
+  static const obs::Counter c_refined = obs::counter("core.heap.refined");
+  static const obs::Counter c_stale = obs::counter("core.heap.stale_skips");
+  static const obs::Counter c_pushed = obs::counter("core.heap.pushed");
+  if (pairs > 0) c_seeded.add(pairs);
+  std::uint64_t popped = 0;
+  std::uint64_t refined = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t pushed = 0;
+
   // --- Greedy loop (Alg. 1 l. 4-15).
   const auto merge_start = Clock::now();
   const std::size_t initial_open = open.size();
@@ -173,12 +190,17 @@ GloveResult anonymize_impl(const cdr::FingerprintDataset& data,
       std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
       top = heap.back();
       heap.pop_back();
-      if (!is_open(top.a) || !is_open(top.b)) continue;
+      ++popped;
+      if (!is_open(top.a) || !is_open(top.b)) {
+        ++stale;
+        continue;
+      }
       if (!top.exact) {
         top.stretch =
             fingerprint_stretch(nodes[top.a], nodes[top.b], config.limits);
         top.exact = true;
         ++stats.stretch_evaluations;
+        ++refined;
         heap.push_back(top);
         std::push_heap(heap.begin(), heap.end(), std::greater<>{});
         continue;
@@ -247,8 +269,13 @@ GloveResult anonymize_impl(const cdr::FingerprintDataset& data,
       heap.push_back(e);
       std::push_heap(heap.begin(), heap.end(), std::greater<>{});
     }
+    pushed += fresh.size();
     hooks.report(pairs + (initial_open - open_count), total_work);
   }
+  if (popped > 0) c_popped.add(popped);
+  if (refined > 0) c_refined.add(refined);
+  if (stale > 0) c_stale.add(stale);
+  if (pushed > 0) c_pushed.add(pushed);
 
   // --- Leftover handling (unspecified in Alg. 1; see DESIGN.md).
   if (open_count == 1) {

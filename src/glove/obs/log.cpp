@@ -1,0 +1,86 @@
+#include "glove/obs/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace glove::obs {
+namespace {
+
+std::atomic<bool> g_verbose{false};
+
+using Clock = std::chrono::steady_clock;
+
+/// Token-bucket state, all guarded by one mutex: logging is rare compared
+/// to the work being logged, and interleaved half-lines from concurrent
+/// writers would defeat the structured format anyway.
+struct LimiterState {
+  std::mutex mutex;
+  Clock::time_point t0{};
+  bool started = false;
+  Clock::time_point window_start{};
+  int lines_in_window = 0;
+  std::uint64_t suppressed = 0;
+};
+
+LimiterState& limiter() {
+  static LimiterState* instance = new LimiterState;
+  return *instance;
+}
+
+const char* level_tag(LogLevel level) noexcept {
+  return level == LogLevel::kWarn ? "WARN" : "INFO";
+}
+
+}  // namespace
+
+void set_log_verbose(bool on) noexcept {
+  g_verbose.store(on, std::memory_order_relaxed);
+}
+
+bool log_verbose() noexcept {
+  return g_verbose.load(std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const char* phase, std::string_view message) {
+  if (!log_verbose()) return;
+  LimiterState& state = limiter();
+  const std::lock_guard lock{state.mutex};
+  const Clock::time_point now = Clock::now();
+  if (!state.started) {
+    state.started = true;
+    state.t0 = now;
+    state.window_start = now;
+  }
+  if (now - state.window_start >= std::chrono::seconds{1}) {
+    state.window_start = now;
+    state.lines_in_window = 0;
+  }
+  if (state.lines_in_window >= kMaxLogLinesPerSecond) {
+    ++state.suppressed;
+    return;
+  }
+  ++state.lines_in_window;
+  const double ts =
+      std::chrono::duration<double>(now - state.t0).count();
+  if (state.suppressed > 0) {
+    std::fprintf(stderr, "%.3f %s %s %.*s suppressed=%llu\n", ts,
+                 level_tag(level), phase, static_cast<int>(message.size()),
+                 message.data(),
+                 static_cast<unsigned long long>(state.suppressed));
+    state.suppressed = 0;
+  } else {
+    std::fprintf(stderr, "%.3f %s %s %.*s\n", ts, level_tag(level), phase,
+                 static_cast<int>(message.size()), message.data());
+  }
+}
+
+std::string log_kv(std::string_view key, std::uint64_t value) {
+  std::string out{key};
+  out += '=';
+  out += std::to_string(value);
+  return out;
+}
+
+}  // namespace glove::obs

@@ -1,0 +1,48 @@
+// Rate-limited structured stderr logger for long-running pipeline runs.
+//
+// Lines are `ts level phase key=value ...`:
+//
+//   12.042 INFO stream.batch batch=3 shards=8 users=3960
+//
+// Logging is off by default; `--verbose` on the CLI turns it on.  A
+// token-bucket cap (kMaxLogLinesPerSecond) keeps per-shard heartbeats from
+// flooding CI logs: over-budget lines are counted and reported as
+// `suppressed=N` on the next emitted line.  Output goes to stderr only, so
+// anonymized output and run reports stay byte-identical with logging on.
+
+#ifndef GLOVE_OBS_LOG_HPP
+#define GLOVE_OBS_LOG_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace glove::obs {
+
+/// Lines per second admitted by the rate limiter (per whole process).
+inline constexpr int kMaxLogLinesPerSecond = 50;
+
+enum class LogLevel { kInfo, kWarn };
+
+void set_log_verbose(bool on) noexcept;
+[[nodiscard]] bool log_verbose() noexcept;
+
+/// Emits one line when verbose logging is on and the rate limiter admits
+/// it.  `phase` follows the span/metric naming convention ([a-z0-9_.]+);
+/// `message` is the pre-formatted key=value tail.
+void log_line(LogLevel level, const char* phase, std::string_view message);
+
+inline void log_info(const char* phase, std::string_view message) {
+  log_line(LogLevel::kInfo, phase, message);
+}
+
+inline void log_warn(const char* phase, std::string_view message) {
+  log_line(LogLevel::kWarn, phase, message);
+}
+
+/// Formats one `key=value` pair (helper for building message tails).
+[[nodiscard]] std::string log_kv(std::string_view key, std::uint64_t value);
+
+}  // namespace glove::obs
+
+#endif  // GLOVE_OBS_LOG_HPP

@@ -1,0 +1,202 @@
+#include "glove/obs/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+#include "glove/stats/json.hpp"
+
+namespace glove::obs {
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t ts_ns;
+  char phase;  // 'B' or 'E'
+  std::uint8_t arg_count;
+  std::array<std::pair<const char*, std::uint64_t>, kMaxSpanArgs> args;
+};
+
+std::atomic<bool> g_enabled{false};
+
+/// Per-thread event buffer.  The owning thread appends; the exporting
+/// thread drains.  Each append takes the buffer's own mutex — uncontended
+/// in steady state (the exporter only touches it at start/stop), and spans
+/// are coarse (per pass / shard / chunk), so the lock is not a hot cost.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+class Recorder {
+ public:
+  void attach(ThreadBuffer* buffer) {
+    const std::lock_guard lock{mutex_};
+    buffer->tid = next_tid_++;
+    live_.push_back(buffer);
+  }
+
+  /// Preserves an exiting thread's events (worker pools may tear down
+  /// before export).
+  void detach(ThreadBuffer* buffer) {
+    const std::lock_guard lock{mutex_};
+    live_.erase(std::remove(live_.begin(), live_.end(), buffer), live_.end());
+    const std::lock_guard buffer_lock{buffer->mutex};
+    retired_.emplace_back(buffer->tid, std::move(buffer->events));
+  }
+
+  void start() {
+    const std::lock_guard lock{mutex_};
+    retired_.clear();
+    for (ThreadBuffer* buffer : live_) {
+      const std::lock_guard buffer_lock{buffer->mutex};
+      buffer->events.clear();
+    }
+    t0_ = std::chrono::steady_clock::now();
+    g_enabled.store(true, std::memory_order_release);
+  }
+
+  std::string stop_and_render() {
+    g_enabled.store(false, std::memory_order_release);
+    const std::lock_guard lock{mutex_};
+    std::vector<std::pair<std::uint32_t, std::vector<TraceEvent>>> streams;
+    streams.swap(retired_);
+    for (ThreadBuffer* buffer : live_) {
+      const std::lock_guard buffer_lock{buffer->mutex};
+      streams.emplace_back(buffer->tid, std::move(buffer->events));
+      buffer->events.clear();
+    }
+    return render(streams);
+  }
+
+  std::uint64_t now_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+  }
+
+ private:
+  static std::string render(
+      std::vector<std::pair<std::uint32_t, std::vector<TraceEvent>>>&
+          streams) {
+    // Stable tid order keeps the document layout reproducible for a given
+    // set of streams (timestamps still vary run to run, by design).
+    std::sort(streams.begin(), streams.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    stats::Json events = stats::Json::array();
+    for (auto& [tid, stream] : streams) {
+      // Spans open at the stop cut contributed a 'B' with no matching 'E'
+      // (and a start mid-span can leave an orphan 'E'); match begins and
+      // ends with a stack and drop the unmatched ones so every exported
+      // stream balances.
+      std::vector<char> keep(stream.size(), 1);
+      std::vector<std::size_t> open;
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        if (stream[i].phase == 'B') {
+          open.push_back(i);
+        } else if (open.empty()) {
+          keep[i] = 0;
+        } else {
+          open.pop_back();
+        }
+      }
+      for (const std::size_t i : open) keep[i] = 0;
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        if (!keep[i]) continue;
+        const TraceEvent& event = stream[i];
+        stats::Json entry = stats::Json::object();
+        entry.set("name", event.name);
+        entry.set("cat", "glove");
+        entry.set("ph", std::string(1, event.phase));
+        entry.set("ts", static_cast<double>(event.ts_ns) / 1000.0);
+        entry.set("pid", 1);
+        entry.set("tid", static_cast<std::uint64_t>(tid));
+        if (event.arg_count > 0) {
+          stats::Json args = stats::Json::object();
+          for (std::uint8_t a = 0; a < event.arg_count; ++a) {
+            args.set(event.args[a].first, event.args[a].second);
+          }
+          entry.set("args", std::move(args));
+        }
+        events.push(std::move(entry));
+      }
+    }
+    stats::Json doc = stats::Json::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", "ms");
+    return doc.dump(0) + "\n";
+  }
+
+  std::mutex mutex_;
+  std::vector<ThreadBuffer*> live_;
+  std::vector<std::pair<std::uint32_t, std::vector<TraceEvent>>> retired_;
+  std::uint32_t next_tid_ = 1;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+/// Leaky singleton for the same reason as the metrics registry: thread
+/// buffers detach at thread exit, which may outrun static destruction.
+Recorder& recorder() {
+  static Recorder* instance = new Recorder;
+  return *instance;
+}
+
+struct BufferHandle {
+  ThreadBuffer buffer;
+  BufferHandle() { recorder().attach(&buffer); }
+  ~BufferHandle() { recorder().detach(&buffer); }
+  BufferHandle(const BufferHandle&) = delete;
+  BufferHandle& operator=(const BufferHandle&) = delete;
+};
+
+ThreadBuffer& local_buffer() {
+  thread_local BufferHandle handle;
+  return handle.buffer;
+}
+
+void record(const char* name, char phase, std::uint8_t arg_count,
+            const std::array<std::pair<const char*, std::uint64_t>,
+                             kMaxSpanArgs>& args) {
+  TraceEvent event;
+  event.name = name;
+  event.ts_ns = recorder().now_ns();
+  event.phase = phase;
+  event.arg_count = arg_count;
+  event.args = args;
+  ThreadBuffer& buffer = local_buffer();
+  const std::lock_guard lock{buffer.mutex};
+  buffer.events.push_back(event);
+}
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+void start_tracing() { recorder().start(); }
+
+std::string stop_tracing_and_render() { return recorder().stop_and_render(); }
+
+Span::Span(const char* name) noexcept
+    : name_{name}, armed_{tracing_enabled()} {
+  if (armed_) record(name_, 'B', 0, {});
+}
+
+Span::~Span() {
+  // Re-check enabled so spans straddling a stop cut do not append an end
+  // event after their stream was exported.
+  if (armed_ && tracing_enabled()) record(name_, 'E', arg_count_, args_);
+}
+
+void Span::arg(const char* key, std::uint64_t value) noexcept {
+  if (!armed_ || arg_count_ >= kMaxSpanArgs) return;
+  args_[arg_count_] = {key, value};
+  ++arg_count_;
+}
+
+}  // namespace glove::obs

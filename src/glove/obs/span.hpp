@@ -1,0 +1,77 @@
+// RAII span tracing with Chrome trace-event JSON export.
+//
+// Spans record nested begin/end events per thread into thread-local
+// buffers; `GLOVE_SPAN("phase.name")` costs one atomic load when tracing
+// is off (the default), so instrumentation can stay in hot paths
+// permanently.  `start_tracing()` / `stop_tracing_and_render()` bracket a
+// run; the rendered document loads directly in Chrome's about:tracing /
+// Perfetto viewer and is validated by tools/check_trace.py.
+//
+// Span names follow the same [a-z0-9_.]+ convention as metrics and must be
+// string literals (their storage must outlive the trace; glove_lint's
+// obs-naming rule checks the literal sites).  Because end events are
+// emitted by destructors, every thread's event stream is strictly nested —
+// the validator checks balance, Chrome renders proper flame stacks.
+
+#ifndef GLOVE_OBS_SPAN_HPP
+#define GLOVE_OBS_SPAN_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace glove::obs {
+
+/// Max key/value pairs attachable to one span (shown in the viewer's
+/// argument pane).  Extra `arg` calls are dropped, not an error.
+inline constexpr std::size_t kMaxSpanArgs = 4;
+
+/// True while a trace is being recorded.  Single relaxed atomic load.
+[[nodiscard]] bool tracing_enabled() noexcept;
+
+/// Clears any previous trace and starts recording (timestamps restart at
+/// zero).  Call before the work to be traced; one trace at a time.
+void start_tracing();
+
+/// Stops recording and renders every buffered event as a Chrome
+/// trace-event JSON document ({"traceEvents": [...]}).  Spans still open
+/// on other threads are dropped cleanly (their end would land after the
+/// cut), keeping the exported stream balanced.
+[[nodiscard]] std::string stop_tracing_and_render();
+
+/// RAII scope: records a begin event at construction and the matching end
+/// event (carrying any attached args) at destruction.  No-op when tracing
+/// was off at construction.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches `key`=`value` to the span's end event.  `key` must be a
+  /// string literal (stored by pointer).
+  void arg(const char* key, std::uint64_t value) noexcept;
+
+ private:
+  const char* name_;
+  bool armed_;
+  std::uint8_t arg_count_ = 0;
+  std::array<std::pair<const char*, std::uint64_t>, kMaxSpanArgs> args_{};
+};
+
+}  // namespace glove::obs
+
+#define GLOVE_OBS_CAT2(a, b) a##b
+#define GLOVE_OBS_CAT(a, b) GLOVE_OBS_CAT2(a, b)
+
+/// Anonymous span covering the enclosing scope.
+#define GLOVE_SPAN(name) \
+  ::glove::obs::Span GLOVE_OBS_CAT(glove_span_, __LINE__) { name }
+
+/// Named span, for attaching args: GLOVE_SPAN_NAMED(span, "x"); span.arg(...)
+#define GLOVE_SPAN_NAMED(var, name) \
+  ::glove::obs::Span var { name }
+
+#endif  // GLOVE_OBS_SPAN_HPP

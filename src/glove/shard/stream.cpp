@@ -8,6 +8,9 @@
 #include <utility>
 
 #include "glove/core/scalability.hpp"
+#include "glove/obs/log.hpp"
+#include "glove/obs/metrics.hpp"
+#include "glove/obs/span.hpp"
 #include "glove/shard/reconcile.hpp"
 #include "glove/util/parallel.hpp"
 #include "glove/util/thread_pool.hpp"
@@ -139,11 +142,26 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
   }
   hooks.throw_if_cancelled();
 
+  // Deterministic plane counters (counts only — they surface in the run
+  // report's "obs" section) plus a size distribution for the trace side.
+  static const obs::Counter c_batches = obs::counter("stream.shard_batches");
+  static const obs::Counter c_shards = obs::counter("stream.shards_run");
+  static const obs::Counter c_chunks = obs::counter("stream.reconcile_chunks");
+  static const obs::Histogram h_shard_members =
+      obs::histogram("stream.shard.members");
+
   StreamShardedResult result;
 
   // --- Pass 1: bounds-only scan, tile, plan, split borders.
   const auto plan_start = Clock::now();
-  StreamScan scan = scan_stream(source, hooks);
+  StreamScan scan;
+  {
+    GLOVE_SPAN_NAMED(pass1_span, "stream.pass1.scan");
+    scan = scan_stream(source, hooks);
+    pass1_span.arg("fingerprints", scan.bounds.size());
+    pass1_span.arg("users", scan.users);
+    pass1_span.arg("samples", scan.samples);
+  }
   const std::size_t n = scan.bounds.size();
   result.pass_fingerprints.push_back(n);
   if (n == 0) throw util::DatasetError{"input dataset is empty"};
@@ -154,8 +172,12 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
   result.stats.glove.input_users = scan.users;
   result.stats.glove.input_samples = scan.samples;
 
-  const Tiling tiling = build_tiling_from_bounds(
-      std::move(scan.bounds), config.tile_size_m, config.max_shard_users);
+  const Tiling tiling = [&] {
+    GLOVE_SPAN("stream.plan");
+    return build_tiling_from_bounds(std::move(scan.bounds),
+                                    config.tile_size_m,
+                                    config.max_shard_users);
+  }();
   // Downstream phases (border test, reconcile chunking) read the resolved
   // tile size from the config they are handed.
   ShardConfig resolved = config;
@@ -246,6 +268,17 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
       batch_members += members;
       ++last;
     }
+    GLOVE_SPAN_NAMED(batch_span, "stream.shard_batch");
+    batch_span.arg("first_shard", first);
+    batch_span.arg("shards", last - first);
+    batch_span.arg("members", batch_members);
+    c_batches.add();
+    if (obs::log_verbose()) {
+      obs::log_info("stream.batch",
+                    obs::log_kv("first_shard", first) + ' ' +
+                        obs::log_kv("shards", last - first) + ' ' +
+                        obs::log_kv("members", batch_members));
+    }
 
     // Materialized sources hand fingerprints out by index (one copy per
     // batch member, as the pre-streaming runner did); true streams are
@@ -303,6 +336,11 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
             hooks.throw_if_cancelled();
             if (inputs[j].empty()) continue;
             const std::size_t s = first + j;
+            GLOVE_SPAN_NAMED(shard_span, "stream.shard");
+            shard_span.arg("shard", s);
+            shard_span.arg("members", split.kept[s].size());
+            c_shards.add();
+            h_shard_members.observe(split.kept[s].size());
             const auto start = Clock::now();
             results[j] = core::anonymize_pruned(
                 cdr::FingerprintDataset{std::move(inputs[j])}, resolved.glove,
@@ -314,6 +352,7 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
             result.shard_timings[s].total_seconds = seconds_since(start);
             result.shard_timings[s].output_groups =
                 results[j].anonymized.size();
+            shard_span.arg("groups", results[j].anonymized.size());
             const std::lock_guard lock{progress_mutex};
             done += split.kept[s].size();
             hooks.report(done, total_work);
@@ -335,6 +374,8 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
   // pass-throughs, then the chunked reconciliation output) trail the
   // shard groups exactly as in the buffered layout.
   hooks.throw_if_cancelled();
+  GLOVE_SPAN_NAMED(reconcile_span, "stream.reconcile");
+  reconcile_span.arg("deferred", deferred_total);
   if (buffered) {
     // Progress inside the reconcile is reported in leftover units; shift
     // it past the kept fingerprints already counted.
@@ -416,6 +457,14 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
         pass_members += members;
         ++last_u;
       }
+      GLOVE_SPAN_NAMED(pass_span, "stream.reconcile.pass");
+      pass_span.arg("units", last_u - first_u);
+      pass_span.arg("members", pass_members);
+      if (obs::log_verbose()) {
+        obs::log_info("stream.reconcile",
+                      obs::log_kv("units", last_u - first_u) + ' ' +
+                          obs::log_kv("members", pass_members));
+      }
 
       std::unordered_map<std::uint32_t, std::uint32_t> slot_of_id;
       std::vector<cdr::Fingerprint> store;
@@ -450,6 +499,9 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
           }
           case UnitKind::kChunk: {
             hooks.throw_if_cancelled();
+            GLOVE_SPAN_NAMED(chunk_span, "stream.reconcile.chunk");
+            chunk_span.arg("members", unit.positions->size());
+            c_chunks.add();
             std::vector<cdr::Fingerprint> members;
             members.reserve(unit.positions->size());
             for (const std::uint32_t position : *unit.positions) {

@@ -104,7 +104,7 @@ TEST(KGap, DeterministicAcrossRuns) {
   EXPECT_EQ(a, b);
 }
 
-TEST(KGap, HooksReportMonotoneRowProgressAcrossWorkerThreads) {
+TEST(KGap, HooksReportMonotoneQuantumProgressAcrossWorkerThreads) {
   const cdr::FingerprintDataset data = test::small_synth_dataset(40);
   util::RunHooks hooks;
   std::mutex observed_mutex;
@@ -115,14 +115,20 @@ TEST(KGap, HooksReportMonotoneRowProgressAcrossWorkerThreads) {
   };
   const auto hooked = k_gaps(data, 2, {}, hooks);
   EXPECT_EQ(hooked.size(), data.size());
-  ASSERT_EQ(observed.size(), data.size());  // one report per completed row
+  // Progress is measured in pair evaluations (n*(n-1) total), flushed per
+  // work quantum — at least one report per worker range, never more than
+  // the evaluation count.
+  const std::uint64_t total_evals =
+      static_cast<std::uint64_t>(data.size()) * (data.size() - 1);
+  ASSERT_FALSE(observed.empty());
+  ASSERT_LE(observed.size(), total_evals);
   std::uint64_t previous = 0;
   for (const auto& [done, total] : observed) {
-    EXPECT_EQ(total, data.size());
+    EXPECT_EQ(total, total_evals);
     EXPECT_GT(done, previous);  // strictly increasing under the lock
     previous = done;
   }
-  EXPECT_EQ(observed.back().first, data.size());
+  EXPECT_EQ(observed.back().first, total_evals);
 
   // Hooked and hookless runs agree (same rows, same parallel decomposition).
   const auto plain = k_gaps(data, 2);

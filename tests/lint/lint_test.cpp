@@ -89,6 +89,29 @@ TEST(LintFixtures, MalformedAnnotationsAreFindings) {
   EXPECT_EQ(count_rule(findings, "bad-annotation"), 3u);
 }
 
+TEST(LintFixtures, ObsNamingFlagsBadAndDuplicateNames) {
+  const auto findings =
+      lint_fixture("obs_bad.txt", "src/glove/api/fixture.cpp");
+  // Uppercase, space, hyphen, empty = 4 convention violations; one
+  // duplicated span name and one duplicated counter name = 2 collisions.
+  // The non-literal registration at the end must not be flagged.
+  EXPECT_EQ(count_rule(findings, "obs-naming"), 6u);
+}
+
+TEST(LintFixtures, ObsNamingAppliesOutsideEmissionLayersToo) {
+  // Unlike the determinism rules the naming convention is tree-wide:
+  // bench and example binaries feed the same traces.
+  const auto findings = lint_fixture("obs_bad.txt", "bench/fixture.cpp");
+  EXPECT_EQ(count_rule(findings, "obs-naming"), 6u);
+}
+
+TEST(LintFixtures, ObsNamingSilentOnConformingNames) {
+  const auto findings =
+      lint_fixture("obs_clean.txt", "src/glove/shard/fixture.cpp");
+  EXPECT_EQ(findings.size(), 0u)
+      << (findings.empty() ? "" : findings.front().message);
+}
+
 TEST(LintFixtures, CleanControlIsSilent) {
   const auto findings = lint_fixture("clean.txt", "src/glove/cdr/fixture.cpp");
   EXPECT_EQ(findings.size(), 0u)

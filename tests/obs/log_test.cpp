@@ -1,0 +1,85 @@
+// Structured stderr logger: off by default, `ts level phase key=value`
+// line shape, and the per-second rate cap with suppressed-line
+// accounting.  The limiter is process-global, so these tests tolerate
+// budget already consumed earlier in the same second.
+
+#include "glove/obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <regex>
+#include <string>
+#include <thread>
+
+namespace glove::obs {
+namespace {
+
+class ObsLogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_verbose(false); }
+
+  static std::string captured_while(const std::function<void()>& body) {
+    ::testing::internal::CaptureStderr();
+    body();
+    return ::testing::internal::GetCapturedStderr();
+  }
+};
+
+TEST_F(ObsLogTest, SilentWhenVerboseIsOff) {
+  set_log_verbose(false);
+  EXPECT_FALSE(log_verbose());
+  const std::string err = captured_while(
+      [] { log_info("test.log.silent", "k=1"); });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST_F(ObsLogTest, EmitsStructuredLines) {
+  // A fresh one-second window so this test's first line is admitted even
+  // after earlier suites spent budget.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1'100));
+  set_log_verbose(true);
+  EXPECT_TRUE(log_verbose());
+  const std::string err = captured_while([] {
+    log_info("test.log.shape", log_kv("users", 42) + ' ' + log_kv("shards", 3));
+    log_warn("test.log.warned", "reason=capped");
+  });
+  // ts is seconds.millis since the first log line of the process.
+  EXPECT_TRUE(std::regex_search(
+      err, std::regex{R"(\d+\.\d{3} INFO test\.log\.shape users=42 shards=3)"}))
+      << err;
+  EXPECT_TRUE(std::regex_search(
+      err, std::regex{R"(\d+\.\d{3} WARN test\.log\.warned reason=capped)"}))
+      << err;
+}
+
+TEST_F(ObsLogTest, RateCapSuppressesAndReportsOnTheNextLine) {
+  set_log_verbose(true);
+  const std::string burst = captured_while([] {
+    for (int i = 0; i < kMaxLogLinesPerSecond * 3; ++i) {
+      log_info("test.log.burst", log_kv("i", static_cast<std::uint64_t>(i)));
+    }
+  });
+  const auto lines =
+      static_cast<int>(std::count(burst.begin(), burst.end(), '\n'));
+  EXPECT_LE(lines, kMaxLogLinesPerSecond);
+  EXPECT_GT(lines, 0);
+
+  // After the window rolls over, the first admitted line carries the
+  // suppressed-count so drops are visible in the log itself.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1'100));
+  const std::string next = captured_while(
+      [] { log_info("test.log.after_burst", "k=1"); });
+  EXPECT_NE(next.find("suppressed="), std::string::npos) << next;
+}
+
+TEST_F(ObsLogTest, LogKvFormats) {
+  EXPECT_EQ(log_kv("blocks", 17), "blocks=17");
+  EXPECT_EQ(log_kv("zero", 0), "zero=0");
+}
+
+}  // namespace
+}  // namespace glove::obs

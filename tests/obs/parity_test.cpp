@@ -1,0 +1,95 @@
+// Observability parity: running the engine with tracing and verbose
+// logging enabled must leave the anonymized output byte-identical to an
+// uninstrumented run — spans and log lines are side channels, never data.
+// This is the in-process version of the CI gate that diffs a --trace-out
+// streaming run against a plain one.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/fixtures.hpp"
+#include "common/golden.hpp"
+#include "common/temp_dir.hpp"
+#include "glove/api/cli.hpp"
+#include "glove/api/engine.hpp"
+#include "glove/obs/log.hpp"
+#include "glove/obs/span.hpp"
+
+namespace glove::api {
+namespace {
+
+std::string read_all(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string streamed_run_output(const test::TempDir& dir,
+                                const std::string& input, bool instrumented,
+                                const std::string& tag) {
+  const Engine engine;
+  RunConfig config;
+  config.strategy = kStrategySharded;
+  config.sharded.max_shard_users = 16;
+  if (instrumented) {
+    obs::set_log_verbose(true);
+    obs::start_tracing();
+  }
+  const std::string output = dir.file("anon_" + tag + ".csv");
+  {
+    const auto source = open_dataset_source(input);
+    const auto sink = make_dataset_sink(output, "csv");
+    const auto result = engine.run(*source, *sink, config);
+    EXPECT_TRUE(result.ok())
+        << (result.ok() ? "" : result.error().message);
+  }
+  if (instrumented) {
+    obs::set_log_verbose(false);
+    const std::string trace = obs::stop_tracing_and_render();
+    EXPECT_NE(trace.find("engine.run"), std::string::npos)
+        << "instrumented run produced no engine.run span";
+  }
+  return read_all(output);
+}
+
+TEST(ObsParity, TracingAndVerboseLeaveStreamedOutputByteIdentical) {
+  const test::TempDir dir;
+  const std::string input = dir.file("dataset.csv");
+  {
+    const cdr::FingerprintDataset data = test::small_synth_dataset(60);
+    const auto sink = make_dataset_sink(input, "csv");
+    sink->begin(data.name());
+    for (const cdr::Fingerprint& fp : data.fingerprints()) sink->write(fp);
+    sink->finish();
+  }
+  ::testing::internal::CaptureStderr();  // swallow the verbose log lines
+  const std::string plain =
+      streamed_run_output(dir, input, /*instrumented=*/false, "plain");
+  const std::string traced =
+      streamed_run_output(dir, input, /*instrumented=*/true, "traced");
+  (void)::testing::internal::GetCapturedStderr();
+  ASSERT_FALSE(plain.empty());
+  EXPECT_EQ(plain, traced);
+}
+
+TEST(ObsParity, InMemoryRunIsUnaffectedByTracing) {
+  const cdr::FingerprintDataset data = test::small_synth_dataset(40);
+  const Engine engine;
+  RunConfig config;
+  config.k = 2;
+  const auto plain = engine.run(data, config);
+  ASSERT_TRUE(plain.ok());
+  obs::start_tracing();
+  const auto traced = engine.run(data, config);
+  (void)obs::stop_tracing_and_render();
+  ASSERT_TRUE(traced.ok());
+  EXPECT_EQ(test::dataset_to_csv(plain.value().anonymized),
+            test::dataset_to_csv(traced.value().anonymized));
+}
+
+}  // namespace
+}  // namespace glove::api

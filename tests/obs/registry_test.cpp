@@ -1,0 +1,157 @@
+// Metrics registry: exact cross-thread sums (this suite runs under the
+// TSan CI job via the obs. test-name prefix), log2 histogram bucket
+// edges, retired-thread folding, and the snapshot/delta contracts the
+// run report's "obs" section depends on.
+
+#include "glove/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace glove::obs {
+namespace {
+
+const HistogramSnapshot* find_histogram(const MetricsSnapshot& snapshot,
+                                        std::string_view name) {
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(ObsRegistry, CounterSumsExactlyAcrossThreads) {
+  const Counter c = counter("test.registry.thread_sum");
+  const MetricsSnapshot before = snapshot_metrics();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 20'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) c.add();
+      c.add(5);  // non-unit deltas fold the same way
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const MetricsSnapshot after = snapshot_metrics();
+  EXPECT_EQ(after.counter_value("test.registry.thread_sum") -
+                before.counter_value("test.registry.thread_sum"),
+            kThreads * (kAddsPerThread + 5));
+}
+
+TEST(ObsRegistry, RetiredThreadTotalsSurviveThreadExit) {
+  const Counter c = counter("test.registry.retired");
+  std::thread worker{[&] { c.add(123); }};
+  worker.join();
+  // The worker's shard is gone; its total must have been folded into the
+  // registry's retired totals.
+  EXPECT_GE(snapshot_metrics().counter_value("test.registry.retired"), 123u);
+}
+
+TEST(ObsRegistry, RegistrationIsIdempotent) {
+  const Counter a = counter("test.registry.same_slot");
+  const Counter b = counter("test.registry.same_slot");
+  const MetricsSnapshot before = snapshot_metrics();
+  a.add(2);
+  b.add(3);
+  const MetricsSnapshot after = snapshot_metrics();
+  EXPECT_EQ(after.counter_value("test.registry.same_slot") -
+                before.counter_value("test.registry.same_slot"),
+            5u);
+}
+
+TEST(ObsRegistry, HistogramBucketEdgesFollowBitWidth) {
+  const Histogram h = histogram("test.registry.hist_edges");
+  // bucket 0 <- value 0; bucket i <- bit_width i = [2^(i-1), 2^i).
+  h.observe(0);
+  h.observe(1);            // bucket 1
+  h.observe(2);            // bucket 2
+  h.observe(3);            // bucket 2 (upper edge of [2, 4))
+  h.observe(4);            // bucket 3
+  h.observe(7);            // bucket 3
+  h.observe(8);            // bucket 4
+  h.observe(1ull << 20);   // bucket 21
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  const HistogramSnapshot* edges =
+      find_histogram(snapshot, "test.registry.hist_edges");
+  ASSERT_NE(edges, nullptr);
+  EXPECT_EQ(edges->count, 8u);
+  EXPECT_EQ(edges->sum, 0u + 1 + 2 + 3 + 4 + 7 + 8 + (1ull << 20));
+  ASSERT_EQ(edges->buckets.size(), 22u);  // trailing zeros trimmed
+  EXPECT_EQ(edges->buckets[0], 1u);
+  EXPECT_EQ(edges->buckets[1], 1u);
+  EXPECT_EQ(edges->buckets[2], 2u);
+  EXPECT_EQ(edges->buckets[3], 2u);
+  EXPECT_EQ(edges->buckets[4], 1u);
+  EXPECT_EQ(edges->buckets[21], 1u);
+}
+
+TEST(ObsRegistry, HistogramTopBucketAbsorbsHugeValues) {
+  const Histogram h = histogram("test.registry.hist_top");
+  h.observe(~0ull);  // bit_width 64 > last bucket index
+  const HistogramSnapshot* top =
+      find_histogram(snapshot_metrics(), "test.registry.hist_top");
+  ASSERT_NE(top, nullptr);
+  ASSERT_EQ(top->buckets.size(), kHistogramBuckets);
+  EXPECT_EQ(top->buckets.back(), 1u);
+}
+
+TEST(ObsRegistry, GaugeIsLastWriteWins) {
+  const Gauge g = gauge("test.registry.gauge");
+  g.set(4.0);
+  g.set(2.5);
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  const auto it = std::find_if(
+      snapshot.gauges.begin(), snapshot.gauges.end(),
+      [](const auto& entry) { return entry.first == "test.registry.gauge"; });
+  ASSERT_NE(it, snapshot.gauges.end());
+  EXPECT_DOUBLE_EQ(it->second, 2.5);
+}
+
+TEST(ObsRegistry, InvalidNamesThrow) {
+  EXPECT_THROW((void)counter(""), std::invalid_argument);
+  EXPECT_THROW((void)counter("Upper.case"), std::invalid_argument);
+  EXPECT_THROW((void)gauge("has space"), std::invalid_argument);
+  EXPECT_THROW((void)histogram("hy-phen"), std::invalid_argument);
+  EXPECT_TRUE(valid_metric_name("stream.pass1.scan"));
+  EXPECT_TRUE(valid_metric_name("a_b.c_0"));
+  EXPECT_FALSE(valid_metric_name(""));
+  EXPECT_FALSE(valid_metric_name("A"));
+}
+
+TEST(ObsRegistry, SnapshotIsSortedByName) {
+  (void)counter("test.registry.zz");
+  (void)counter("test.registry.aa");
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  EXPECT_TRUE(std::is_sorted(
+      snapshot.counters.begin(), snapshot.counters.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+TEST(ObsRegistry, CounterDeltaIsolatesARunAndDropsZeros) {
+  const Counter moved = counter("test.registry.delta_moved");
+  const Counter idle = counter("test.registry.delta_idle");
+  moved.add(10);  // pre-run noise, as from an earlier run in the process
+  idle.add(1);
+  const MetricsSnapshot before = snapshot_metrics();
+  moved.add(7);
+  const MetricsSnapshot after = snapshot_metrics();
+  const auto delta = counter_delta(before, after);
+  const auto find = [&](std::string_view name) {
+    return std::find_if(delta.begin(), delta.end(), [&](const auto& entry) {
+      return entry.first == name;
+    });
+  };
+  const auto hit = find("test.registry.delta_moved");
+  ASSERT_NE(hit, delta.end());
+  EXPECT_EQ(hit->second, 7u);
+  EXPECT_EQ(find("test.registry.delta_idle"), delta.end());
+}
+
+}  // namespace
+}  // namespace glove::obs

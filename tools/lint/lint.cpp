@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -179,7 +180,8 @@ std::string trim(const std::string& s) {
 
 const std::set<std::string>& known_rules() {
   static const std::set<std::string> kRules{
-      "unordered-iteration", "raw-rng", "throw-context", "schema-drift"};
+      "unordered-iteration", "raw-rng", "throw-context", "schema-drift",
+      "obs-naming"};
   return kRules;
 }
 
@@ -545,6 +547,70 @@ void check_throw_context(const std::vector<Token>& toks,
   }
 }
 
+void check_obs_naming(const std::vector<Token>& toks, const std::string& file,
+                      const std::vector<Annotation>& annotations,
+                      std::vector<Finding>& findings) {
+  const auto conforming = [](const std::string& name) {
+    if (name.empty()) return false;
+    return std::all_of(name.begin(), name.end(), [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+             c == '.';
+    });
+  };
+  // Registration sites: GLOVE_SPAN("n"), GLOVE_SPAN_NAMED(var, "n"), and
+  // obs::counter/gauge/histogram("n").  Non-literal name expressions are
+  // out of scope — the convention is about the literals a trace or report
+  // reader greps for.
+  std::map<std::string, int> seen;  // name -> line of first registration
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier) continue;
+    const std::string& t = toks[i].text;
+    std::size_t literal = 0;  // token index of the name literal; 0 = none
+    if (t == "GLOVE_SPAN" && i + 2 < toks.size() && toks[i + 1].text == "(" &&
+        toks[i + 2].kind == TokKind::kString) {
+      literal = i + 2;
+    } else if (t == "GLOVE_SPAN_NAMED" && i + 4 < toks.size() &&
+               toks[i + 1].text == "(" &&
+               toks[i + 2].kind == TokKind::kIdentifier &&
+               toks[i + 3].text == "," &&
+               toks[i + 4].kind == TokKind::kString) {
+      literal = i + 4;
+    } else if ((t == "counter" || t == "gauge" || t == "histogram") &&
+               i >= 2 && toks[i - 1].text == "::" &&
+               toks[i - 2].text == "obs" && i + 2 < toks.size() &&
+               toks[i + 1].text == "(" &&
+               toks[i + 2].kind == TokKind::kString) {
+      literal = i + 2;
+    }
+    if (literal == 0) continue;
+    const std::string& raw = toks[literal].text;  // quotes included
+    const std::string name =
+        raw.size() >= 2 ? raw.substr(1, raw.size() - 2) : "";
+    const int line = toks[i].line;
+    const int last_line = toks[literal].line;
+    if (!conforming(name)) {
+      if (!is_suppressed(annotations, "obs-naming", line, last_line)) {
+        findings.push_back(
+            {file, line, "obs-naming",
+             "span/metric name " + raw +
+                 " violates the obs naming convention: lowercase dotted "
+                 "words matching [a-z0-9_.]+"});
+      }
+      continue;
+    }
+    const auto [it, inserted] = seen.emplace(name, line);
+    if (!inserted &&
+        !is_suppressed(annotations, "obs-naming", line, last_line)) {
+      findings.push_back(
+          {file, line, "obs-naming",
+           "span/metric name \"" + name + "\" already registered at line " +
+               std::to_string(it->second) +
+               ": obs names are unique per translation unit so a trace or "
+               "report line maps to one site"});
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> lint_tokens(const LexResult& lexed,
@@ -567,6 +633,7 @@ std::vector<Finding> lint_tokens(const LexResult& lexed,
   if (cls.cdr_layer) {
     check_throw_context(lexed.tokens, relative_path, annotations, findings);
   }
+  check_obs_naming(lexed.tokens, relative_path, annotations, findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;

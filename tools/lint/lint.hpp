@@ -21,6 +21,11 @@
 //                        must match the blessed schema file; any key
 //                        change requires a glove.run_report.vN bump and
 //                        a re-bless (see schema.hpp).
+//   obs-naming           Span/metric name literals (GLOVE_SPAN,
+//                        GLOVE_SPAN_NAMED, obs::counter/gauge/histogram)
+//                        must be lowercase dotted words ([a-z0-9_.]+)
+//                        and unique within a translation unit, so every
+//                        trace or report line maps to one source site.
 //
 // Escape hatch: a comment containing the marker (the project name, a
 // hyphen, "lint", then a colon) followed by an allow-clause — the word
