@@ -82,6 +82,10 @@ void start_observability(const util::Flags& flags) {
 }
 
 void finish_observability(const util::Flags& flags, std::ostream& out) {
+  // Before anything else: surface log lines the rate limiter dropped
+  // since the last emitted one — the process is about to exit, so the
+  // "next admitted line" that normally reports them never comes.
+  obs::flush_suppressed_log();
   const std::string& path = flags.get("trace-out");
   if (path.empty()) return;
   const std::string document = obs::stop_tracing_and_render();

@@ -43,6 +43,16 @@ double find_metric(const RunReport& report, std::string_view name,
   return fallback;
 }
 
+void set_metric(RunReport& report, std::string name, double value) {
+  for (auto& [key, existing] : report.extra_metrics) {
+    if (key == name) {
+      existing = value;
+      return;
+    }
+  }
+  report.extra_metrics.emplace_back(std::move(name), value);
+}
+
 ConfigEcho echo_config(const RunConfig& config) {
   ConfigEcho echo;
   echo.strategy = config.strategy;

@@ -127,6 +127,12 @@ struct RunReport {
                                  std::string_view name,
                                  double fallback = 0.0);
 
+/// Sets metric `name` in extra_metrics, overwriting an existing entry in
+/// place (serialization order is first-set).  Drivers stamping run-level
+/// context — e.g. glove-serve's epoch number and window bounds — go
+/// through this rather than growing the locked top-level schema.
+void set_metric(RunReport& report, std::string name, double value);
+
 /// JSON document of everything but the dataset itself (strategy, config
 /// echo, counters, timings, metrics).  Key order is fixed; the schema is
 /// locked by tests/api/report_test.cpp.

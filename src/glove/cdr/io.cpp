@@ -83,23 +83,70 @@ void write_cdr_csv(std::ostream& out, const std::vector<CdrEvent>& events) {
   }
 }
 
-bool CdrEventReader::next(CdrEvent& event) {
-  if (!reader_.next(fields_)) return false;
-  const std::string context =
-      "CDR row at line " + std::to_string(reader_.line_number());
-  if (fields_.size() != 4) {
+namespace {
+
+/// Decodes one split CDR row into `event`.  `context` already names the
+/// offending path (when known) and line, so every failure here is
+/// actionable without a wrapper.
+void decode_cdr_row(const std::vector<std::string_view>& fields,
+                    const std::string& context, CdrEvent& event) {
+  if (fields.size() != 4) {
     throw std::invalid_argument{context + ": expected 4 fields, got " +
-                                std::to_string(fields_.size())};
+                                std::to_string(fields.size())};
   }
-  const long long user = util::parse_int(fields_[0], context);
+  const long long user = util::parse_int(fields[0], context);
   if (user < 0) {
     throw std::invalid_argument{context + ": negative user id"};
   }
   event.user = static_cast<UserId>(user);
-  event.time_min = util::parse_double(fields_[1], context);
-  event.antenna.lat_deg = util::parse_double(fields_[2], context);
-  event.antenna.lon_deg = util::parse_double(fields_[3], context);
+  event.time_min = util::parse_double(fields[1], context);
+  event.antenna.lat_deg = util::parse_double(fields[2], context);
+  event.antenna.lon_deg = util::parse_double(fields[3], context);
+}
+
+}  // namespace
+
+bool CdrEventReader::next(CdrEvent& event) {
+  if (!reader_.next(fields_)) return false;
+  const std::string context =
+      (path_.empty() ? std::string{} : path_ + ": ") + "CDR row at line " +
+      std::to_string(reader_.line_number());
+  decode_cdr_row(fields_, context, event);
   return true;
+}
+
+bool CdrEventTailReader::poll(CdrEvent& event) {
+  if (!opened_) {
+    in_.open(path_, std::ios::binary);
+    if (!in_) {
+      in_ = std::ifstream{};  // reset state so a later open can succeed
+      return false;
+    }
+    opened_ = true;
+  }
+  for (;;) {
+    // Re-seek to the first unconsumed byte: clears a sticky eofbit from
+    // the previous poll and skips everything already decoded.
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(offset_));
+    if (!std::getline(in_, line_) || in_.eof()) {
+      // Nothing new, or bytes without a terminating newline — a row the
+      // producer is mid-write on.  Leave offset_ at the row start so the
+      // completed row is decoded whole on a later poll.
+      return false;
+    }
+    offset_ += line_.size() + 1;  // +1 for the consumed '\n'
+    ++line_no_;
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    const std::size_t text = line_.find_first_not_of(" \t");
+    if (text == std::string::npos || line_[text] == '#') continue;
+    fields_ = util::split_csv_line(line_);
+    const std::string context =
+        path_ + ": CDR row at line " + std::to_string(line_no_);
+    decode_cdr_row(fields_, context, event);
+    ++rows_;
+    return true;
+  }
 }
 
 std::vector<CdrEvent> read_cdr_csv(std::istream& in) {

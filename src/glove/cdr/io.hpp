@@ -10,6 +10,8 @@
 #ifndef GLOVE_CDR_IO_HPP
 #define GLOVE_CDR_IO_HPP
 
+#include <cstdint>
+#include <fstream>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -31,8 +33,15 @@ class CdrEventReader {
  public:
   explicit CdrEventReader(std::istream& in) : reader_{in} {}
 
+  /// Same, but malformed-row messages lead with `path` (the throw-context
+  /// convention for cdr io), so a caller tailing several traces can tell
+  /// which file held the bad row without wrapping the call.
+  CdrEventReader(std::istream& in, std::string path)
+      : reader_{in}, path_{std::move(path)} {}
+
   /// Decodes the next event.  Returns false at end of input; throws
-  /// std::invalid_argument on malformed rows.
+  /// std::invalid_argument on malformed rows (prefixed with the path when
+  /// one was given at construction).
   bool next(CdrEvent& event);
 
   /// Number of events returned so far.
@@ -42,6 +51,54 @@ class CdrEventReader {
 
  private:
   util::CsvReader reader_;
+  std::vector<std::string_view> fields_;
+  std::string path_;  ///< "" for anonymous streams (no prefix)
+};
+
+/// Resume/tail-friendly CDR reader for files another process is still
+/// appending to (the glove-serve ingest path).  Unlike CdrEventReader it
+/// owns the file handle and treats end-of-input as a transient condition:
+///
+///   * a missing file is "nothing yet" (poll returns false until it
+///     appears), so the reader can be started before its producer;
+///   * a partial trailing line — bytes after the last newline, i.e. a row
+///     the producer is mid-write on — is NOT parsed: poll rewinds to the
+///     row's start and returns false, and the completed row is decoded on
+///     a later poll once its newline lands.
+///
+/// Malformed *complete* rows throw std::invalid_argument with the path and
+/// line number prefixed.  Every poll re-seeks to the first unconsumed
+/// byte, so the reader holds O(1 row) state between polls.
+class CdrEventTailReader {
+ public:
+  explicit CdrEventTailReader(std::string path) : path_{std::move(path)} {}
+
+  /// Decodes the next complete event if one is available.  Returns false
+  /// when the file is missing, fully consumed, or ends in a partial row
+  /// (retry later); true with `event` filled otherwise.
+  bool poll(CdrEvent& event);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// True once the file has been successfully opened (it existed at some
+  /// poll) — lets batch-mode callers distinguish "consumed to EOF" from
+  /// "never appeared".
+  [[nodiscard]] bool opened() const noexcept { return opened_; }
+
+  /// Events returned so far.
+  [[nodiscard]] std::size_t rows_read() const noexcept { return rows_; }
+
+  /// 1-based number of the last fully consumed line (data or comment).
+  [[nodiscard]] std::size_t line_number() const noexcept { return line_no_; }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  bool opened_ = false;
+  std::uint64_t offset_ = 0;  ///< byte offset of the first unconsumed line
+  std::size_t rows_ = 0;
+  std::size_t line_no_ = 0;
+  std::string line_;
   std::vector<std::string_view> fields_;
 };
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "glove/util/parallel.hpp"
@@ -27,6 +28,24 @@ UpdateResult anonymize_update(const cdr::FingerprintDataset& published,
   for (const cdr::Fingerprint& fp : new_users.fingerprints()) {
     if (fp.group_size() != 1) {
       throw std::invalid_argument{"new users must be single-user records"};
+    }
+  }
+  // Reject id collisions across the two inputs up front: a "newcomer"
+  // already inside a published group would be double-counted, and the
+  // released groups would overlap — exactly the cross-release linkage
+  // the incremental update exists to prevent.
+  std::vector<cdr::UserId> published_ids;
+  for (const cdr::Fingerprint& fp : published.fingerprints()) {
+    published_ids.insert(published_ids.end(), fp.members().begin(),
+                         fp.members().end());
+  }
+  std::sort(published_ids.begin(), published_ids.end());
+  for (const cdr::Fingerprint& fp : new_users.fingerprints()) {
+    if (std::binary_search(published_ids.begin(), published_ids.end(),
+                           fp.members().front())) {
+      throw std::invalid_argument{
+          "user id " + std::to_string(fp.members().front()) +
+          " appears in both the published release and the new users"};
     }
   }
 

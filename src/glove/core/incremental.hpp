@@ -38,8 +38,8 @@ struct UpdateResult {
 
 /// Adds `new_users` (group size 1 each) to the already-k-anonymized
 /// `published` dataset.  Requires `published` to satisfy config.k and the
-/// newcomers to be single-user fingerprints; throws std::invalid_argument
-/// otherwise.
+/// newcomers to be single-user fingerprints whose ids do not appear in
+/// any published group; throws std::invalid_argument otherwise.
 ///
 /// A newcomer joins its nearest existing group when that is cheaper than
 /// its nearest fellow newcomer (or when too few newcomers remain to form a

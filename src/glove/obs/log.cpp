@@ -76,6 +76,23 @@ void log_line(LogLevel level, const char* phase, std::string_view message) {
   }
 }
 
+void flush_suppressed_log() {
+  if (!log_verbose()) return;
+  LimiterState& state = limiter();
+  const std::lock_guard lock{state.mutex};
+  if (state.suppressed == 0) return;
+  const Clock::time_point now = Clock::now();
+  const double ts = state.started
+                        ? std::chrono::duration<double>(now - state.t0).count()
+                        : 0.0;
+  // Deliberately outside the token budget: this is the one line whose
+  // whole job is making drops visible, so it must never be dropped.
+  std::fprintf(stderr, "%.3f %s %s suppressed=%llu\n", ts,
+               level_tag(LogLevel::kWarn), "log.flush",
+               static_cast<unsigned long long>(state.suppressed));
+  state.suppressed = 0;
+}
+
 std::string log_kv(std::string_view key, std::uint64_t value) {
   std::string out{key};
   out += '=';

@@ -40,6 +40,13 @@ inline void log_warn(const char* phase, std::string_view message) {
   log_line(LogLevel::kWarn, phase, message);
 }
 
+/// Emits a final `suppressed=N` marker line (bypassing the rate limiter)
+/// when lines were dropped since the last emitted one, then resets the
+/// count.  Call at shutdown/drain: the limiter normally reports drops on
+/// the *next* admitted line, which never comes for the last burst before
+/// exit.  No-op when verbose logging is off or nothing was suppressed.
+void flush_suppressed_log();
+
 /// Formats one `key=value` pair (helper for building message tails).
 [[nodiscard]] std::string log_kv(std::string_view key, std::uint64_t value);
 

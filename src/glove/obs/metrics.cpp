@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <bit>
+#include <charconv>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -225,6 +226,37 @@ std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
 }
 
 MetricsSnapshot snapshot_metrics() { return registry().snapshot(); }
+
+std::string render_metrics_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += "counter ";
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    char buffer[32];
+    const std::to_chars_result result =
+        std::to_chars(buffer, buffer + sizeof buffer, value);
+    out += "gauge ";
+    out += name;
+    out += ' ';
+    out.append(buffer, static_cast<std::size_t>(result.ptr - buffer));
+    out += '\n';
+  }
+  for (const HistogramSnapshot& hist : snapshot.histograms) {
+    out += "histogram ";
+    out += hist.name;
+    out += " count=";
+    out += std::to_string(hist.count);
+    out += " sum=";
+    out += std::to_string(hist.sum);
+    out += '\n';
+  }
+  return out;
+}
 
 std::vector<std::pair<std::string, std::uint64_t>> counter_delta(
     const MetricsSnapshot& before, const MetricsSnapshot& after) {

@@ -107,6 +107,18 @@ struct MetricsSnapshot {
 
 [[nodiscard]] MetricsSnapshot snapshot_metrics();
 
+/// Deterministic plain-text rendering of a snapshot — one line per metric
+/// in the snapshot's (name-sorted) order:
+///
+///   counter serve.events_ingested 1200
+///   gauge serve.queue_depth 0
+///   histogram source.read_ns count=12 sum=34567
+///
+/// Gauges use shortest-round-trip doubles (std::to_chars), so two
+/// snapshots of the same state render byte-identically.  This is the
+/// admin-socket `metrics` reply of glove-serve.
+[[nodiscard]] std::string render_metrics_text(const MetricsSnapshot& snapshot);
+
 /// Counter increments between two snapshots (`before` taken first), sorted
 /// by name with zero-delta entries dropped.  This is what a single run
 /// contributes, independent of earlier runs in the same process.

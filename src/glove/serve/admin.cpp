@@ -1,0 +1,149 @@
+#include "glove/serve/admin.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GLOVE_SERVE_HAVE_AF_UNIX 1
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define GLOVE_SERVE_HAVE_AF_UNIX 0
+#endif
+
+#include "glove/obs/metrics.hpp"
+
+namespace glove::serve {
+
+#if GLOVE_SERVE_HAVE_AF_UNIX
+
+namespace {
+
+/// Writes all of `data`, retrying partial writes.  Best effort: a client
+/// that hangs up mid-reply is its own problem.
+void write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads one newline-terminated command (at most 256 bytes), waiting up
+/// to 2 s — enough for any local client, short enough that a stuck one
+/// cannot wedge the admin thread for long.
+std::string read_command(int fd) {
+  std::string line;
+  char c = 0;
+  while (line.size() < 256) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 2'000) <= 0) break;
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n <= 0) break;
+    if (c == '\n') break;
+    line.push_back(c);
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+}  // namespace
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::start(const std::string& path, AdminHooks hooks) {
+  path_ = path;
+  hooks_ = std::move(hooks);
+  sockaddr_un addr{};
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error{"admin socket path too long: " + path_};
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error{"admin socket: socket() failed"};
+  }
+  ::unlink(path_.c_str());  // stale socket from a previous run
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 4) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error{"admin socket: cannot bind " + path_};
+  }
+  if (::pipe(wake_fds_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error{"admin socket: pipe() failed"};
+  }
+  thread_ = std::thread{[this] { serve_loop(); }};
+}
+
+void AdminServer::serve_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (ready <= 0) continue;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void AdminServer::handle_connection(int client_fd) {
+  static const obs::Counter c_requests =
+      obs::counter("serve.admin_requests");
+  c_requests.add();
+  const std::string command = read_command(client_fd);
+  if (command == "health") {
+    const std::string status =
+        hooks_.health ? hooks_.health() : std::string{"ok"};
+    write_all(client_fd, status + "\n");
+  } else if (command == "metrics") {
+    write_all(client_fd, hooks_.metrics ? hooks_.metrics() : "");
+  } else if (command == "drain") {
+    if (hooks_.drain) hooks_.drain();
+    write_all(client_fd, "draining\n");
+  } else {
+    write_all(client_fd, "err unknown command: " + command + "\n");
+  }
+}
+
+void AdminServer::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  const char wake = 'x';
+  write_all(wake_fds_[1], std::string_view{&wake, 1});
+  thread_.join();
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(path_.c_str());
+}
+
+#else  // !GLOVE_SERVE_HAVE_AF_UNIX
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::start(const std::string& path, AdminHooks hooks) {
+  (void)hooks;
+  throw std::runtime_error{
+      "admin socket unsupported on this platform (no AF_UNIX): " + path};
+}
+
+void AdminServer::stop() {}
+
+#endif  // GLOVE_SERVE_HAVE_AF_UNIX
+
+}  // namespace glove::serve

@@ -1,0 +1,66 @@
+// AF_UNIX admin surface for glove-serve: a dependency-free line protocol
+// for operators and the CI smoke gate.
+//
+// One command per connection, newline-terminated; the reply is written
+// and the connection closed:
+//
+//   health   -> one status line (the daemon's health_line)
+//   metrics  -> obs::render_metrics_text of a fresh snapshot
+//   drain    -> requests a graceful drain, replies "draining"
+//
+// Unknown commands get "err unknown command: <cmd>".  The server is one
+// accept thread handling connections sequentially — the protocol is a few
+// bytes per exchange and the socket is local, so concurrency would buy
+// nothing but locking.
+
+#ifndef GLOVE_SERVE_ADMIN_HPP
+#define GLOVE_SERVE_ADMIN_HPP
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace glove::serve {
+
+/// Callbacks the protocol dispatches to.  All three are invoked on the
+/// admin thread and must be thread-safe against the daemon loop.
+struct AdminHooks {
+  std::function<std::string()> health;   ///< one line, no trailing newline
+  std::function<std::string()> metrics;  ///< newline-terminated block
+  std::function<void()> drain;
+};
+
+class AdminServer {
+ public:
+  AdminServer() = default;
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds a listening AF_UNIX socket at `path` (an existing socket file
+  /// is unlinked first) and spawns the accept thread.  Throws
+  /// std::runtime_error when the socket cannot be created or bound, and
+  /// on platforms without AF_UNIX support.
+  void start(const std::string& path, AdminHooks hooks);
+
+  /// Stops the accept thread, closes the socket, and removes the socket
+  /// file.  Idempotent; called by the destructor.
+  void stop();
+
+ private:
+  void serve_loop();
+  void handle_connection(int client_fd);
+
+  std::string path_;
+  AdminHooks hooks_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe to interrupt poll()
+};
+
+}  // namespace glove::serve
+
+#endif  // GLOVE_SERVE_ADMIN_HPP

@@ -1,0 +1,76 @@
+// glove-serve configuration: the continuous-ingestion service mode.
+//
+// A ServeDaemon tails a raw CDR event stream (CSV rows
+// "user,time_min,lat,lon", the cdr::CdrEventReader format), folds events
+// into per-user fingerprints on fixed event-time windows, and publishes a
+// fresh k-anonymized snapshot per closed window.  The first published
+// epoch runs the configured batch strategy; every later epoch runs the
+// `incremental` strategy over the previous release, so published groups
+// never shrink or split across snapshots (the cross-release linkage
+// guarantee of core::anonymize_update).
+
+#ifndef GLOVE_SERVE_CONFIG_HPP
+#define GLOVE_SERVE_CONFIG_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "glove/api/config.hpp"
+#include "glove/cdr/builder.hpp"
+
+namespace glove::serve {
+
+struct ServeConfig {
+  /// CDR event stream to tail.  In follow mode the file may not exist yet
+  /// and may end in a partial row; both are retried on the next poll.
+  std::string input_path;
+
+  /// Keep polling for appended events after reaching end of file (live
+  /// tail; ends only on drain).  When false the daemon drains by itself
+  /// at end of file — the batch/test spelling of the same pipeline.
+  bool follow = false;
+
+  /// Tail poll interval while waiting for new events, milliseconds.
+  int poll_interval_ms = 200;
+
+  /// Bounded ingest queue capacity, in events.  When the window/publish
+  /// side falls behind, the tail reader blocks on a full queue instead of
+  /// buffering without bound — backpressure is the only overload policy.
+  std::size_t queue_capacity = 65'536;
+
+  /// Event-time window length, minutes.  A window closes — and a snapshot
+  /// epoch publishes — once the stream's watermark (max event time seen)
+  /// reaches the window's end.
+  double window_min = 1'440.0;
+
+  /// Fingerprint construction for each window's events (projection
+  /// origin, spatial grid, temporal rounding).  Must stay fixed for the
+  /// daemon's lifetime: published fingerprints are never rebuilt.
+  cdr::BuilderConfig builder;
+
+  /// Anonymization configuration.  `run.strategy` anonymizes the first
+  /// published epoch; later epochs always run `incremental` with the
+  /// previous release as the published base.  `run.incremental.published`
+  /// is managed by the publisher and must be left null here.
+  api::RunConfig run;
+
+  /// Snapshot output directory (created if missing).  Epoch N publishes
+  /// `snapshot-NNNNNN.<ext>` and `report-NNNNNN.json`, each written to a
+  /// `.tmp` path and atomically renamed, so a consumer polling the
+  /// directory never observes a torn file.
+  std::string out_dir = "serve-out";
+
+  /// Snapshot dataset format: "csv" or "glovebin".
+  std::string snapshot_format = "csv";
+
+  /// Dataset name stem; epoch N's snapshot is named "<stem>-epoch-N".
+  std::string dataset_name = "serve";
+
+  /// AF_UNIX admin socket path speaking the line protocol
+  /// (health / metrics / drain); empty disables the admin surface.
+  std::string admin_socket;
+};
+
+}  // namespace glove::serve
+
+#endif  // GLOVE_SERVE_CONFIG_HPP

@@ -1,0 +1,154 @@
+#include "glove/serve/daemon.hpp"
+
+#include <csignal>
+#include <exception>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "glove/obs/log.hpp"
+#include "glove/obs/metrics.hpp"
+#include "glove/obs/span.hpp"
+#include "glove/serve/admin.hpp"
+#include "glove/serve/ingest.hpp"
+#include "glove/serve/publish.hpp"
+#include "glove/serve/window.hpp"
+
+namespace glove::serve {
+
+namespace {
+
+/// Target of the installed SIGTERM/SIGINT handlers.  A single atomic
+/// pointer: signals are process-global, so so is this.
+std::atomic<ServeDaemon*> g_signal_daemon{nullptr};
+
+void drain_signal_handler(int) {
+  if (ServeDaemon* daemon =
+          g_signal_daemon.load(std::memory_order_relaxed)) {
+    daemon->request_drain();  // one relaxed atomic store — signal-safe
+  }
+}
+
+/// Events folded per consumer wakeup; bounds the latency of noticing a
+/// drain request without costing per-event locking.
+constexpr std::size_t kConsumeBatch = 4'096;
+
+/// Queue-poll timeout: the ceiling on drain-notice latency while idle.
+constexpr int kPopTimeoutMs = 100;
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(ServeConfig config)
+    : config_{std::move(config)}, queue_{config_.queue_capacity} {}
+
+std::string ServeDaemon::health_line() const {
+  using std::to_string;
+  return "ok epochs=" +
+         to_string(epochs_published_.load(std::memory_order_relaxed)) +
+         " windows=" +
+         to_string(windows_closed_.load(std::memory_order_relaxed)) +
+         " events=" +
+         to_string(events_folded_.load(std::memory_order_relaxed)) +
+         " queue=" + to_string(queue_.depth()) +
+         " draining=" + (drain_requested() ? "1" : "0");
+}
+
+ServeSummary ServeDaemon::run() {
+  try {
+    return run_pipeline();
+  } catch (const std::exception& e) {
+    ServeSummary summary;
+    summary.exit_code = 1;
+    summary.error = e.what();
+    return summary;
+  }
+}
+
+ServeSummary ServeDaemon::run_pipeline() {
+  GLOVE_SPAN("serve.run");
+  ServeSummary summary;
+  if (config_.input_path.empty()) {
+    throw std::invalid_argument{"serve: input path must be set"};
+  }
+  std::filesystem::create_directories(config_.out_dir);
+
+  WindowAccumulator window{config_.window_min};
+  SnapshotPublisher publisher{config_, engine_};
+  EventIngestor ingestor{config_, queue_};
+  AdminServer admin;
+  if (!config_.admin_socket.empty()) {
+    AdminHooks hooks;
+    hooks.health = [this] { return health_line(); };
+    hooks.metrics = [] {
+      return obs::render_metrics_text(obs::snapshot_metrics());
+    };
+    hooks.drain = [this] { request_drain(); };
+    admin.start(config_.admin_socket, std::move(hooks));
+  }
+  ingestor.start();
+
+  const auto publish = [&](const ClosedWindow& closed) {
+    const EpochResult result = publisher.publish_window(closed);
+    if (result.published) {
+      epochs_published_.store(result.epoch, std::memory_order_relaxed);
+      summary.last_snapshot_path = result.snapshot_path;
+      obs::log_info("serve.epoch",
+                    obs::log_kv("epoch", result.epoch) + ' ' +
+                        obs::log_kv("newcomers", result.newcomers) + ' ' +
+                        obs::log_kv("groups", result.total_groups));
+    }
+  };
+
+  std::vector<cdr::CdrEvent> batch;
+  bool ingest_stopped = false;
+  for (;;) {
+    if (drain_requested() && !ingest_stopped) {
+      ingestor.request_stop();
+      ingest_stopped = true;
+    }
+    batch.clear();
+    const std::size_t n = queue_.pop_batch(batch, kConsumeBatch,
+                                           kPopTimeoutMs);
+    if (n == 0) {
+      if (queue_.drained()) break;
+      continue;  // timed out: re-check the drain flag
+    }
+    for (const cdr::CdrEvent& event : batch) window.add(event);
+    events_folded_.fetch_add(n, std::memory_order_relaxed);
+    while (window.window_ready()) {
+      const ClosedWindow closed = window.close_window();
+      windows_closed_.fetch_add(1, std::memory_order_relaxed);
+      publish(closed);
+    }
+  }
+
+  // Drain: everything still buffered forms the last (partial) window.
+  // Publish also when the window is empty but users are pending — e.g.
+  // epoch-0 deferrals that never reached k get their final chance here.
+  const ClosedWindow final_window = window.close_final();
+  if (!final_window.events.empty() || publisher.pending_events() > 0) {
+    publish(final_window);
+  }
+
+  ingestor.join();
+  admin.stop();
+  obs::flush_suppressed_log();
+
+  summary.events_ingested = ingestor.events_read();
+  summary.windows_closed = windows_closed_.load(std::memory_order_relaxed);
+  summary.epochs_published = publisher.epochs_published();
+  if (!ingestor.error().empty()) {
+    summary.exit_code = 1;
+    summary.error = "ingest: " + ingestor.error();
+  }
+  return summary;
+}
+
+void install_drain_signal_handlers(ServeDaemon& daemon) {
+  g_signal_daemon.store(&daemon, std::memory_order_relaxed);
+  std::signal(SIGTERM, drain_signal_handler);
+  std::signal(SIGINT, drain_signal_handler);
+}
+
+}  // namespace glove::serve

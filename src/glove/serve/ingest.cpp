@@ -1,0 +1,97 @@
+#include "glove/serve/ingest.hpp"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+
+#include "glove/cdr/io.hpp"
+#include "glove/obs/log.hpp"
+#include "glove/obs/metrics.hpp"
+#include "glove/obs/span.hpp"
+
+namespace glove::serve {
+
+EventIngestor::EventIngestor(const ServeConfig& config, EventQueue& queue)
+    : config_{&config}, queue_{&queue} {}
+
+EventIngestor::~EventIngestor() {
+  request_stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventIngestor::start() {
+  thread_ = std::thread{[this] { run(); }};
+}
+
+void EventIngestor::request_stop() {
+  {
+    const std::lock_guard lock{mutex_};
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  queue_->close();
+}
+
+void EventIngestor::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+std::uint64_t EventIngestor::events_read() const {
+  const std::lock_guard lock{mutex_};
+  return events_read_;
+}
+
+std::string EventIngestor::error() const {
+  const std::lock_guard lock{mutex_};
+  return error_;
+}
+
+bool EventIngestor::sleep_poll_interval() {
+  std::unique_lock lock{mutex_};
+  stop_cv_.wait_for(lock,
+                    std::chrono::milliseconds{config_->poll_interval_ms},
+                    [&] { return stop_; });
+  return !stop_;
+}
+
+void EventIngestor::run() {
+  GLOVE_SPAN("serve.ingest");
+  static const obs::Counter c_ingested =
+      obs::counter("serve.events_ingested");
+  cdr::CdrEventTailReader reader{config_->input_path};
+  cdr::CdrEvent event;
+  try {
+    for (;;) {
+      bool got = false;
+      while ((got = reader.poll(event))) {
+        if (!queue_->push(event)) break;  // queue closed under us
+        c_ingested.add();
+        const std::lock_guard lock{mutex_};
+        ++events_read_;
+      }
+      if (got) break;  // push failed: the consumer is gone
+      {
+        const std::lock_guard lock{mutex_};
+        if (stop_) break;
+      }
+      if (!config_->follow) {
+        if (reader.opened()) break;  // batch mode: consumed to EOF
+        throw std::runtime_error{"cannot open for reading: " +
+                                 config_->input_path};
+      }
+      if (!sleep_poll_interval()) break;
+    }
+  } catch (const std::exception& e) {
+    {
+      const std::lock_guard lock{mutex_};
+      error_ = e.what();
+    }
+    obs::log_warn("serve.ingest.failed", "rows=" +
+                  std::to_string(reader.rows_read()));
+  }
+  // End-of-stream either way: wake the consumer so it can drain what
+  // arrived and publish the final snapshot.
+  queue_->close();
+}
+
+}  // namespace glove::serve

@@ -1,0 +1,73 @@
+// EventIngestor: the serve pipeline's producer thread.
+//
+// Tails the configured CDR stream through cdr::CdrEventTailReader and
+// pushes events into the bounded EventQueue (blocking on a full queue —
+// backpressure reaches the file reader, never an unbounded buffer).  In
+// follow mode it polls for appended bytes until stopped; in batch mode it
+// stops by itself at end of file.  Either way it closes the queue on the
+// way out, which is the consumer's end-of-stream signal.
+
+#ifndef GLOVE_SERVE_INGEST_HPP
+#define GLOVE_SERVE_INGEST_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "glove/serve/config.hpp"
+#include "glove/serve/queue.hpp"
+
+namespace glove::serve {
+
+class EventIngestor {
+ public:
+  /// `config` and `queue` must outlive the ingestor.
+  EventIngestor(const ServeConfig& config, EventQueue& queue);
+
+  /// Joins the reader thread if still running (after request_stop).
+  ~EventIngestor();
+
+  EventIngestor(const EventIngestor&) = delete;
+  EventIngestor& operator=(const EventIngestor&) = delete;
+
+  /// Spawns the reader thread.  Call once.
+  void start();
+
+  /// Asks the reader to stop after its current poll (drain path), and
+  /// closes the queue so a push blocked on backpressure wakes instead of
+  /// deadlocking the drain (already-queued events stay poppable).
+  /// Thread-safe and idempotent.
+  void request_stop();
+
+  /// Waits for the reader thread to finish (it closes the queue first).
+  void join();
+
+  /// Events pushed into the queue so far.
+  [[nodiscard]] std::uint64_t events_read() const;
+
+  /// Non-empty when the reader died on an error (malformed row, or a
+  /// batch-mode input that never appeared).  Stable after join().
+  [[nodiscard]] std::string error() const;
+
+ private:
+  void run();
+  /// Sleeps the poll interval, waking early on request_stop.  Returns
+  /// false when a stop was requested.
+  bool sleep_poll_interval();
+
+  const ServeConfig* config_;
+  EventQueue* queue_;
+  std::thread thread_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::uint64_t events_read_ = 0;
+  std::string error_;
+};
+
+}  // namespace glove::serve
+
+#endif  // GLOVE_SERVE_INGEST_HPP

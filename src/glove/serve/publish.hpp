@@ -1,0 +1,91 @@
+// Epoch/snapshot publication for the serve pipeline.
+//
+// The publisher owns the daemon's anonymization state: the set of events
+// still waiting for their user's first publication, the current released
+// dataset, and the sorted ids it covers.  Each closed window folds into
+// that state and (when possible) publishes one epoch:
+//
+//   epoch 1    the configured batch strategy over every pending user's
+//              fingerprint — deferred while fewer than k users are
+//              pending, since no k-anonymous release exists yet;
+//   epoch N+1  the `incremental` strategy (core::anonymize_update) with
+//              epoch N as the published base, so released groups only
+//              ever gain members — never shrink, never split.
+//
+// Events from already-published users are counted and dropped: their
+// group's generalized fingerprint is immutable once released (republishing
+// a changed fingerprint for the same group would hand an adaptive
+// adversary a fresh release to intersect).  Snapshots and per-epoch run
+// reports are written to `.tmp` paths and atomically renamed, so a
+// consumer polling the output directory never reads a torn file.
+
+#ifndef GLOVE_SERVE_PUBLISH_HPP
+#define GLOVE_SERVE_PUBLISH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "glove/api/engine.hpp"
+#include "glove/cdr/dataset.hpp"
+#include "glove/serve/config.hpp"
+#include "glove/serve/window.hpp"
+
+namespace glove::serve {
+
+/// Outcome of feeding one closed window to the publisher.
+struct EpochResult {
+  /// 1-based number of the published epoch; 0 when nothing published.
+  std::uint64_t epoch = 0;
+  /// False when the window published nothing: no pending newcomers, or
+  /// still fewer than k users before the first epoch (deferred).
+  bool published = false;
+  std::string snapshot_path;
+  std::string report_path;
+  std::uint64_t newcomers = 0;       ///< users first published this epoch
+  std::uint64_t total_groups = 0;    ///< groups in the release after
+  std::uint64_t total_users = 0;     ///< users covered by the release
+};
+
+class SnapshotPublisher {
+ public:
+  /// `config` and `engine` must outlive the publisher.  Throws
+  /// std::invalid_argument on an unknown snapshot format.
+  SnapshotPublisher(const ServeConfig& config, const api::Engine& engine);
+
+  /// Folds one closed window into pending state and publishes the next
+  /// epoch when newcomers are ready.  Throws std::runtime_error when the
+  /// engine rejects the run or a snapshot/report write fails.
+  EpochResult publish_window(const ClosedWindow& window);
+
+  /// The current released dataset (empty before the first epoch).
+  [[nodiscard]] const cdr::FingerprintDataset& published() const noexcept {
+    return published_;
+  }
+
+  [[nodiscard]] std::uint64_t epochs_published() const noexcept {
+    return epoch_;
+  }
+
+  /// Events buffered for users not yet covered by any release.
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return pending_.size();
+  }
+
+ private:
+  [[nodiscard]] bool is_published_user(cdr::UserId user) const;
+  void write_snapshot(EpochResult& result);
+  void write_report(api::RunReport report, const ClosedWindow& window,
+                    EpochResult& result);
+
+  const ServeConfig* config_;
+  const api::Engine* engine_;
+  std::vector<cdr::CdrEvent> pending_;
+  std::vector<cdr::UserId> published_ids_;  ///< sorted
+  cdr::FingerprintDataset published_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace glove::serve
+
+#endif  // GLOVE_SERVE_PUBLISH_HPP

@@ -1,0 +1,89 @@
+#include "glove/serve/queue.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "glove/obs/metrics.hpp"
+
+namespace glove::serve {
+
+namespace {
+
+const obs::Gauge& depth_gauge() {
+  static const obs::Gauge gauge = obs::gauge("serve.queue_depth");
+  return gauge;
+}
+
+}  // namespace
+
+EventQueue::EventQueue(std::size_t capacity)
+    : capacity_{std::max<std::size_t>(capacity, 1)} {}
+
+void EventQueue::update_depth_gauge(std::size_t depth) const {
+  depth_gauge().set(static_cast<double>(depth));
+}
+
+bool EventQueue::push(const cdr::CdrEvent& event) {
+  static const obs::Counter c_blocked =
+      obs::counter("serve.queue_block_waits");
+  std::unique_lock lock{mutex_};
+  if (!closed_ && events_.size() >= capacity_) {
+    ++block_waits_;
+    c_blocked.add();
+    not_full_.wait(lock,
+                   [&] { return closed_ || events_.size() < capacity_; });
+  }
+  if (closed_) return false;
+  events_.push_back(event);
+  update_depth_gauge(events_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::size_t EventQueue::pop_batch(std::vector<cdr::CdrEvent>& out,
+                                  std::size_t max, int timeout_ms) {
+  std::unique_lock lock{mutex_};
+  not_empty_.wait_for(lock, std::chrono::milliseconds{timeout_ms},
+                      [&] { return closed_ || !events_.empty(); });
+  const std::size_t n = std::min(max, events_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(events_.front());
+    events_.pop_front();
+  }
+  update_depth_gauge(events_.size());
+  lock.unlock();
+  if (n > 0) not_full_.notify_all();
+  return n;
+}
+
+void EventQueue::close() {
+  {
+    const std::lock_guard lock{mutex_};
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool EventQueue::drained() const {
+  const std::lock_guard lock{mutex_};
+  return closed_ && events_.empty();
+}
+
+bool EventQueue::closed() const {
+  const std::lock_guard lock{mutex_};
+  return closed_;
+}
+
+std::size_t EventQueue::depth() const {
+  const std::lock_guard lock{mutex_};
+  return events_.size();
+}
+
+std::uint64_t EventQueue::block_waits() const {
+  const std::lock_guard lock{mutex_};
+  return block_waits_;
+}
+
+}  // namespace glove::serve

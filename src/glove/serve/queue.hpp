@@ -1,0 +1,72 @@
+// Bounded FIFO event queue between the ingest thread and the daemon's
+// window/publish loop.
+//
+// Backpressure is block-the-reader: push() blocks while the queue is
+// full, so a slow publish phase throttles the tail reader instead of
+// growing an unbounded buffer.  The queue is strictly FIFO, which is what
+// makes the whole service deterministic — event order at the consumer
+// equals file order regardless of capacity or timing, so snapshot bytes
+// cannot depend on the queue depth.
+
+#ifndef GLOVE_SERVE_QUEUE_HPP
+#define GLOVE_SERVE_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "glove/cdr/builder.hpp"
+
+namespace glove::serve {
+
+class EventQueue {
+ public:
+  /// `capacity` is clamped up to 1 (a zero-capacity queue could never
+  /// move an event).
+  explicit EventQueue(std::size_t capacity);
+
+  /// Enqueues one event, blocking while the queue is full.  Returns false
+  /// (dropping the event) when the queue was closed — the producer's
+  /// signal to stop reading.
+  bool push(const cdr::CdrEvent& event);
+
+  /// Appends up to `max` events to `out` in FIFO order, blocking until at
+  /// least one event is available, the queue closes, or `timeout_ms`
+  /// elapses.  Returns the number appended; 0 means "timed out" or
+  /// "closed and drained" — distinguish with closed().
+  std::size_t pop_batch(std::vector<cdr::CdrEvent>& out, std::size_t max,
+                        int timeout_ms);
+
+  /// Marks the queue closed: pending events stay poppable, further
+  /// push() calls fail, and all waiters wake.  Idempotent.
+  void close();
+
+  /// True once close() was called AND every event has been popped.
+  [[nodiscard]] bool drained() const;
+
+  /// True once close() was called.
+  [[nodiscard]] bool closed() const;
+
+  /// Current number of queued events.
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Times a push() had to block on a full queue (backpressure events).
+  [[nodiscard]] std::uint64_t block_waits() const;
+
+ private:
+  void update_depth_gauge(std::size_t depth) const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<cdr::CdrEvent> events_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::uint64_t block_waits_ = 0;
+};
+
+}  // namespace glove::serve
+
+#endif  // GLOVE_SERVE_QUEUE_HPP

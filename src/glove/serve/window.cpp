@@ -1,0 +1,64 @@
+#include "glove/serve/window.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "glove/obs/metrics.hpp"
+
+namespace glove::serve {
+
+WindowAccumulator::WindowAccumulator(double window_min)
+    : window_min_{window_min} {
+  if (!(window_min > 0.0)) {
+    throw std::invalid_argument{"window length must be positive"};
+  }
+}
+
+void WindowAccumulator::add(const cdr::CdrEvent& event) {
+  static const obs::Counter c_late = obs::counter("serve.events_late");
+  if (!started_) {
+    started_ = true;
+    window_begin_ = std::floor(event.time_min / window_min_) * window_min_;
+    watermark_ = event.time_min;
+  } else {
+    if (event.time_min < window_begin_) c_late.add();
+    if (event.time_min > watermark_) watermark_ = event.time_min;
+  }
+  buffer_.push_back(event);
+}
+
+bool WindowAccumulator::window_ready() const noexcept {
+  return started_ && watermark_ >= window_begin_ + window_min_;
+}
+
+ClosedWindow WindowAccumulator::close_window() {
+  static const obs::Counter c_closed = obs::counter("serve.windows_closed");
+  ClosedWindow closed;
+  closed.bounds = WindowBounds{window_begin_, window_begin_ + window_min_};
+  // Split by event time, preserving arrival order in both halves: the
+  // kept remainder must replay in the same order it arrived or a later
+  // window's fingerprints would depend on when earlier windows closed.
+  std::vector<cdr::CdrEvent> kept;
+  for (const cdr::CdrEvent& event : buffer_) {
+    if (event.time_min < closed.bounds.end_min) {
+      closed.events.push_back(event);
+    } else {
+      kept.push_back(event);
+    }
+  }
+  buffer_ = std::move(kept);
+  window_begin_ += window_min_;
+  c_closed.add();
+  return closed;
+}
+
+ClosedWindow WindowAccumulator::close_final() {
+  ClosedWindow closed;
+  closed.bounds = WindowBounds{window_begin_, started_ ? watermark_ : 0.0};
+  closed.events = std::move(buffer_);
+  buffer_.clear();
+  return closed;
+}
+
+}  // namespace glove::serve

@@ -194,8 +194,9 @@ TEST(Engine, IncrementalStrategyUpdatesPublishedRelease) {
   const auto first = engine.run(base, config);
   ASSERT_TRUE(first.ok());
 
-  const cdr::FingerprintDataset newcomers =
-      test::random_dataset(/*users=*/6, /*seed=*/11);
+  const cdr::FingerprintDataset newcomers = test::random_dataset(
+      /*users=*/6, /*seed=*/11, /*max_samples_per_user=*/6,
+      /*first_user=*/10'000);  // disjoint from the base release's ids
   RunConfig update = config;
   update.strategy = kStrategyIncremental;
   update.incremental.published = &first.value().anonymized;

@@ -102,7 +102,10 @@ TEST_P(ParityTest, IncrementalMatchesFreeFunction) {
   legacy.k = k;
   const core::GloveResult published =
       core::anonymize(test::small_synth_dataset(24), legacy);
-  const cdr::FingerprintDataset newcomers = test::random_dataset(8, 3);
+  // Newcomer ids offset past the base release's: anonymize_update rejects
+  // ids that appear in both inputs.
+  const cdr::FingerprintDataset newcomers =
+      test::random_dataset(8, 3, 6, /*first_user=*/10'000);
 
   RunConfig config;
   config.strategy = kStrategyIncremental;

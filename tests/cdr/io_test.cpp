@@ -376,6 +376,90 @@ TEST(FileIo, ParseFailuresReportPathAndLineNumber) {
   }
 }
 
+TEST(StreamingIo, EventReaderPrefixesPathOnMalformedRows) {
+  std::istringstream in{"1,10,6.8,-5.3\n2,oops,6.8,-5.3\n"};
+  CdrEventReader reader{in, "stream.csv"};
+  CdrEvent event;
+  ASSERT_TRUE(reader.next(event));
+  try {
+    (void)reader.next(event);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("stream.csv"), std::string::npos) << message;
+    EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  }
+}
+
+TEST(TailIo, MissingFileRetriesOnNextPoll) {
+  const test::TempDir dir;
+  const std::string path = dir.file("late.csv");
+  CdrEventTailReader reader{path};
+  CdrEvent event;
+  EXPECT_FALSE(reader.poll(event));  // not an error: the file may appear
+  EXPECT_FALSE(reader.opened());
+  std::ofstream{path} << "7,12.5,6.8,-5.3\n";
+  ASSERT_TRUE(reader.poll(event));
+  EXPECT_TRUE(reader.opened());
+  EXPECT_EQ(event.user, 7u);
+  EXPECT_DOUBLE_EQ(event.time_min, 12.5);
+  EXPECT_FALSE(reader.poll(event));  // EOF until more is appended
+}
+
+TEST(TailIo, ToleratesPartialTrailingLineUntilCompleted) {
+  // A live producer may be mid-append when we poll: the torn last row
+  // must not parse (or throw) — it is retried once the newline lands.
+  const test::TempDir dir;
+  const std::string path = dir.file("tail.csv");
+  std::ofstream{path} << "1,10,6.8,-5.3\n2,11,6.";  // torn second row
+  CdrEventTailReader reader{path};
+  CdrEvent event;
+  ASSERT_TRUE(reader.poll(event));
+  EXPECT_EQ(event.user, 1u);
+  EXPECT_FALSE(reader.poll(event));  // partial row: wait, don't fail
+  EXPECT_EQ(reader.rows_read(), 1u);
+
+  std::ofstream{path, std::ios::app} << "8,-5.3\n3,12,6.8,-5.3\n";
+  ASSERT_TRUE(reader.poll(event));
+  EXPECT_EQ(event.user, 2u);
+  EXPECT_DOUBLE_EQ(event.antenna.lat_deg, 6.8);  // "6." + "8" reassembled
+  ASSERT_TRUE(reader.poll(event));
+  EXPECT_EQ(event.user, 3u);
+  EXPECT_FALSE(reader.poll(event));
+  EXPECT_EQ(reader.rows_read(), 3u);
+}
+
+TEST(TailIo, SkipsCommentsBlanksAndCrlf) {
+  const test::TempDir dir;
+  const std::string path = dir.file("mixed.csv");
+  std::ofstream{path} << "# header\r\n\r\n1,10,6.8,-5.3\r\n\n2,11,6.8,-5.3\n";
+  CdrEventTailReader reader{path};
+  CdrEvent event;
+  ASSERT_TRUE(reader.poll(event));
+  EXPECT_EQ(event.user, 1u);
+  EXPECT_DOUBLE_EQ(event.antenna.lon_deg, -5.3);  // no trailing \r
+  ASSERT_TRUE(reader.poll(event));
+  EXPECT_EQ(event.user, 2u);
+  EXPECT_FALSE(reader.poll(event));
+}
+
+TEST(TailIo, MalformedRowThrowsWithPathAndLine) {
+  const test::TempDir dir;
+  const std::string path = dir.file("bad.csv");
+  std::ofstream{path} << "# header\n1,10,6.8,-5.3\n-4,11,6.8,-5.3\n";
+  CdrEventTailReader reader{path};
+  CdrEvent event;
+  ASSERT_TRUE(reader.poll(event));
+  try {
+    (void)reader.poll(event);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(path), std::string::npos) << message;
+    EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  }
+}
+
 TEST(StreamingIo, DatasetStreamWriterMatchesBulkWriter) {
   const FingerprintDataset data = test::small_synth_dataset(8);
   std::ostringstream bulk;

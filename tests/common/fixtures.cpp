@@ -50,7 +50,8 @@ cdr::FingerprintDataset grouped_io_dataset() {
 }
 
 cdr::FingerprintDataset random_dataset(std::size_t users, std::uint64_t seed,
-                                       std::size_t max_samples_per_user) {
+                                       std::size_t max_samples_per_user,
+                                       cdr::UserId first_user) {
   util::Xoshiro256 rng{seed};
   std::vector<cdr::Fingerprint> fps;
   for (cdr::UserId u = 0; u < users; ++u) {
@@ -68,7 +69,7 @@ cdr::FingerprintDataset random_dataset(std::size_t users, std::uint64_t seed,
           1 + static_cast<std::uint32_t>(util::uniform_index(rng, 9));
       samples.push_back(s);
     }
-    fps.emplace_back(u, std::move(samples));
+    fps.emplace_back(first_user + u, std::move(samples));
   }
   return cdr::FingerprintDataset{std::move(fps), "random"};
 }

@@ -37,10 +37,12 @@ namespace glove::test {
 
 /// `users` single-user fingerprints with 1..`max_samples_per_user` samples
 /// of uniformly random extents.  Deterministic in `seed`; exercises
-/// serialization and metric code on unstructured values.
+/// serialization and metric code on unstructured values.  Ids start at
+/// `first_user` — offset them when the dataset plays the newcomers of an
+/// incremental update, which rejects ids colliding with the base release.
 [[nodiscard]] cdr::FingerprintDataset random_dataset(
     std::size_t users, std::uint64_t seed,
-    std::size_t max_samples_per_user = 6);
+    std::size_t max_samples_per_user = 6, cdr::UserId first_user = 0);
 
 /// Small seeded synthetic population (civ-like preset) for end-to-end
 /// tests: `users` users over `days` days at the original granularity.

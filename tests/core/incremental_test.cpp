@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <stdexcept>
 
@@ -109,6 +110,88 @@ TEST(IncrementalUpdate, NewcomerCoverageMaintained) {
   const cdr::FingerprintDataset extra = newcomers(8, 77);
   const UpdateResult update = anonymize_update(base, extra, {});
   EXPECT_EQ(count_uncovered_samples(extra, update.anonymized), 0u);
+}
+
+TEST(IncrementalUpdate, EmptyNewcomerSetIsIdentity) {
+  // A window with no newcomers must republish the release unchanged —
+  // this is what lets a serve epoch skip cleanly when every event in a
+  // window came from already-published users.
+  const cdr::FingerprintDataset base = base_release();
+  const UpdateResult update =
+      anonymize_update(base, cdr::FingerprintDataset{}, {});
+  EXPECT_EQ(update.stats.new_users, 0u);
+  EXPECT_EQ(update.stats.joined_existing_groups, 0u);
+  EXPECT_EQ(update.stats.formed_new_groups, 0u);
+  ASSERT_EQ(update.anonymized.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const auto& got = update.anonymized[i];
+    EXPECT_TRUE(std::equal(got.members().begin(), got.members().end(),
+                           base[i].members().begin(),
+                           base[i].members().end()));
+    EXPECT_TRUE(std::equal(got.samples().begin(), got.samples().end(),
+                           base[i].samples().begin(),
+                           base[i].samples().end()));
+  }
+}
+
+TEST(IncrementalUpdate, FewerNewcomersThanKAllJoinExistingGroups) {
+  // Two newcomers under k=3 cannot form a group of their own: both must
+  // join published groups, and the result stays 3-anonymous.
+  GloveConfig config;
+  config.k = 3;
+  synth::SynthConfig synth_config = synth::civ_like(30, 79);
+  synth_config.days = 3.0;
+  const cdr::FingerprintDataset base =
+      anonymize(synth::generate_dataset(synth_config), config).anonymized;
+  ASSERT_TRUE(is_k_anonymous(base, 3));
+
+  const UpdateResult update =
+      anonymize_update(base, newcomers(2, 80), config);
+  EXPECT_EQ(update.stats.joined_existing_groups, 2u);
+  EXPECT_EQ(update.stats.formed_new_groups, 0u);
+  EXPECT_TRUE(is_k_anonymous(update.anonymized, 3));
+  EXPECT_EQ(update.anonymized.total_users(), base.total_users() + 2);
+}
+
+TEST(IncrementalUpdate, RejectsNewcomerIdAlreadyPublished) {
+  const cdr::FingerprintDataset base = base_release();
+  const cdr::UserId taken = base[0].members().front();
+  std::vector<cdr::Fingerprint> dupes;
+  dupes.emplace_back(taken, std::vector<cdr::Sample>{cell(0, 0, 0)});
+  try {
+    (void)anonymize_update(
+        base, cdr::FingerprintDataset{std::move(dupes)}, {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(std::to_string(taken)), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("appears in both"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(IncrementalUpdate, PreCancelledTokenAborts) {
+  const cdr::FingerprintDataset base = base_release();
+  util::RunHooks hooks;
+  hooks.cancel.emplace();
+  hooks.cancel->request_cancel();
+  EXPECT_THROW((void)anonymize_update(base, newcomers(6, 81), {}, hooks),
+               util::CancelledError);
+}
+
+TEST(IncrementalUpdate, CancellationMidUpdateAborts) {
+  // Cancel from inside the progress callback — the way an interactive
+  // caller aborts a run it is watching.  The update must stop with
+  // CancelledError instead of returning a partial release.
+  const cdr::FingerprintDataset base = base_release();
+  util::RunHooks hooks;
+  hooks.cancel.emplace();
+  hooks.progress = [&hooks](std::uint64_t, std::uint64_t) {
+    hooks.cancel->request_cancel();
+  };
+  EXPECT_THROW((void)anonymize_update(base, newcomers(8, 82), {}, hooks),
+               util::CancelledError);
 }
 
 TEST(IncrementalUpdate, RejectsUnanonymizedBase) {

@@ -105,6 +105,23 @@ TEST(LintFixtures, ObsNamingAppliesOutsideEmissionLayersToo) {
   EXPECT_EQ(count_rule(findings, "obs-naming"), 6u);
 }
 
+TEST(LintFixtures, ObsNamingFiresOnServeLayerLiterals) {
+  // The serve daemon's spans and counters feed the same traces and
+  // reports; a bad literal under src/glove/serve/ must not slip through.
+  const auto findings =
+      lint_fixture("serve_obs_bad.txt", "src/glove/serve/fixture.cpp");
+  // Uppercase span + spaced counter name + one duplicated span literal.
+  EXPECT_EQ(count_rule(findings, "obs-naming"), 3u);
+}
+
+TEST(LintFixtures, UnorderedIterationFiresInServeLayer) {
+  // serve/ is an emission layer: snapshot publication iterates state that
+  // must stay deterministically ordered.
+  const auto findings =
+      lint_fixture("unordered_bad.txt", "src/glove/serve/fixture.cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iteration"), 3u);
+}
+
 TEST(LintFixtures, ObsNamingSilentOnConformingNames) {
   const auto findings =
       lint_fixture("obs_clean.txt", "src/glove/shard/fixture.cpp");

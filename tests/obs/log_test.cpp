@@ -76,6 +76,35 @@ TEST_F(ObsLogTest, RateCapSuppressesAndReportsOnTheNextLine) {
   EXPECT_NE(next.find("suppressed="), std::string::npos) << next;
 }
 
+TEST_F(ObsLogTest, FlushEmitsFinalSuppressedMarker) {
+  // A run that ends (or drains) inside a rate-capped second would lose
+  // the suppressed count — the next admitted line never comes.  The
+  // shutdown flush emits a final marker unconditionally.
+  set_log_verbose(true);
+  captured_while([] {
+    // 3x the cap: even if the one-second window rolls over mid-burst (at
+    // most once — the burst takes microseconds), at least a full cap's
+    // worth of lines stays suppressed for the flush to report.
+    for (int i = 0; i < kMaxLogLinesPerSecond * 3; ++i) {
+      log_info("test.log.flush_burst",
+               log_kv("i", static_cast<std::uint64_t>(i)));
+    }
+  });
+  const std::string flushed = captured_while([] { flush_suppressed_log(); });
+  EXPECT_NE(flushed.find("log.flush"), std::string::npos) << flushed;
+  EXPECT_NE(flushed.find("suppressed="), std::string::npos) << flushed;
+
+  // The flush resets the count: a second flush has nothing to say.
+  const std::string again = captured_while([] { flush_suppressed_log(); });
+  EXPECT_TRUE(again.empty()) << again;
+}
+
+TEST_F(ObsLogTest, FlushIsSilentWhenVerboseOff) {
+  set_log_verbose(false);
+  const std::string err = captured_while([] { flush_suppressed_log(); });
+  EXPECT_TRUE(err.empty()) << err;
+}
+
 TEST_F(ObsLogTest, LogKvFormats) {
   EXPECT_EQ(log_kv("blocks", 17), "blocks=17");
   EXPECT_EQ(log_kv("zero", 0), "zero=0");

@@ -53,6 +53,29 @@ TEST(ObsRegistry, RetiredThreadTotalsSurviveThreadExit) {
   EXPECT_GE(snapshot_metrics().counter_value("test.registry.retired"), 123u);
 }
 
+TEST(ObsRegistry, RenderMetricsTextIsSortedAndTyped) {
+  const Counter c = counter("test.render.aa_count");
+  const Gauge g = gauge("test.render.bb_gauge");
+  const Histogram h = histogram("test.render.cc_hist");
+  c.add(3);
+  g.set(2.5);
+  h.observe(4);
+  h.observe(8);
+  const std::string text = render_metrics_text(snapshot_metrics());
+  // One "<type> <name> <value...>" line per metric, in the snapshot's
+  // name-sorted order — the admin `metrics` wire format.
+  const std::size_t c_pos = text.find("counter test.render.aa_count ");
+  const std::size_t g_pos = text.find("gauge test.render.bb_gauge 2.5\n");
+  const std::size_t h_pos =
+      text.find("histogram test.render.cc_hist count=2 sum=12");
+  ASSERT_NE(c_pos, std::string::npos) << text;
+  ASSERT_NE(g_pos, std::string::npos) << text;
+  ASSERT_NE(h_pos, std::string::npos) << text;
+  EXPECT_LT(c_pos, g_pos);
+  EXPECT_LT(g_pos, h_pos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
 TEST(ObsRegistry, RegistrationIsIdempotent) {
   const Counter a = counter("test.registry.same_slot");
   const Counter b = counter("test.registry.same_slot");
@@ -94,8 +117,10 @@ TEST(ObsRegistry, HistogramBucketEdgesFollowBitWidth) {
 TEST(ObsRegistry, HistogramTopBucketAbsorbsHugeValues) {
   const Histogram h = histogram("test.registry.hist_top");
   h.observe(~0ull);  // bit_width 64 > last bucket index
+  // The snapshot must outlive `top`, which points into it.
+  const MetricsSnapshot snapshot = snapshot_metrics();
   const HistogramSnapshot* top =
-      find_histogram(snapshot_metrics(), "test.registry.hist_top");
+      find_histogram(snapshot, "test.registry.hist_top");
   ASSERT_NE(top, nullptr);
   ASSERT_EQ(top->buckets.size(), kHistogramBuckets);
   EXPECT_EQ(top->buckets.back(), 1u);

@@ -1,0 +1,98 @@
+#include "glove/serve/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace glove::serve {
+namespace {
+
+cdr::CdrEvent event(cdr::UserId user, double time_min) {
+  return cdr::CdrEvent{user, time_min, geo::LatLon{6.8, -5.3}};
+}
+
+TEST(WindowAccumulator, RejectsNonPositiveWindow) {
+  EXPECT_THROW(WindowAccumulator{0.0}, std::invalid_argument);
+  EXPECT_THROW(WindowAccumulator{-10.0}, std::invalid_argument);
+}
+
+TEST(WindowAccumulator, FirstEventAlignsWindowToMultiples) {
+  // Event at t=1500 with 1440-minute windows lands in [1440, 2880): the
+  // window grid is absolute, not anchored at the first event, so a
+  // restarted daemon over the same stream closes identical windows.
+  WindowAccumulator window{1440.0};
+  window.add(event(1, 1500.0));
+  EXPECT_TRUE(window.started());
+  EXPECT_FALSE(window.window_ready());
+  window.add(event(2, 2879.9));
+  EXPECT_FALSE(window.window_ready());  // watermark still inside
+  window.add(event(3, 2880.0));
+  ASSERT_TRUE(window.window_ready());
+  const ClosedWindow closed = window.close_window();
+  EXPECT_DOUBLE_EQ(closed.bounds.begin_min, 1440.0);
+  EXPECT_DOUBLE_EQ(closed.bounds.end_min, 2880.0);
+  ASSERT_EQ(closed.events.size(), 2u);
+  EXPECT_EQ(closed.events[0].user, 1u);
+  EXPECT_EQ(closed.events[1].user, 2u);
+  EXPECT_EQ(window.pending_events(), 1u);  // the t=2880 event
+}
+
+TEST(WindowAccumulator, SplitPreservesArrivalOrder) {
+  WindowAccumulator window{100.0};
+  window.add(event(5, 10.0));
+  window.add(event(3, 150.0));  // next window
+  window.add(event(7, 20.0));   // still this window, arrived later
+  window.add(event(1, 99.0));
+  ASSERT_TRUE(window.window_ready());
+  const ClosedWindow closed = window.close_window();
+  ASSERT_EQ(closed.events.size(), 3u);
+  EXPECT_EQ(closed.events[0].user, 5u);
+  EXPECT_EQ(closed.events[1].user, 7u);
+  EXPECT_EQ(closed.events[2].user, 1u);
+}
+
+TEST(WindowAccumulator, EventTimeGapYieldsEmptyWindows) {
+  // A silent day produces empty closed windows, not a stall: the
+  // publisher skips them and the stream stays aligned to the grid.
+  WindowAccumulator window{100.0};
+  window.add(event(1, 50.0));
+  window.add(event(2, 350.0));  // skips windows [100,200) and [200,300)
+  ASSERT_TRUE(window.window_ready());
+  EXPECT_EQ(window.close_window().events.size(), 1u);  // [0, 100)
+  ASSERT_TRUE(window.window_ready());
+  EXPECT_EQ(window.close_window().events.size(), 0u);  // [100, 200)
+  ASSERT_TRUE(window.window_ready());
+  EXPECT_EQ(window.close_window().events.size(), 0u);  // [200, 300)
+  EXPECT_FALSE(window.window_ready());                 // [300, 400) open
+  EXPECT_EQ(window.pending_events(), 1u);
+}
+
+TEST(WindowAccumulator, LateEventsFoldIntoNextClose) {
+  WindowAccumulator window{100.0};
+  window.add(event(1, 120.0));  // window [100, 200)
+  window.add(event(2, 30.0));   // late: before the current window
+  window.add(event(3, 200.0));
+  ASSERT_TRUE(window.window_ready());
+  const ClosedWindow closed = window.close_window();
+  // The late event still publishes (time < end); arrival order kept.
+  ASSERT_EQ(closed.events.size(), 2u);
+  EXPECT_EQ(closed.events[0].user, 1u);
+  EXPECT_EQ(closed.events[1].user, 2u);
+}
+
+TEST(WindowAccumulator, CloseFinalReturnsEverythingBuffered) {
+  WindowAccumulator window{100.0};
+  window.add(event(1, 10.0));
+  window.add(event(2, 50.0));
+  EXPECT_FALSE(window.window_ready());
+  const ClosedWindow final_window = window.close_final();
+  EXPECT_EQ(final_window.events.size(), 2u);
+  EXPECT_EQ(window.pending_events(), 0u);
+  // An un-started accumulator drains to an empty window.
+  WindowAccumulator empty{100.0};
+  EXPECT_TRUE(empty.close_final().events.empty());
+}
+
+}  // namespace
+}  // namespace glove::serve

@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""CI smoke gate for glove-serve, the continuous-ingestion daemon.
+
+Drives the whole service surface the way an operator would:
+
+  1. generates a deterministic synthetic CDR event stream
+     (example_gen_cdr_stream) and writes only its head to the watched
+     file;
+  2. starts glove-serve in --follow mode with an AF_UNIX admin socket
+     and the sharded first-epoch strategy;
+  3. appends the remaining events in two chunks, driving at least two
+     event-time window closes while the daemon is live;
+  4. exercises the admin line protocol: `health` must answer "ok ...",
+     `metrics` must render the serve.* registry, an unknown command
+     must error;
+  5. sends `drain` and requires a clean exit 0;
+  6. then validates every published artifact:
+       * snapshots appear in epoch order with no .tmp residue,
+       * every snapshot group hides >= k users (k-anonymity),
+       * epoch N+1's groups are supersets of epoch N's groups — the
+         published release never shrinks or splits a group,
+       * each epoch has a parseable report-NNNNNN.json whose epoch
+         metric matches its file name.
+
+Usage:
+  python3 tools/check_serve.py --build-dir build
+
+Exit codes: 0 ok, 1 claim violated or daemon misbehaved, 2 usage error.
+"""
+
+import argparse
+import json
+import pathlib
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+K = 2
+WINDOW_MIN = 1440.0
+
+
+def fail(message: str) -> int:
+    print(f"check_serve: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def admin(sock_path: str, command: str, timeout: float = 5.0) -> str:
+    """One admin round-trip: connect, send, read until EOF."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as client:
+        client.settimeout(timeout)
+        client.connect(sock_path)
+        client.sendall(command.encode() + b"\n")
+        chunks = []
+        while True:
+            data = client.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    return b"".join(chunks).decode()
+
+
+def try_admin(sock_path: str, command: str):
+    """admin(), but None instead of raising while the daemon is busy."""
+    try:
+        return admin(sock_path, command)
+    except OSError:
+        return None
+
+
+def wait_for(predicate, what: str, timeout_s: float = 30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        result = predicate()
+        if result:
+            return result
+        time.sleep(0.05)
+    raise TimeoutError(f"timed out waiting for {what}")
+
+
+def parse_snapshot(path: pathlib.Path):
+    """Reads a snapshot CSV as {frozenset(member_ids): row_count}."""
+    groups = {}
+    for line in path.read_text().splitlines():
+        if not line or line.startswith("#"):
+            continue
+        members = frozenset(int(u) for u in line.split(",")[0].split("+"))
+        groups[members] = groups.get(members, 0) + 1
+    return groups
+
+
+def check_artifacts(out_dir: pathlib.Path) -> int:
+    leftovers = list(out_dir.glob("*.tmp")) + list(out_dir.glob(".tmp-*"))
+    if leftovers:
+        return fail(f"temp-file residue after publish: {leftovers}")
+
+    snapshots = sorted(out_dir.glob("snapshot-*.csv"))
+    reports = sorted(out_dir.glob("report-*.json"))
+    if len(snapshots) < 2:
+        return fail(f"expected >= 2 snapshot epochs, found {snapshots}")
+    if len(reports) != len(snapshots):
+        return fail(f"{len(snapshots)} snapshots but {len(reports)} reports")
+
+    previous = None
+    for epoch, path in enumerate(snapshots, start=1):
+        groups = parse_snapshot(path)
+        for members in groups:
+            if len(members) < K:
+                return fail(
+                    f"{path.name}: group {sorted(members)} hides fewer "
+                    f"than k={K} users")
+        if previous is not None:
+            # Every earlier group must survive inside exactly one group.
+            for old in previous:
+                containing = [g for g in groups if old <= g]
+                if len(containing) != 1:
+                    return fail(
+                        f"{path.name}: epoch {epoch - 1} group "
+                        f"{sorted(old)} is covered by {len(containing)} "
+                        f"groups (must be exactly 1: groups never split)")
+        previous = groups
+
+    for epoch, path in enumerate(reports, start=1):
+        with open(path) as handle:
+            report = json.load(handle)
+        metrics = report.get("metrics", {})
+        if metrics.get("epoch") != epoch:
+            return fail(
+                f"{path.name}: epoch metric {metrics.get('epoch')!r} does "
+                f"not match file position {epoch}")
+
+    print(f"check_serve: OK: {len(snapshots)} epochs, "
+          f"{len(previous)} groups in the final release; group-stability "
+          f"and k-anonymity hold")
+    return 0
+
+
+def run(build_dir: pathlib.Path) -> int:
+    gen = build_dir / "examples" / "example_gen_cdr_stream"
+    serve = build_dir / "tools" / "serve" / "glove_serve"
+    for binary in (gen, serve):
+        if not binary.exists():
+            return fail(f"missing binary {binary}; build the tree first")
+
+    with tempfile.TemporaryDirectory(prefix="glove-serve-smoke-") as tmp:
+        work = pathlib.Path(tmp)
+        full = work / "full.csv"
+        subprocess.run(
+            [str(gen), f"--output={full}", "--users=120", "--days=3",
+             "--seed=11"],
+            check=True, stdout=subprocess.DEVNULL)
+        rows = full.read_text().splitlines(keepends=True)
+        # Split at ~40% / ~80% of the stream: the head seeds the watched
+        # file, the two appends drive window closes while live.
+        cut1, cut2 = int(len(rows) * 0.4), int(len(rows) * 0.8)
+
+        live = work / "events.csv"
+        out_dir = work / "out"
+        sock = work / "admin.sock"
+        live.write_text("".join(rows[:cut1]))
+
+        daemon = subprocess.Popen(
+            [str(serve), f"--input={live}", f"--out-dir={out_dir}",
+             "--follow", "--poll-ms=50", f"--window-min={WINDOW_MIN}",
+             f"--admin-socket={sock}", "--strategy=sharded", f"--k={K}"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        try:
+            # The socket file appears at bind(); listen() follows within
+            # the same call, but poll through ECONNREFUSED just in case.
+            wait_for(sock.exists, "admin socket")
+            health = wait_for(
+                lambda: try_admin(str(sock), "health"), "health reply")
+            if not health.startswith("ok "):
+                return fail(f"health answered {health!r}")
+
+            def epochs_published() -> int:
+                reply = try_admin(str(sock), "metrics")
+                for line in (reply or "").splitlines():
+                    if line.startswith("counter serve.snapshots_published "):
+                        return int(line.split()[-1])
+                return 0
+
+            # Window 1 closes once the appended chunk moves the watermark
+            # past day 1.
+            with open(live, "a") as stream:
+                stream.write("".join(rows[cut1:cut2]))
+            wait_for(lambda: epochs_published() >= 1, "first epoch")
+
+            with open(live, "a") as stream:
+                stream.write("".join(rows[cut2:]))
+            wait_for(lambda: epochs_published() >= 2, "second epoch")
+
+            unknown = admin(str(sock), "bogus")
+            if not unknown.startswith("err unknown command"):
+                return fail(f"unknown command answered {unknown!r}")
+
+            reply = admin(str(sock), "drain")
+            if reply != "draining\n":
+                return fail(f"drain answered {reply!r}")
+            output, _ = daemon.communicate(timeout=60)
+            if daemon.returncode != 0:
+                return fail(f"daemon exited {daemon.returncode}:\n{output}")
+            print(output.strip())
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+        return check_artifacts(out_dir)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build", type=pathlib.Path,
+                        help="CMake build tree holding the binaries")
+    args = parser.parse_args()
+    try:
+        return run(args.build_dir)
+    except TimeoutError as error:
+        return fail(str(error))
+    except subprocess.CalledProcessError as error:
+        return fail(f"subprocess failed: {error}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -280,7 +280,8 @@ FileClass classify_path(const std::string& path) {
     return path.rfind(prefix, 0) == 0;
   };
   cls.emission_layer = under("src/glove/api/") || under("src/glove/shard/") ||
-                       under("src/glove/cdr/") || under("src/glove/stats/");
+                       under("src/glove/cdr/") || under("src/glove/serve/") ||
+                       under("src/glove/stats/");
   cls.cdr_layer = under("src/glove/cdr/");
   cls.rng_exempt = path == "src/glove/util/rng.hpp";
   return cls;

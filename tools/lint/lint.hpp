@@ -6,8 +6,8 @@
 //
 //   unordered-iteration  Iterating an unordered container in the layers
 //                        that feed output or report emission
-//                        (src/glove/{api,shard,cdr,stats}) ties results
-//                        to libstdc++ hash order.  Prove a site
+//                        (src/glove/{api,shard,cdr,serve,stats}) ties
+//                        results to libstdc++ hash order.  Prove a site
 //                        order-insensitive and annotate it, or fix it.
 //   raw-rng              rand()/srand(), std::random_device, time-seeded
 //                        engines, and pointer-value ordering are hidden
@@ -100,7 +100,7 @@ std::vector<Annotation> parse_annotations(const std::vector<Comment>& comments,
                                           std::vector<Finding>& findings);
 
 struct FileClass {
-  bool emission_layer = false;  // src/glove/{api,shard,cdr,stats}
+  bool emission_layer = false;  // src/glove/{api,shard,cdr,serve,stats}
   bool cdr_layer = false;       // src/glove/cdr
   bool rng_exempt = false;      // util/rng.hpp
 };
