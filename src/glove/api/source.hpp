@@ -106,6 +106,14 @@ class DatasetSource {
     return nullptr;
   }
 
+  /// Path of the file backing this source, when there is one.  The
+  /// process shard executor hands it to its worker daemons so each can
+  /// re-read its shard slice through its own source; in-memory sources
+  /// return nullopt and only support the in-process executor.
+  [[nodiscard]] virtual std::optional<std::string> file_path() const {
+    return std::nullopt;
+  }
+
   /// Binds the run's cancellation token so long block loops *inside* the
   /// source (GlovebinSource::fetch maps whole block runs per call) get
   /// poll points of their own — without it a cancel only lands between
@@ -167,6 +175,9 @@ class CsvFileSource final : public DatasetSource {
   [[nodiscard]] std::string name() const override { return path_; }
   bool next(cdr::Fingerprint& fingerprint) override;
   void rewind() override;
+  [[nodiscard]] std::optional<std::string> file_path() const override {
+    return path_;
+  }
 
  private:
   std::string path_;
@@ -203,6 +214,9 @@ class GlovebinSource final : public DatasetSource {
       const std::unordered_map<std::uint32_t, std::uint32_t>& slot_of_id,
       std::vector<cdr::Fingerprint>& store) override;
   [[nodiscard]] const SourceIoStats* io_stats() const noexcept override;
+  [[nodiscard]] std::optional<std::string> file_path() const override {
+    return reader_.path();
+  }
 
  private:
   cdr::GlovebinReader reader_;

@@ -216,6 +216,12 @@ class ShardedStrategy final : public Anonymizer {
                    "sharded.workers must be at most 4096 (0 = hardware "
                    "concurrency)"};
     }
+    // Same sanity bound for the process executor's daemon count.
+    if (config.sharded.exec_workers > 4'096) {
+      return Error{ErrorCode::kInvalidConfig,
+                   "sharded.exec_workers must be at most 4096 (0 = hardware "
+                   "concurrency)"};
+    }
     return std::nullopt;
   }
   bool supports_streaming() const noexcept override { return true; }
@@ -227,6 +233,8 @@ class ShardedStrategy final : public Anonymizer {
         data, to_shard_config(config), context.hooks);
     StrategyOutcome outcome =
         outcome_from_stats(result.stats, result.shard_timings);
+    attach_exec(outcome, std::move(result.exec_kind), result.exec_workers,
+                result.exec_worker_stats);
     outcome.anonymized = std::move(result.anonymized);
     return outcome;
   }
@@ -247,6 +255,8 @@ class ShardedStrategy final : public Anonymizer {
     sink.finish();
     StrategyOutcome outcome =
         outcome_from_stats(result.stats, result.shard_timings);
+    attach_exec(outcome, std::move(result.exec_kind), result.exec_workers,
+                result.exec_worker_stats);
     outcome.pass_fingerprints = std::move(result.pass_fingerprints);
     return outcome;
   }
@@ -272,6 +282,9 @@ class ShardedStrategy final : public Anonymizer {
         std::vector<cdr::Fingerprint>& store) override {
       return source_.fetch(slot_of_id, store);
     }
+    std::optional<std::string> file_path() const override {
+      return source_.file_path();
+    }
 
    private:
     DatasetSource& source_;
@@ -286,7 +299,28 @@ class ShardedStrategy final : public Anonymizer {
     sharded.border = config.sharded.border;
     sharded.halo_m = config.sharded.halo_m;
     sharded.reconcile_chunk_users = config.sharded.reconcile_chunk_users;
+    sharded.executor = config.sharded.executor;
+    sharded.exec_workers = config.sharded.exec_workers;
+    sharded.worker_binary = config.sharded.worker_binary;
     return sharded;
+  }
+
+  static void attach_exec(StrategyOutcome& outcome, std::string exec_kind,
+                          std::uint64_t exec_workers,
+                          const std::vector<shard::exec::ExecWorkerStats>&
+                              worker_stats) {
+    outcome.exec_kind = std::move(exec_kind);
+    outcome.exec_workers = exec_workers;
+    outcome.exec_worker_stats.reserve(worker_stats.size());
+    for (const shard::exec::ExecWorkerStats& w : worker_stats) {
+      ExecWorkerRow row;
+      row.worker = w.worker;
+      row.jobs = w.jobs;
+      row.fingerprints = w.fingerprints;
+      row.groups = w.groups;
+      row.busy_seconds = w.busy_seconds;
+      outcome.exec_worker_stats.push_back(row);
+    }
   }
 
   static StrategyOutcome outcome_from_stats(

@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <charconv>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <stdexcept>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#endif
 
 #include "glove/util/csv.hpp"
 
@@ -115,7 +121,32 @@ bool CdrEventReader::next(CdrEvent& event) {
   return true;
 }
 
+bool CdrEventTailReader::source_replaced() const {
+#if defined(__unix__) || defined(__APPLE__)
+  struct ::stat st {};
+  if (::stat(path_.c_str(), &st) != 0) {
+    // Vanished mid-rotation: drop the handle now, start over once the
+    // producer recreates the path.
+    return true;
+  }
+  return static_cast<std::uint64_t>(st.st_ino) != inode_ ||
+         static_cast<std::uint64_t>(st.st_size) < offset_;
+#else
+  // Without stat() only truncation is observable, not a same-size swap.
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path_, ec);
+  return ec || static_cast<std::uint64_t>(size) < offset_;
+#endif
+}
+
 bool CdrEventTailReader::poll(CdrEvent& event) {
+  if (opened_ && source_replaced()) {
+    in_.close();
+    in_ = std::ifstream{};
+    opened_ = false;
+    offset_ = 0;
+    line_no_ = 0;
+  }
   if (!opened_) {
     in_.open(path_, std::ios::binary);
     if (!in_) {
@@ -123,6 +154,13 @@ bool CdrEventTailReader::poll(CdrEvent& event) {
       return false;
     }
     opened_ = true;
+    inode_ = 0;
+#if defined(__unix__) || defined(__APPLE__)
+    struct ::stat st {};
+    if (::stat(path_.c_str(), &st) == 0) {
+      inode_ = static_cast<std::uint64_t>(st.st_ino);
+    }
+#endif
   }
   for (;;) {
     // Re-seek to the first unconsumed byte: clears a sticky eofbit from

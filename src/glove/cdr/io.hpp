@@ -64,7 +64,14 @@ class CdrEventReader {
 ///   * a partial trailing line — bytes after the last newline, i.e. a row
 ///     the producer is mid-write on — is NOT parsed: poll rewinds to the
 ///     row's start and returns false, and the completed row is decoded on
-///     a later poll once its newline lands.
+///     a later poll once its newline lands;
+///   * truncation and rotation are detected per poll: when the file
+///     shrinks below the consumed offset (a producer restarted the feed)
+///     or the path points at a new inode (logrotate moved the old file
+///     away), the reader reopens and consumes the new file from byte 0
+///     instead of seeking past its end or tailing the renamed file
+///     forever.  `rows_read()` stays cumulative across reopens;
+///     `line_number()` restarts with the new file.
 ///
 /// Malformed *complete* rows throw std::invalid_argument with the path and
 /// line number prefixed.  Every poll re-seeks to the first unconsumed
@@ -92,10 +99,15 @@ class CdrEventTailReader {
   [[nodiscard]] std::size_t line_number() const noexcept { return line_no_; }
 
  private:
+  /// True when the file was truncated below offset_ or replaced by a new
+  /// inode since the last poll; resets the reader to consume from byte 0.
+  [[nodiscard]] bool source_replaced() const;
+
   std::string path_;
   std::ifstream in_;
   bool opened_ = false;
   std::uint64_t offset_ = 0;  ///< byte offset of the first unconsumed line
+  std::uint64_t inode_ = 0;   ///< inode at open (0 where unsupported)
   std::size_t rows_ = 0;
   std::size_t line_no_ = 0;
   std::string line_;

@@ -1,0 +1,383 @@
+#include "glove/shard/exec/proto.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+#define GLOVE_EXEC_HAVE_POSIX_IO 1
+#endif
+
+namespace glove::shard::exec {
+
+namespace {
+
+// Little-endian byte-shift encoders, the binio convention: integers are
+// assembled bytewise (no memcpy of host-order structs) and doubles travel
+// as their exact IEEE-754 bit patterns, so decoding reproduces the
+// encoder's values bit for bit on any host.
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t value) {
+  out.push_back(value);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xFFu));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xFFu));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double value) {
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& value) {
+  put_u32(out, static_cast<std::uint32_t>(value.size()));
+  out.insert(out.end(), value.begin(), value.end());
+}
+
+/// Bounds-checked payload reader; decoders finish with done() so trailing
+/// garbage is as loud as a short payload.
+class Cursor {
+ public:
+  explicit Cursor(const std::vector<std::uint8_t>& data) : data_{&data} {}
+
+  std::uint8_t u8() {
+    need(1);
+    return (*data_)[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      value |= static_cast<std::uint32_t>((*data_)[pos_++]) << shift;
+    }
+    return value;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      value |= static_cast<std::uint64_t>((*data_)[pos_++]) << shift;
+    }
+    return value;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::uint32_t size = u32();
+    need(size);
+    std::string value{reinterpret_cast<const char*>(data_->data() + pos_),
+                      size};
+    pos_ += size;
+    return value;
+  }
+
+  void done() const {
+    if (pos_ != data_->size()) {
+      throw std::runtime_error{"exec frame payload has trailing bytes"};
+    }
+  }
+
+ private:
+  void need(std::size_t bytes) const {
+    if (pos_ + bytes > data_->size()) {
+      throw std::runtime_error{"exec frame payload truncated"};
+    }
+  }
+
+  const std::vector<std::uint8_t>* data_;
+  std::size_t pos_ = 0;
+};
+
+void put_fingerprint(std::vector<std::uint8_t>& out,
+                     const cdr::Fingerprint& fp) {
+  put_u32(out, static_cast<std::uint32_t>(fp.members().size()));
+  put_u32(out, static_cast<std::uint32_t>(fp.size()));
+  for (const cdr::UserId member : fp.members()) put_u32(out, member);
+  for (const cdr::Sample& sample : fp.samples()) {
+    put_f64(out, sample.sigma.x);
+    put_f64(out, sample.sigma.dx);
+    put_f64(out, sample.sigma.y);
+    put_f64(out, sample.sigma.dy);
+    put_f64(out, sample.tau.t);
+    put_f64(out, sample.tau.dt);
+    put_u32(out, sample.contributors);
+  }
+}
+
+cdr::Fingerprint get_fingerprint(Cursor& in) {
+  const std::uint32_t member_count = in.u32();
+  const std::uint32_t sample_count = in.u32();
+  std::vector<cdr::UserId> members;
+  members.reserve(member_count);
+  for (std::uint32_t i = 0; i < member_count; ++i) members.push_back(in.u32());
+  std::vector<cdr::Sample> samples;
+  samples.reserve(sample_count);
+  for (std::uint32_t i = 0; i < sample_count; ++i) {
+    cdr::Sample sample;
+    sample.sigma.x = in.f64();
+    sample.sigma.dx = in.f64();
+    sample.sigma.y = in.f64();
+    sample.sigma.dy = in.f64();
+    sample.tau.t = in.f64();
+    sample.tau.dt = in.f64();
+    sample.contributors = in.u32();
+    samples.push_back(sample);
+  }
+  // Workers serialize samples() verbatim (already time-sorted); re-sorting
+  // here could permute time-tied samples and break byte-exact parity.
+  return cdr::Fingerprint::from_time_sorted(std::move(members),
+                                            std::move(samples));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_hello(const HelloRequest& req) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kProtocolVersion);
+  put_string(out, req.source_path);
+  put_u64(out, req.expected_fingerprints);
+  put_u32(out, req.glove.k);
+  put_f64(out, req.glove.limits.phi_max_sigma_m);
+  put_f64(out, req.glove.limits.phi_max_tau_min);
+  put_f64(out, req.glove.limits.w_sigma);
+  put_f64(out, req.glove.limits.w_tau);
+  put_u8(out, req.glove.suppression.has_value() ? 1 : 0);
+  if (req.glove.suppression.has_value()) {
+    put_f64(out, req.glove.suppression->max_spatial_extent_m);
+    put_f64(out, req.glove.suppression->max_temporal_extent_min);
+  }
+  put_u8(out, req.glove.reshape ? 1 : 0);
+  put_u8(out, static_cast<std::uint8_t>(req.glove.leftover_policy));
+  return out;
+}
+
+HelloRequest decode_hello(const std::vector<std::uint8_t>& payload) {
+  Cursor in{payload};
+  const std::uint32_t version = in.u32();
+  if (version != kProtocolVersion) {
+    throw std::runtime_error{
+        "exec protocol version mismatch (coordinator speaks v" +
+        std::to_string(version) + ", worker speaks v" +
+        std::to_string(kProtocolVersion) + ")"};
+  }
+  HelloRequest req;
+  req.source_path = in.str();
+  req.expected_fingerprints = in.u64();
+  req.glove.k = in.u32();
+  req.glove.limits.phi_max_sigma_m = in.f64();
+  req.glove.limits.phi_max_tau_min = in.f64();
+  req.glove.limits.w_sigma = in.f64();
+  req.glove.limits.w_tau = in.f64();
+  if (in.u8() != 0) {
+    core::SuppressionThresholds suppression;
+    suppression.max_spatial_extent_m = in.f64();
+    suppression.max_temporal_extent_min = in.f64();
+    req.glove.suppression = suppression;
+  }
+  req.glove.reshape = in.u8() != 0;
+  const std::uint8_t policy = in.u8();
+  if (policy > static_cast<std::uint8_t>(core::LeftoverPolicy::kSuppress)) {
+    throw std::runtime_error{"exec hello carries an unknown leftover policy"};
+  }
+  req.glove.leftover_policy = static_cast<core::LeftoverPolicy>(policy);
+  in.done();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_run_shard(const RunShardRequest& req) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, req.shard);
+  put_u32(out, static_cast<std::uint32_t>(req.member_ids.size()));
+  for (const std::uint32_t id : req.member_ids) put_u32(out, id);
+  return out;
+}
+
+RunShardRequest decode_run_shard(const std::vector<std::uint8_t>& payload) {
+  Cursor in{payload};
+  RunShardRequest req;
+  req.shard = in.u64();
+  const std::uint32_t count = in.u32();
+  req.member_ids.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) req.member_ids.push_back(in.u32());
+  in.done();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_shard_done(const ShardDoneReply& reply) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, reply.shard);
+  put_u64(out, reply.merges);
+  put_u64(out, reply.deleted_samples);
+  put_u64(out, reply.discarded_fingerprints);
+  put_u64(out, reply.stretch_evaluations);
+  put_f64(out, reply.init_seconds);
+  put_f64(out, reply.merge_seconds);
+  put_f64(out, reply.total_seconds);
+  put_u32(out, static_cast<std::uint32_t>(reply.groups.size()));
+  for (const cdr::Fingerprint& group : reply.groups) {
+    put_fingerprint(out, group);
+  }
+  put_u32(out, static_cast<std::uint32_t>(reply.counter_deltas.size()));
+  for (const auto& [name, value] : reply.counter_deltas) {
+    put_string(out, name);
+    put_u64(out, value);
+  }
+  return out;
+}
+
+ShardDoneReply decode_shard_done(const std::vector<std::uint8_t>& payload) {
+  Cursor in{payload};
+  ShardDoneReply reply;
+  reply.shard = in.u64();
+  reply.merges = in.u64();
+  reply.deleted_samples = in.u64();
+  reply.discarded_fingerprints = in.u64();
+  reply.stretch_evaluations = in.u64();
+  reply.init_seconds = in.f64();
+  reply.merge_seconds = in.f64();
+  reply.total_seconds = in.f64();
+  const std::uint32_t group_count = in.u32();
+  reply.groups.reserve(group_count);
+  for (std::uint32_t i = 0; i < group_count; ++i) {
+    reply.groups.push_back(get_fingerprint(in));
+  }
+  const std::uint32_t delta_count = in.u32();
+  reply.counter_deltas.reserve(delta_count);
+  for (std::uint32_t i = 0; i < delta_count; ++i) {
+    std::string name = in.str();
+    const std::uint64_t value = in.u64();
+    reply.counter_deltas.emplace_back(std::move(name), value);
+  }
+  in.done();
+  return reply;
+}
+
+std::vector<std::uint8_t> encode_error(const std::string& message) {
+  std::vector<std::uint8_t> out;
+  put_string(out, message);
+  return out;
+}
+
+std::string decode_error(const std::vector<std::uint8_t>& payload) {
+  Cursor in{payload};
+  std::string message = in.str();
+  in.done();
+  return message;
+}
+
+#if defined(GLOVE_EXEC_HAVE_POSIX_IO)
+
+namespace {
+
+[[noreturn]] void throw_io_error(const char* what) {
+  throw std::runtime_error{
+      std::string{what} + ": " +
+      std::error_code(errno, std::generic_category()).message()};
+}
+
+/// send(MSG_NOSIGNAL) so a peer that died mid-conversation surfaces as
+/// EPIPE (→ typed error) instead of a process-killing SIGPIPE; plain
+/// write() is the fallback for non-socket fds (pipes in tests).
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+#if defined(MSG_NOSIGNAL)
+    ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, data + written, size - written);
+    }
+#else
+    const ssize_t n = ::write(fd, data + written, size - written);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io_error("exec frame write failed");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+/// Returns false only on EOF before the first byte; a short read mid-way
+/// is a truncated frame and throws.
+bool read_exact(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io_error("exec frame read failed");
+    }
+    if (n == 0) {
+      if (got == 0) return false;
+      throw std::runtime_error{"exec frame truncated mid-read (peer died?)"};
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void write_frame(int fd, FrameType type,
+                 const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw std::runtime_error{"exec frame payload exceeds the 1 GiB cap"};
+  }
+  std::vector<std::uint8_t> header;
+  header.reserve(5);
+  put_u32(header, static_cast<std::uint32_t>(payload.size()));
+  put_u8(header, static_cast<std::uint8_t>(type));
+  write_all(fd, header.data(), header.size());
+  if (!payload.empty()) write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, Frame& out) {
+  std::uint8_t header[5];
+  if (!read_exact(fd, header, sizeof header)) return false;
+  std::uint32_t length = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    length |= static_cast<std::uint32_t>(header[shift / 8]) << shift;
+  }
+  if (length > kMaxFramePayload) {
+    throw std::runtime_error{"exec frame length prefix exceeds the 1 GiB cap"};
+  }
+  const std::uint8_t type = header[4];
+  if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kShutdown)) {
+    throw std::runtime_error{"exec frame carries an unknown type byte"};
+  }
+  out.type = static_cast<FrameType>(type);
+  out.payload.resize(length);
+  if (length > 0 && !read_exact(fd, out.payload.data(), length)) {
+    throw std::runtime_error{"exec frame truncated mid-read (peer died?)"};
+  }
+  return true;
+}
+
+#else  // !GLOVE_EXEC_HAVE_POSIX_IO
+
+void write_frame(int, FrameType, const std::vector<std::uint8_t>&) {
+  throw std::runtime_error{"exec framed io requires a POSIX platform"};
+}
+
+bool read_frame(int, Frame&) {
+  throw std::runtime_error{"exec framed io requires a POSIX platform"};
+}
+
+#endif  // GLOVE_EXEC_HAVE_POSIX_IO
+
+}  // namespace glove::shard::exec

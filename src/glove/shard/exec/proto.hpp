@@ -1,0 +1,114 @@
+// Wire protocol of the process ShardExecutor: length-prefixed frames over
+// a connected AF_UNIX socketpair between the coordinator and each
+// glove_shard_worker daemon.
+//
+// Framing: u32 payload length, u8 frame type, payload.  All integers are
+// little-endian byte-shift encoded and doubles travel as their exact
+// IEEE-754 bit patterns (the binio convention), so a group deserialized on
+// the coordinator is bit-identical to the one the worker produced — the
+// protocol can never perturb published bytes.
+//
+// Conversation: the coordinator opens with kHello (protocol version,
+// shared source file, expected fingerprint count, serialized GloveConfig);
+// the worker replies kHelloAck.  Each kRunShard names one shard slice by
+// dataset index; the worker re-reads the slice from the shared file, runs
+// GLOVE, and replies kShardDone (groups + cost stats + timing + obs
+// counter deltas) or kError.  kShutdown (or EOF) ends the worker.
+
+#ifndef GLOVE_SHARD_EXEC_PROTO_HPP
+#define GLOVE_SHARD_EXEC_PROTO_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "glove/cdr/fingerprint.hpp"
+#include "glove/core/glove.hpp"
+
+namespace glove::shard::exec {
+
+/// Bumped on any wire-format change; hello handshakes across versions
+/// fail fast instead of misparsing.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Upper bound on a single frame payload (1 GiB): a corrupt length prefix
+/// fails loudly instead of driving a giant allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kRunShard = 3,
+  kShardDone = 4,
+  kError = 5,
+  kShutdown = 6,
+};
+
+struct Frame {
+  FrameType type = FrameType::kShutdown;
+  std::vector<std::uint8_t> payload;
+};
+
+struct HelloRequest {
+  std::string source_path;
+  std::uint64_t expected_fingerprints = 0;
+  core::GloveConfig glove;
+};
+
+struct RunShardRequest {
+  std::uint64_t shard = 0;
+  /// Dataset indices of the slice, in planned member order.
+  std::vector<std::uint32_t> member_ids;
+};
+
+struct ShardDoneReply {
+  std::uint64_t shard = 0;
+  /// Cost counters for GloveStats::accumulate_costs.
+  std::uint64_t merges = 0;
+  std::uint64_t deleted_samples = 0;
+  std::uint64_t discarded_fingerprints = 0;
+  std::uint64_t stretch_evaluations = 0;
+  double init_seconds = 0.0;
+  double merge_seconds = 0.0;
+  /// Whole-job wall-clock on the worker (materialize + GLOVE).
+  double total_seconds = 0.0;
+  std::vector<cdr::Fingerprint> groups;
+  /// Worker-side obs counter increments during the job, name-sorted; the
+  /// coordinator folds them into its registry so the run report's "obs"
+  /// section matches the in-process executor.
+  std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
+};
+
+/// Payload codecs.  Decoders throw std::runtime_error on malformed input
+/// (short payload, trailing bytes, out-of-range enum).
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(const HelloRequest& req);
+[[nodiscard]] HelloRequest decode_hello(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_run_shard(
+    const RunShardRequest& req);
+[[nodiscard]] RunShardRequest decode_run_shard(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_shard_done(
+    const ShardDoneReply& reply);
+[[nodiscard]] ShardDoneReply decode_shard_done(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_error(
+    const std::string& message);
+[[nodiscard]] std::string decode_error(
+    const std::vector<std::uint8_t>& payload);
+
+/// Framed blocking io over a connected fd.  write_frame retries partial
+/// writes; read_frame returns false on clean EOF at a frame boundary and
+/// throws std::runtime_error on io errors, truncated frames, or a length
+/// prefix beyond kMaxFramePayload.
+void write_frame(int fd, FrameType type,
+                 const std::vector<std::uint8_t>& payload);
+[[nodiscard]] bool read_frame(int fd, Frame& out);
+
+}  // namespace glove::shard::exec
+
+#endif  // GLOVE_SHARD_EXEC_PROTO_HPP

@@ -29,6 +29,9 @@ ShardedResult anonymize_sharded(const cdr::FingerprintDataset& data,
       std::move(groups), sharded_output_name(data.name(), config.glove.k)};
   result.stats = streamed.stats;
   result.shard_timings = std::move(streamed.shard_timings);
+  result.exec_kind = std::move(streamed.exec_kind);
+  result.exec_workers = streamed.exec_workers;
+  result.exec_worker_stats = std::move(streamed.exec_worker_stats);
   return result;
 }
 

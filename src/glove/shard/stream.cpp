@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <unordered_map>
@@ -11,9 +12,9 @@
 #include "glove/obs/log.hpp"
 #include "glove/obs/metrics.hpp"
 #include "glove/obs/span.hpp"
+#include "glove/shard/exec/executor.hpp"
 #include "glove/shard/reconcile.hpp"
 #include "glove/util/parallel.hpp"
-#include "glove/util/thread_pool.hpp"
 
 namespace glove::shard {
 
@@ -143,12 +144,10 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
   hooks.throw_if_cancelled();
 
   // Deterministic plane counters (counts only — they surface in the run
-  // report's "obs" section) plus a size distribution for the trace side.
+  // report's "obs" section); the per-shard counters live with the
+  // executors that run the shards.
   static const obs::Counter c_batches = obs::counter("stream.shard_batches");
-  static const obs::Counter c_shards = obs::counter("stream.shards_run");
   static const obs::Counter c_chunks = obs::counter("stream.reconcile_chunks");
-  static const obs::Histogram h_shard_members =
-      obs::histogram("stream.shard.members");
 
   StreamShardedResult result;
 
@@ -233,16 +232,18 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
     emit(std::move(fp));
   };
 
-  // --- Passes 2..: materialize and run contiguous shard batches.  The
-  // batch budget caps resident fingerprints at roughly one shard per
-  // scheduler worker, which also keeps the pool busy.
-  std::size_t requested = resolved.workers;
-  if (requested == 0) requested = util::ThreadPool::shared().size();
-  util::ThreadPool scheduler{
-      std::min(std::max<std::size_t>(requested, 1),
-               std::max<std::size_t>(shard_count, 1))};
+  // --- Passes 2..: materialize and run contiguous shard batches through
+  // the configured ShardExecutor.  The batch budget caps resident
+  // fingerprints at roughly one shard per executor worker, which also
+  // keeps the workers busy.
+  const std::unique_ptr<exec::ShardExecutor> executor =
+      exec::make_shard_executor(resolved, source.file_path(), n, shard_count);
   const std::size_t batch_budget = std::max<std::size_t>(
-      resolved.max_shard_users * scheduler.size(), 1);
+      resolved.max_shard_users * executor->workers(), 1);
+  // Executors that re-read the source themselves (process pool) receive
+  // the member ids only; the coordinator then materializes nothing for
+  // the kept sets (the buffered tail still fetches its leftovers here).
+  const bool local_inputs = !executor->reads_source();
 
   const std::uint64_t total_work = n + 1;  // +1: the final reconcile tick
   hooks.report(0, total_work);
@@ -250,8 +251,6 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
   if (buffered) leftovers.reserve(deferred_total);
   std::mutex progress_mutex;
   std::uint64_t done = 0;
-  util::RunHooks inner;
-  inner.cancel = hooks.cancel;
   const cdr::FingerprintDataset* inmem = source.materialized();
 
   for (std::size_t first = 0; first < shard_count;) {
@@ -285,13 +284,14 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
     // re-read whole, keeping only this batch's members.
     std::unordered_map<std::uint32_t, std::uint32_t> slot_of_id;
     std::vector<cdr::Fingerprint> store;
-    if (inmem == nullptr) {
+    if (inmem == nullptr && (local_inputs || buffered)) {
       slot_of_id.reserve(batch_members);
-      store.resize(batch_members);
       std::uint32_t next_slot = 0;
       for (std::size_t s = first; s < last; ++s) {
-        for (const std::uint32_t id : split.kept[s]) {
-          slot_of_id[id] = next_slot++;
+        if (local_inputs) {
+          for (const std::uint32_t id : split.kept[s]) {
+            slot_of_id[id] = next_slot++;
+          }
         }
         if (buffered) {
           for (const std::uint32_t id : split.deferred[s]) {
@@ -299,6 +299,7 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
           }
         }
       }
+      store.resize(next_slot);
       result.pass_fingerprints.push_back(
           materialize_pass(source, slot_of_id, store, n, hooks));
     }
@@ -316,54 +317,43 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
       }
     }
 
-    const std::size_t batch_size = last - first;
-    std::vector<std::vector<cdr::Fingerprint>> inputs(batch_size);
+    // Serialize the batch into shard jobs (empty kept sets run nothing
+    // and keep their zeroed timing row) and hand it to the executor;
+    // results come back in job = shard order.
+    std::vector<exec::ShardJob> jobs;
+    jobs.reserve(last - first);
     for (std::size_t s = first; s < last; ++s) {
-      std::vector<cdr::Fingerprint>& members = inputs[s - first];
-      members.reserve(split.kept[s].size());
-      for (const std::uint32_t id : split.kept[s]) {
-        members.push_back(fetch(id));
+      if (split.kept[s].empty()) continue;
+      exec::ShardJob job;
+      job.shard = s;
+      job.member_ids = &split.kept[s];
+      if (local_inputs) {
+        job.inputs.reserve(split.kept[s].size());
+        for (const std::uint32_t id : split.kept[s]) {
+          job.inputs.push_back(fetch(id));
+        }
       }
+      jobs.push_back(std::move(job));
     }
     store.clear();
     store.shrink_to_fit();
 
-    std::vector<core::GloveResult> results(batch_size);
-    util::parallel_for(
-        scheduler, batch_size,
-        [&](std::size_t begin, std::size_t end) {
-          for (std::size_t j = begin; j < end; ++j) {
-            hooks.throw_if_cancelled();
-            if (inputs[j].empty()) continue;
-            const std::size_t s = first + j;
-            GLOVE_SPAN_NAMED(shard_span, "stream.shard");
-            shard_span.arg("shard", s);
-            shard_span.arg("members", split.kept[s].size());
-            c_shards.add();
-            h_shard_members.observe(split.kept[s].size());
-            const auto start = Clock::now();
-            results[j] = core::anonymize_pruned(
-                cdr::FingerprintDataset{std::move(inputs[j])}, resolved.glove,
-                inner);
-            result.shard_timings[s].init_seconds =
-                results[j].stats.init_seconds;
-            result.shard_timings[s].merge_seconds =
-                results[j].stats.merge_seconds;
-            result.shard_timings[s].total_seconds = seconds_since(start);
-            result.shard_timings[s].output_groups =
-                results[j].anonymized.size();
-            shard_span.arg("groups", results[j].anonymized.size());
-            const std::lock_guard lock{progress_mutex};
-            done += split.kept[s].size();
-            hooks.report(done, total_work);
-          }
-        },
-        /*min_chunk=*/1);
+    const exec::ShardResultFn on_result = [&](const exec::ShardResult& r) {
+      const std::lock_guard lock{progress_mutex};
+      done += r.timing.input_fingerprints;
+      hooks.report(done, total_work);
+    };
+    std::vector<exec::ShardResult> batch_results =
+        executor->run_batch(std::move(jobs), on_result, hooks);
 
-    for (std::size_t j = 0; j < batch_size; ++j) {
-      result.stats.glove.accumulate_costs(results[j].stats);
-      for (cdr::Fingerprint& fp :
-           results[j].anonymized.mutable_fingerprints()) {
+    for (exec::ShardResult& r : batch_results) {
+      result.stats.glove.accumulate_costs(r.stats);
+      ShardTiming& timing = result.shard_timings[r.timing.shard];
+      timing.init_seconds = r.timing.init_seconds;
+      timing.merge_seconds = r.timing.merge_seconds;
+      timing.total_seconds = r.timing.total_seconds;
+      timing.output_groups = r.timing.output_groups;
+      for (cdr::Fingerprint& fp : r.groups) {
         deliver(std::move(fp));
       }
     }
@@ -536,6 +526,9 @@ StreamShardedResult anonymize_sharded_stream(FingerprintStream& source,
 
   result.stats.glove.output_groups = emitted_groups;
   result.stats.glove.output_samples = emitted_samples;
+  result.exec_kind = std::string{executor->kind()};
+  result.exec_workers = executor->workers();
+  result.exec_worker_stats = executor->worker_stats();
   hooks.report(total_work, total_work);
   return result;
 }

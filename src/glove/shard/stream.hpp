@@ -30,11 +30,13 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "glove/cdr/binio.hpp"
 #include "glove/cdr/dataset.hpp"
+#include "glove/shard/exec/executor.hpp"
 #include "glove/shard/shard.hpp"
 #include "glove/util/hooks.hpp"
 
@@ -87,6 +89,15 @@ class FingerprintStream {
     (void)store;
     return std::nullopt;
   }
+
+  /// Path of the file backing this stream, when there is one.  The
+  /// process ShardExecutor hands it to its workers so each can re-read
+  /// its shard slice through its own streaming front door; streams
+  /// without a shared file (in-memory datasets) return nullopt and only
+  /// support the in-process executor.
+  [[nodiscard]] virtual std::optional<std::string> file_path() const {
+    return std::nullopt;
+  }
 };
 
 /// In-memory adapter: streams an existing dataset (copies on yield), the
@@ -127,8 +138,16 @@ struct StreamShardedResult {
   /// A materialized() source is never re-streamed, so it reports the
   /// single scan pass.  An index-capable stream (fetch()) reports, for
   /// each rewound pass, only the fingerprints that pass materialized —
-  /// strictly fewer than the scan's full count.
+  /// strictly fewer than the scan's full count.  Under the process
+  /// executor the shard batches are read worker-side, so only the
+  /// planning and reconciliation passes appear here.
   std::vector<std::uint64_t> pass_fingerprints;
+  /// Which ShardExecutor ran the shard batches ("inprocess", "process")
+  /// and its resolved parallelism, for the run report's "exec" section.
+  std::string exec_kind;
+  std::uint64_t exec_workers = 0;
+  /// Per-worker accounting (process executor only; empty otherwise).
+  std::vector<exec::ExecWorkerStats> exec_worker_stats;
 };
 
 /// Runs the sharded pipeline over a restartable stream, emitting groups

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <sstream>
@@ -440,6 +441,50 @@ TEST(TailIo, SkipsCommentsBlanksAndCrlf) {
   EXPECT_DOUBLE_EQ(event.antenna.lon_deg, -5.3);  // no trailing \r
   ASSERT_TRUE(reader.poll(event));
   EXPECT_EQ(event.user, 2u);
+  EXPECT_FALSE(reader.poll(event));
+}
+
+TEST(TailIo, TruncationRestartsFromByteZero) {
+  // A producer that restarts its feed rewrites the file smaller than the
+  // consumed offset; seeking past the new end would tail nothing forever.
+  const test::TempDir dir;
+  const std::string path = dir.file("trunc.csv");
+  std::ofstream{path} << "1,10,6.8,-5.3\n2,11,6.8,-5.3\n3,12,6.8,-5.3\n";
+  CdrEventTailReader reader{path};
+  CdrEvent event;
+  for (std::uint64_t user = 1; user <= 3; ++user) {
+    ASSERT_TRUE(reader.poll(event));
+    EXPECT_EQ(event.user, user);
+  }
+  // Rewrite in place, smaller: same inode, shrunken size.
+  std::ofstream{path, std::ios::trunc} << "9,20,6.8,-5.3\n";
+  ASSERT_TRUE(reader.poll(event));
+  EXPECT_EQ(event.user, 9u);
+  EXPECT_EQ(reader.line_number(), 1u);  // restarted with the new file
+  EXPECT_EQ(reader.rows_read(), 4u);    // cumulative across the restart
+  EXPECT_FALSE(reader.poll(event));
+}
+
+TEST(TailIo, RotationReopensTheNewFile) {
+  // logrotate-style swap: the consumed file moves aside and a fresh one
+  // takes over the path.  The reader must follow the path, not the inode.
+  const test::TempDir dir;
+  const std::string path = dir.file("rotate.csv");
+  std::ofstream{path} << "1,10,6.8,-5.3\n2,11,6.8,-5.3\n";
+  CdrEventTailReader reader{path};
+  CdrEvent event;
+  ASSERT_TRUE(reader.poll(event));
+  ASSERT_TRUE(reader.poll(event));
+  EXPECT_EQ(event.user, 2u);
+
+  std::filesystem::rename(path, dir.file("rotate.csv.1"));
+  EXPECT_FALSE(reader.poll(event));  // gap until the new file appears
+  std::ofstream{path} << "5,30,6.8,-5.3\n6,31,6.8,-5.3\n7,32,6.8,-5.3\n";
+  for (std::uint64_t user = 5; user <= 7; ++user) {
+    ASSERT_TRUE(reader.poll(event));
+    EXPECT_EQ(event.user, user);
+  }
+  EXPECT_EQ(reader.rows_read(), 5u);
   EXPECT_FALSE(reader.poll(event));
 }
 

@@ -1,0 +1,255 @@
+// End-to-end guarantees of the pluggable shard-execution boundary: the
+// process executor (forked glove_shard_worker daemons re-reading shard
+// slices from the shared file) produces byte-identical output to the
+// in-process thread pool across worker counts and both dataset formats,
+// surfaces worker crashes as typed errors carrying the worker's stderr
+// tail (no hang, no orphan processes, no leaked spill files), and rejects
+// configurations it cannot serve (in-memory sources).
+//
+// The worker binary path arrives via the GLOVE_SHARD_WORKER_BIN compile
+// definition, so the suite exercises the same discovery override
+// operators use.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__)
+#include <unistd.h>
+#endif
+
+#include "common/fixtures.hpp"
+#include "common/golden.hpp"
+#include "common/temp_dir.hpp"
+#include "glove/api/engine.hpp"
+#include "glove/api/sink.hpp"
+#include "glove/api/source.hpp"
+#include "glove/cdr/io.hpp"
+#include "glove/core/glove.hpp"
+#include "glove/shard/config.hpp"
+
+namespace glove::api {
+namespace {
+
+namespace fs = std::filesystem;
+
+RunConfig sharded_config(shard::ExecutorKind executor, std::size_t workers) {
+  RunConfig config;
+  config.strategy = kStrategySharded;
+  config.k = 2;
+  config.sharded.tile_size_m = 5'000.0;
+  config.sharded.max_shard_users = 16;
+  config.sharded.border = shard::BorderPolicy::kHalo;
+  config.sharded.executor = executor;
+  config.sharded.exec_workers = workers;
+  config.sharded.worker_binary = GLOVE_SHARD_WORKER_BIN;
+  return config;
+}
+
+/// Streams `path` through the Engine into a MemorySink; returns the CSV
+/// spelling of the output under a fixed name so runs over differently
+/// named inputs stay comparable.
+std::string run_to_csv(const Engine& engine, const RunConfig& config,
+                       const std::string& path,
+                       RunReport* report_out = nullptr) {
+  const auto source = open_dataset_source(path);
+  MemorySink sink;
+  auto result = engine.run(*source, sink, config);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().message);
+  if (!result.ok()) return {};
+  if (report_out != nullptr) *report_out = std::move(result).value();
+  cdr::FingerprintDataset out = std::move(sink).take_dataset();
+  out.set_name("parity");
+  return test::dataset_to_csv(out);
+}
+
+/// Stderr spill files the coordinator leaves behind would name this
+/// process's pid; a clean teardown removes every one.
+std::size_t leaked_spill_files() {
+  std::size_t count = 0;
+#if defined(__unix__)
+  const std::string prefix =
+      "glove_shard_worker-" + std::to_string(::getpid()) + "-";
+  for (const auto& entry : fs::directory_iterator(fs::temp_directory_path())) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) ++count;
+  }
+#endif
+  return count;
+}
+
+/// Live child processes of this test (Linux: scan /proc for our ppid) —
+/// zero once every worker daemon has been reaped.
+std::size_t live_child_processes() {
+  std::size_t count = 0;
+#if defined(__linux__)
+  for (const auto& entry : fs::directory_iterator("/proc")) {
+    const std::string name = entry.path().filename().string();
+    if (name.find_first_not_of("0123456789") != std::string::npos) continue;
+    std::ifstream stat{entry.path() / "stat"};
+    std::string token;
+    // Fields: pid (comm) state ppid ...; comm may hold spaces but the
+    // worker's never does.
+    long ppid = -1;
+    for (int i = 0; i < 4 && stat >> token; ++i) {
+      if (i == 3) ppid = std::atol(token.c_str());
+    }
+    if (ppid == static_cast<long>(::getpid())) ++count;
+  }
+#endif
+  return count;
+}
+
+TEST(ShardExecutor, ProcessMatchesInProcessAcrossWorkersAndFormats) {
+  const test::TempDir dir;
+  const cdr::FingerprintDataset data = test::small_synth_dataset(80);
+  const std::string csv = dir.file("data.csv");
+  const std::string bin = dir.file("data.glovebin");
+  cdr::write_dataset_file(csv, data);
+  cdr::write_dataset_glovebin_file(bin, data, /*block_fingerprints=*/8);
+
+  const Engine engine;
+  for (const std::string& input : {csv, bin}) {
+    const std::string reference = run_to_csv(
+        engine, sharded_config(shard::ExecutorKind::kInProcess, 0), input);
+    ASSERT_FALSE(reference.empty());
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+      RunReport report;
+      const std::string actual = run_to_csv(
+          engine, sharded_config(shard::ExecutorKind::kProcess, workers),
+          input, &report);
+      const std::string label =
+          fs::path(input).extension().string() + " workers=" +
+          std::to_string(workers);
+      EXPECT_EQ(actual, reference) << label;
+      EXPECT_EQ(report.exec_kind, "process") << label;
+      EXPECT_EQ(report.exec_workers, workers) << label;
+      // Deterministic round-robin accounting: every job, fingerprint and
+      // group is attributed to exactly one worker.
+      ASSERT_EQ(report.exec_worker_stats.size(), workers) << label;
+      std::uint64_t fingerprints = 0;
+      std::uint64_t groups = 0;
+      for (const ExecWorkerRow& row : report.exec_worker_stats) {
+        fingerprints += row.fingerprints;
+        groups += row.groups;
+      }
+      std::uint64_t shard_inputs = 0;
+      std::uint64_t shard_groups = 0;
+      for (const ShardTimingRow& row : report.shard_timings) {
+        shard_inputs += row.input_fingerprints;
+        shard_groups += row.output_groups;
+      }
+      EXPECT_EQ(fingerprints, shard_inputs) << label;
+      EXPECT_EQ(groups, shard_groups) << label;
+    }
+  }
+  EXPECT_EQ(live_child_processes(), 0u);
+  EXPECT_EQ(leaked_spill_files(), 0u);
+}
+
+TEST(ShardExecutor, InProcessReportsItsKindInTheRunReport) {
+  const test::TempDir dir;
+  const cdr::FingerprintDataset data = test::small_synth_dataset(30);
+  const std::string csv = dir.file("data.csv");
+  cdr::write_dataset_file(csv, data);
+
+  const Engine engine;
+  RunReport report;
+  (void)run_to_csv(engine, sharded_config(shard::ExecutorKind::kInProcess, 0),
+                   csv, &report);
+  EXPECT_EQ(report.exec_kind, "inprocess");
+  EXPECT_GE(report.exec_workers, 1u);
+  EXPECT_TRUE(report.exec_worker_stats.empty());
+}
+
+TEST(ShardExecutor, ProcessObsCountersFoldIntoTheCoordinatorReport) {
+  // The core.heap.* counters tick inside anonymize_pruned — in process
+  // mode that is the *worker's* address space, so their presence in the
+  // coordinator's report proves the delta fold-back works.
+  const test::TempDir dir;
+  const cdr::FingerprintDataset data = test::small_synth_dataset(60);
+  const std::string csv = dir.file("data.csv");
+  cdr::write_dataset_file(csv, data);
+
+  const Engine engine;
+  RunReport in_proc;
+  RunReport proc;
+  (void)run_to_csv(engine, sharded_config(shard::ExecutorKind::kInProcess, 0),
+                   csv, &in_proc);
+  (void)run_to_csv(engine, sharded_config(shard::ExecutorKind::kProcess, 2),
+                   csv, &proc);
+  const auto counter = [](const RunReport& report, const std::string& name) {
+    for (const auto& [key, value] : report.obs_counters) {
+      if (key == name) return value;
+    }
+    return std::uint64_t{0};
+  };
+  for (const char* name :
+       {"core.heap.seeded", "core.heap.popped", "stream.shards_run"}) {
+    EXPECT_GT(counter(proc, name), 0u) << name;
+    EXPECT_EQ(counter(proc, name), counter(in_proc, name)) << name;
+  }
+  EXPECT_GT(counter(proc, "exec.workers_spawned"), 0u);
+  EXPECT_GT(counter(proc, "exec.jobs_dispatched"), 0u);
+}
+
+TEST(ShardExecutor, WorkerCrashSurfacesTypedErrorWithStderrTail) {
+  const test::TempDir dir;
+  const cdr::FingerprintDataset data = test::small_synth_dataset(60);
+  const std::string csv = dir.file("data.csv");
+  cdr::write_dataset_file(csv, data);
+
+  ::setenv("GLOVE_SHARD_WORKER_FAULT", "crash-after-jobs=0", 1);
+  const Engine engine;
+  const auto source = open_dataset_source(csv);
+  MemorySink sink;
+  const auto result = engine.run(
+      *source, sink, sharded_config(shard::ExecutorKind::kProcess, 2));
+  ::unsetenv("GLOVE_SHARD_WORKER_FAULT");
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kInternal);
+  // The error carries the crashed worker's stderr tail, so the fault
+  // marker the worker printed before dying must be quoted verbatim.
+  EXPECT_NE(result.error().message.find("fault injection"), std::string::npos)
+      << result.error().message;
+  // Clean teardown despite the crash: every daemon reaped, every stderr
+  // spill file unlinked.
+  EXPECT_EQ(live_child_processes(), 0u);
+  EXPECT_EQ(leaked_spill_files(), 0u);
+}
+
+TEST(ShardExecutor, ProcessExecutorRejectsInMemorySources) {
+  const cdr::FingerprintDataset data = test::small_synth_dataset(30);
+  const Engine engine;
+  MemorySource source{data};
+  MemorySink sink;
+  const auto result = engine.run(
+      source, sink, sharded_config(shard::ExecutorKind::kProcess, 2));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kInvalidConfig);
+  EXPECT_NE(result.error().message.find("file-backed"), std::string::npos)
+      << result.error().message;
+}
+
+TEST(ShardExecutor, MissingWorkerBinaryFailsFast) {
+  const test::TempDir dir;
+  const cdr::FingerprintDataset data = test::small_synth_dataset(30);
+  const std::string csv = dir.file("data.csv");
+  cdr::write_dataset_file(csv, data);
+
+  RunConfig config = sharded_config(shard::ExecutorKind::kProcess, 1);
+  config.sharded.worker_binary = dir.file("no_such_worker");
+  const Engine engine;
+  const auto source = open_dataset_source(csv);
+  MemorySink sink;
+  const auto result = engine.run(*source, sink, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kInvalidConfig);
+}
+
+}  // namespace
+}  // namespace glove::api

@@ -1,0 +1,207 @@
+// Wire-format guarantees of the process ShardExecutor protocol: every
+// payload codec round-trips bit-exactly (doubles travel as IEEE-754
+// patterns, so groups cannot drift across the process boundary), decoders
+// reject malformed payloads loudly, and the framed io layer handles EOF,
+// truncation, and corrupt length prefixes without misparsing.
+
+#include "glove/shard/exec/proto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/fixtures.hpp"
+#include "glove/cdr/fingerprint.hpp"
+#include "glove/core/glove.hpp"
+
+namespace glove::shard::exec {
+namespace {
+
+core::GloveConfig sample_config() {
+  core::GloveConfig glove;
+  glove.k = 3;
+  glove.limits.phi_max_sigma_m = 12'345.678;
+  glove.limits.phi_max_tau_min = 481.25;
+  glove.limits.w_sigma = 0.375;
+  glove.limits.w_tau = 0.625;
+  glove.suppression = core::SuppressionThresholds{15'000.5, 360.25};
+  glove.reshape = false;
+  glove.leftover_policy = core::LeftoverPolicy::kSuppress;
+  return glove;
+}
+
+TEST(ExecProto, HelloRoundTripsEveryConfigField) {
+  HelloRequest req;
+  req.source_path = "/data/trace.glovebin";
+  req.expected_fingerprints = 1'234'567;
+  req.glove = sample_config();
+
+  const HelloRequest back = decode_hello(encode_hello(req));
+  EXPECT_EQ(back.source_path, req.source_path);
+  EXPECT_EQ(back.expected_fingerprints, req.expected_fingerprints);
+  EXPECT_EQ(back.glove.k, 3u);
+  EXPECT_EQ(back.glove.limits.phi_max_sigma_m, 12'345.678);
+  EXPECT_EQ(back.glove.limits.phi_max_tau_min, 481.25);
+  EXPECT_EQ(back.glove.limits.w_sigma, 0.375);
+  EXPECT_EQ(back.glove.limits.w_tau, 0.625);
+  ASSERT_TRUE(back.glove.suppression.has_value());
+  EXPECT_EQ(back.glove.suppression->max_spatial_extent_m, 15'000.5);
+  EXPECT_EQ(back.glove.suppression->max_temporal_extent_min, 360.25);
+  EXPECT_FALSE(back.glove.reshape);
+  EXPECT_EQ(back.glove.leftover_policy, core::LeftoverPolicy::kSuppress);
+}
+
+TEST(ExecProto, HelloRoundTripsWithoutSuppression) {
+  HelloRequest req;
+  req.source_path = "x.csv";
+  req.glove.suppression.reset();
+  const HelloRequest back = decode_hello(encode_hello(req));
+  EXPECT_FALSE(back.glove.suppression.has_value());
+  EXPECT_TRUE(back.glove.reshape);
+}
+
+TEST(ExecProto, RunShardRoundTripsMemberOrder) {
+  RunShardRequest req;
+  req.shard = 42;
+  req.member_ids = {7, 3, 99, 0, 1'000'000};
+  const RunShardRequest back = decode_run_shard(encode_run_shard(req));
+  EXPECT_EQ(back.shard, 42u);
+  EXPECT_EQ(back.member_ids, req.member_ids);
+}
+
+TEST(ExecProto, ShardDoneRoundTripsGroupsBitExactly) {
+  ShardDoneReply reply;
+  reply.shard = 5;
+  reply.merges = 11;
+  reply.deleted_samples = 2;
+  reply.discarded_fingerprints = 1;
+  reply.stretch_evaluations = 1'000'000'007;
+  reply.init_seconds = 0.125;
+  reply.merge_seconds = 2.5;
+  reply.total_seconds = 3.0625;
+  // Samples with non-representable decimals: the bit patterns must come
+  // back exactly, and time-tied samples must keep their stored order.
+  reply.groups.push_back(cdr::Fingerprint::from_time_sorted(
+      {4, 9},
+      {test::box(0.1, 0.2, 0.3, 0.4, 10.0, 5.0),
+       test::box(7.7, 0.1, -3.3, 0.6, 10.0, 5.0)}));
+  reply.groups.push_back(cdr::Fingerprint::from_time_sorted(
+      {12}, {test::box(1e9, 1e-9, -1e9, 0.0, 0.0, 0.0)}));
+  reply.counter_deltas = {{"core.heap.popped", 17},
+                          {"core.heap.seeded", 123'456'789'012ull}};
+
+  const ShardDoneReply back = decode_shard_done(encode_shard_done(reply));
+  EXPECT_EQ(back.shard, 5u);
+  EXPECT_EQ(back.merges, 11u);
+  EXPECT_EQ(back.deleted_samples, 2u);
+  EXPECT_EQ(back.discarded_fingerprints, 1u);
+  EXPECT_EQ(back.stretch_evaluations, 1'000'000'007u);
+  EXPECT_EQ(back.init_seconds, 0.125);
+  EXPECT_EQ(back.merge_seconds, 2.5);
+  EXPECT_EQ(back.total_seconds, 3.0625);
+  ASSERT_EQ(back.groups.size(), 2u);
+  for (std::size_t g = 0; g < back.groups.size(); ++g) {
+    ASSERT_EQ(back.groups[g].members().size(),
+              reply.groups[g].members().size());
+    for (std::size_t m = 0; m < back.groups[g].members().size(); ++m) {
+      EXPECT_EQ(back.groups[g].members()[m], reply.groups[g].members()[m]);
+    }
+    ASSERT_EQ(back.groups[g].size(), reply.groups[g].size());
+    for (std::size_t s = 0; s < back.groups[g].size(); ++s) {
+      EXPECT_EQ(back.groups[g].samples()[s], reply.groups[g].samples()[s])
+          << "group " << g << " sample " << s;
+    }
+  }
+  EXPECT_EQ(back.counter_deltas, reply.counter_deltas);
+}
+
+TEST(ExecProto, ErrorRoundTripsMessage) {
+  const std::string message = "worker re-read yielded nothing\nstderr tail";
+  EXPECT_EQ(decode_error(encode_error(message)), message);
+}
+
+TEST(ExecProto, DecodersRejectTruncatedAndTrailingBytes) {
+  RunShardRequest req;
+  req.shard = 1;
+  req.member_ids = {1, 2, 3};
+  std::vector<std::uint8_t> payload = encode_run_shard(req);
+
+  std::vector<std::uint8_t> truncated{payload.begin(), payload.end() - 1};
+  EXPECT_THROW((void)decode_run_shard(truncated), std::runtime_error);
+
+  std::vector<std::uint8_t> trailing = payload;
+  trailing.push_back(0);
+  EXPECT_THROW((void)decode_run_shard(trailing), std::runtime_error);
+
+  EXPECT_THROW((void)decode_hello({0x01}), std::runtime_error);
+  EXPECT_THROW((void)decode_shard_done({}), std::runtime_error);
+}
+
+TEST(ExecProto, HelloRejectsWrongProtocolVersion) {
+  HelloRequest req;
+  req.source_path = "x.csv";
+  std::vector<std::uint8_t> payload = encode_hello(req);
+  // The version is the leading little-endian u32; bump it.
+  payload[0] = static_cast<std::uint8_t>(kProtocolVersion + 1);
+  EXPECT_THROW((void)decode_hello(payload), std::runtime_error);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+TEST(ExecProto, FramesRoundTripOverAPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::vector<std::uint8_t> payload{1, 2, 3, 250, 255};
+  write_frame(fds[1], FrameType::kRunShard, payload);
+  write_frame(fds[1], FrameType::kShutdown, {});
+  ::close(fds[1]);
+
+  Frame frame;
+  ASSERT_TRUE(read_frame(fds[0], frame));
+  EXPECT_EQ(frame.type, FrameType::kRunShard);
+  EXPECT_EQ(frame.payload, payload);
+  ASSERT_TRUE(read_frame(fds[0], frame));
+  EXPECT_EQ(frame.type, FrameType::kShutdown);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_FALSE(read_frame(fds[0], frame));  // clean EOF at a boundary
+  ::close(fds[0]);
+}
+
+TEST(ExecProto, ReadFrameThrowsOnTruncatedFrame) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // A header promising 100 payload bytes, then EOF mid-frame.
+  const std::uint8_t header[5] = {100, 0, 0, 0,
+                                  static_cast<std::uint8_t>(FrameType::kError)};
+  ASSERT_EQ(::write(fds[1], header, sizeof header), 5);
+  ::close(fds[1]);
+  Frame frame;
+  EXPECT_THROW((void)read_frame(fds[0], frame), std::runtime_error);
+  ::close(fds[0]);
+}
+
+TEST(ExecProto, ReadFrameRejectsOversizedLengthPrefix) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // 0xFFFFFFFF length: must fail fast, not attempt a 4 GiB allocation.
+  const std::uint8_t header[5] = {0xFF, 0xFF, 0xFF, 0xFF,
+                                  static_cast<std::uint8_t>(FrameType::kHello)};
+  ASSERT_EQ(::write(fds[1], header, sizeof header), 5);
+  Frame frame;
+  EXPECT_THROW((void)read_frame(fds[0], frame), std::runtime_error);
+  ::close(fds[1]);
+  ::close(fds[0]);
+}
+
+#endif  // defined(__unix__) || defined(__APPLE__)
+
+}  // namespace
+}  // namespace glove::shard::exec
